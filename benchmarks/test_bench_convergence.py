@@ -1,0 +1,28 @@
+"""Extension benchmark — equilibrium-dynamics convergence speed.
+
+Backs the paper's "efficient, stable" claim with numbers: rounds, moves
+and wall clock of the dynamics that LCF's full-information mode relies on,
+as the selfish population grows.
+"""
+
+from repro.experiments.convergence import convergence_study
+from repro.utils.tables import Table
+
+
+def test_bench_convergence(benchmark, emit):
+    points = benchmark.pedantic(
+        convergence_study,
+        kwargs=dict(populations=(20, 40, 80), network_size=150, repetitions=3),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(["providers", "variant", "rounds", "moves", "wall (s)"])
+    for p in points:
+        table.add_row([p.n_providers, p.variant, p.rounds, p.moves, p.wall_s])
+    emit(table.render(title="[convergence] best-response dynamics scaling"))
+
+    assert all(p.all_converged and p.all_equilibria for p in points)
+    # Round-robin best response stays in single-digit rounds even at 80
+    # selfish players.
+    best = [p for p in points if p.variant == "best"]
+    assert max(p.rounds for p in best) <= 10

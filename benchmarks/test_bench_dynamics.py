@@ -1,0 +1,51 @@
+"""Extension benchmark — the dynamic market (replan vs incremental).
+
+Not a paper figure: quantifies the stability/optimality trade-off implied
+by the paper's "temporarily cached" services when the provider population
+churns.
+"""
+
+import numpy as np
+
+from repro.dynamics import DynamicMarketSimulation, PopulationProcess
+from repro.network.generators import random_mec_network
+from repro.utils.tables import Table
+
+
+def _run_dynamics():
+    network = random_mec_network(100, rng=1)
+    rows = []
+    for policy in ("replan", "incremental"):
+        population = PopulationProcess(
+            network, arrival_rate=5.0, mean_lifetime=8.0, rng=3,
+            initial_population=40,
+        )
+        sim = DynamicMarketSimulation(network, population, policy=policy)
+        summary = sim.run(12)
+        rows.append((policy, summary))
+    return rows
+
+
+def test_bench_dynamics(benchmark, emit):
+    rows = benchmark.pedantic(_run_dynamics, rounds=1, iterations=1)
+    table = Table([
+        "policy", "total cost", "social/epoch", "migrations", "migration $",
+    ])
+    for policy, summary in rows:
+        table.add_row([
+            policy,
+            summary.total_cost,
+            summary.mean_social_cost,
+            summary.total_migrations,
+            summary.total_migration_cost,
+        ])
+    emit(table.render(title="[dynamics] replan vs incremental, 12 epochs"))
+
+    by_policy = dict(rows)
+    # Replanning buys per-epoch quality; incremental never migrates.
+    assert (
+        by_policy["replan"].mean_social_cost
+        <= by_policy["incremental"].mean_social_cost
+    )
+    assert by_policy["incremental"].total_migrations == 0
+    assert by_policy["replan"].total_migrations > 0

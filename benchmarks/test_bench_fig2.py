@@ -1,0 +1,41 @@
+"""Fig. 2 — algorithm performance vs GT-ITM network size.
+
+Regenerates all four panels: (a) social cost, (b) selfish-provider cost,
+(c) coordinated-provider cost, (d) running time, for LCF / JoOffloadCache /
+OffloadCache with |N| providers and 1-xi = 0.3.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig2_network_size
+from repro.experiments.report import render_sweep
+from repro.experiments.stats import paired_comparison, summarize
+
+
+def test_bench_fig2(benchmark, config, emit):
+    result = benchmark.pedantic(
+        fig2_network_size, args=(config,), rounds=1, iterations=1
+    )
+    emit(render_sweep(
+        result,
+        metrics=("social_cost", "selfish_cost", "coordinated_cost", "runtime_s"),
+    ))
+
+    # Statistical significance of the headline ordering (paired over the
+    # size sweep, common random numbers per point).
+    comparison = paired_comparison(
+        result.series("LCF"), result.series("JoOffloadCache")
+    )
+    emit(summarize("LCF", "JoOffloadCache", comparison))
+
+    # Paper shape, Fig. 2(a): LCF cheapest, OffloadCache costliest,
+    # averaged across the size sweep.
+    lcf = np.mean(result.series("LCF"))
+    jo = np.mean(result.series("JoOffloadCache"))
+    off = np.mean(result.series("OffloadCache"))
+    assert lcf < jo < off
+
+    # Fig. 2(d): LCF pays for the LP; the greedy baselines are faster.
+    assert np.mean(result.series("LCF", "runtime_s")) > np.mean(
+        result.series("JoOffloadCache", "runtime_s")
+    )

@@ -1,0 +1,37 @@
+"""Fig. 3 — the impact of the selfish fraction 1-xi at network size 250.
+
+Regenerates all four panels over the 1-xi sweep.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig3_selfish_fraction
+from repro.experiments.report import render_sweep
+
+
+def test_bench_fig3(benchmark, config, emit):
+    result = benchmark.pedantic(
+        fig3_selfish_fraction, args=(config,), rounds=1, iterations=1
+    )
+    emit(render_sweep(
+        result,
+        metrics=("social_cost", "selfish_cost", "coordinated_cost", "runtime_s"),
+    ))
+
+    lcf = result.series("LCF")
+    # Fig. 3(a): LCF's social cost grows with 1-xi ...
+    assert lcf[-1] > lcf[0]
+    # ... and LCF dominates the baselines while most providers are
+    # coordinated (the paper's crossover appears only near 1-xi ~ 0.8).
+    jo = result.series("JoOffloadCache")
+    off = result.series("OffloadCache")
+    mid = len(lcf) // 2
+    assert all(l < j for l, j in zip(lcf[: mid + 1], jo[: mid + 1]))
+    assert all(l < o for l, o in zip(lcf[: mid + 1], off[: mid + 1]))
+
+    # Fig. 3(b)/(c): the split moves monotonically at the endpoints.
+    selfish = result.series("LCF", "selfish_cost")
+    coordinated = result.series("LCF", "coordinated_cost")
+    assert selfish[0] == 0.0 and coordinated[-1] == 0.0
+    assert selfish[-1] > selfish[0]
+    assert coordinated[0] > coordinated[-1]

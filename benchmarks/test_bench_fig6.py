@@ -1,0 +1,38 @@
+"""Fig. 6 — testbed parameter studies.
+
+(a) impact of 1-xi on the social cost; (b) the same sweep's running times;
+(c) impact of the number of service-caching requests; (d) impact of the
+update data volume (1-5 GB service data at the 10% sync ratio).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig6_testbed_parameters
+from repro.experiments.report import render_sweep
+
+
+def test_bench_fig6(benchmark, config, emit):
+    results = benchmark.pedantic(
+        fig6_testbed_parameters, args=(config,), rounds=1, iterations=1
+    )
+
+    # (a) + (b): same sweep, two metrics.
+    emit(render_sweep(results["a"], metrics=("social_cost", "runtime_s")))
+    emit(render_sweep(results["c"], metrics=("social_cost",)))
+    emit(render_sweep(results["d"], metrics=("social_cost",)))
+
+    # Fig. 6(a): LCF degrades as 1-xi grows and undercuts the baselines
+    # while coordination dominates.
+    lcf_a = results["a"].series("LCF")
+    assert lcf_a[-1] > lcf_a[0]
+    jo_a = results["a"].series("JoOffloadCache")
+    mid = len(lcf_a) // 2
+    assert all(l < j for l, j in zip(lcf_a[: mid + 1], jo_a[: mid + 1]))
+
+    # Fig. 6(c): more caching requests -> higher total cost (monotone).
+    lcf_c = results["c"].series("LCF")
+    assert all(b > a for a, b in zip(lcf_c, lcf_c[1:]))
+
+    # Fig. 6(d): more update data -> higher total cost (endpoints).
+    lcf_d = results["d"].series("LCF")
+    assert lcf_d[-1] > lcf_d[0]

@@ -1,0 +1,28 @@
+"""Fig. 7 — impact of the maximum demands a_max and b_max on the testbed.
+
+Scaling the maximum demand shrinks every cloudlet's virtual-cloudlet count
+n_i (Eq. 7); when the slots (and eventually the real capacities) run out,
+services are forced to stay in the remote cloud and the cost climbs — the
+paper's "higher probability to reject some requests" effect.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig7_max_demands
+from repro.experiments.report import render_sweep
+
+
+def test_bench_fig7(benchmark, config, emit):
+    results = benchmark.pedantic(
+        fig7_max_demands, args=(config,), rounds=1, iterations=1
+    )
+    emit(render_sweep(results["a"], metrics=("social_cost", "rejected")))
+    emit(render_sweep(results["b"], metrics=("social_cost", "rejected")))
+
+    for panel in ("a", "b"):
+        lcf = results[panel].series("LCF")
+        rejections = results[panel].series("LCF", "rejected")
+        # The binding end of the sweep rejects more and costs more than
+        # the unconstrained start.
+        assert rejections[-1] > rejections[0]
+        assert lcf[-1] > lcf[0]

@@ -1,0 +1,56 @@
+"""Extension benchmark — achieved user latency by algorithm.
+
+Not a paper figure (the paper optimises dollars and motivates with
+latency); this bench closes the loop by measuring the motion-to-photon
+style delay each algorithm's placement delivers. The honest picture:
+OffloadCache — which optimises *only* delay — wins raw latency while
+losing badly on cost (Figs. 2–6); LCF lands between the baselines on
+latency while winning cost, i.e. the coordinated market does not buy its
+savings with user-visible lag.
+"""
+
+import numpy as np
+
+from repro.core import jo_offload_cache, lcf, offload_cache
+from repro.market.qos import latency_report
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+from repro.utils.tables import Table
+
+
+def _run(config):
+    rows = []
+    for seed in range(min(3, config.repetitions)):
+        network = random_mec_network(config.default_size, rng=seed)
+        market = generate_market(network, config.n_providers, rng=seed + 10)
+        for name, assignment in (
+            ("LCF", lcf(market, xi=0.7, allow_remote=True).assignment),
+            ("JoOffloadCache", jo_offload_cache(market)),
+            ("OffloadCache", offload_cache(market)),
+        ):
+            report = latency_report(assignment)
+            rows.append(
+                (seed, name, report.mean_ms, report.p95_ms, report.violation_rate)
+            )
+    return rows
+
+
+def test_bench_qos(benchmark, config, emit):
+    rows = benchmark.pedantic(_run, args=(config,), rounds=1, iterations=1)
+    table = Table(["algorithm", "mean ms", "p95 ms", "violations"])
+    by_alg = {}
+    for _seed, name, mean_ms, p95_ms, viol in rows:
+        by_alg.setdefault(name, []).append((mean_ms, p95_ms, viol))
+    for name, entries in by_alg.items():
+        table.add_row([
+            name,
+            float(np.mean([e[0] for e in entries])),
+            float(np.mean([e[1] for e in entries])),
+            float(np.mean([e[2] for e in entries])),
+        ])
+    emit(table.render(title="[qos] achieved user latency (50 ms budget)"))
+
+    means = {name: np.mean([e[0] for e in entries]) for name, entries in by_alg.items()}
+    # Delay-only optimisation wins raw latency; LCF must not be the worst.
+    assert means["OffloadCache"] <= means["LCF"] + 1e-9
+    assert means["LCF"] <= means["JoOffloadCache"] * 1.25

@@ -1,0 +1,63 @@
+"""The price of a QoS guarantee.
+
+The paper motivates edge caching with motion-to-photon latency but
+optimises dollars. This example makes the guarantee explicit: a hard
+per-provider latency budget turns distant cloudlets into forbidden choices,
+and the sweep below shows what each tier of guarantee costs the market —
+the tighter the budget, the fewer feasible cloudlets, the higher the social
+cost, until services are pushed back to the (latency-violating but always
+available) remote cloud.
+
+Run:  python examples/latency_budgets.py
+"""
+
+from repro.core import lcf
+from repro.market import generate_market
+from repro.market.qos import latency_report
+from repro.network import random_mec_network
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    network = random_mec_network(150, rng=1)
+
+    table = Table([
+        "budget (ms)", "social cost ($)", "remote-served",
+        "mean delay (ms)", "p95 delay (ms)",
+    ])
+    for budget in (None, 12.0, 8.0, 5.0, 3.0, 2.0):
+        market = generate_market(
+            network, 60, rng=2, latency_budget_ms=budget
+        )
+        assignment = lcf(market, xi=0.7, allow_remote=True).assignment
+        report = latency_report(assignment)
+        table.add_row([
+            "unlimited" if budget is None else budget,
+            assignment.social_cost,
+            len(assignment.rejected),
+            report.mean_ms,
+            report.p95_ms,
+        ])
+    print(table.render(
+        title="Tighter latency guarantees cost money — then capacity"
+    ))
+
+    # Who gets squeezed first? The providers whose users sit far from any
+    # cloudlet.
+    market = generate_market(network, 60, rng=2, latency_budget_ms=3.0)
+    assignment = lcf(market, xi=0.7, allow_remote=True).assignment
+    if assignment.rejected:
+        print("\nproviders pushed to the remote cloud at a 3 ms budget:")
+        for pid in sorted(assignment.rejected)[:6]:
+            svc = market.provider(pid).service
+            nearest = min(
+                market.cost_model.access_delay_ms(
+                    market.provider(pid), cl
+                )
+                for cl in network.cloudlets
+            )
+            print(f"  sp{pid}: nearest cloudlet {nearest:.1f} ms away")
+
+
+if __name__ == "__main__":
+    main()

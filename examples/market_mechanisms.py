@@ -1,0 +1,65 @@
+"""Pricing the market: Clarke payments and the leader's revenue options.
+
+The paper's infrastructure provider coordinates through contracts; this
+example prices that coordination. It computes VCG/Clarke payments for the
+coordinated allocation — each provider pays the congestion externality it
+imposes on everyone else — and contrasts the leader's two revenue levers:
+Clarke payments under full coordination vs Pigouvian toll revenue under a
+fully selfish market.
+
+Run:  python examples/market_mechanisms.py
+"""
+
+from repro.core import appro, vcg_payments
+from repro.core.tolls import optimize_toll_level, tolled_selfish_market
+from repro.market import generate_market
+from repro.network import random_mec_network
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    network = random_mec_network(100, rng=5)
+    market = generate_market(network, 40, rng=6)
+
+    outcome = vcg_payments(market)
+    occupancy = outcome.assignment.occupancy()
+
+    table = Table(["provider", "cloudlet", "own cost ($)", "Clarke payment ($)"])
+    ranked = sorted(outcome.payments.items(), key=lambda t: -t[1])
+    for pid, payment in ranked[:8]:
+        where = outcome.assignment.placement.get(pid, "remote")
+        table.add_row([
+            f"sp{pid}", where, outcome.assignment.provider_cost(pid), payment,
+        ])
+    print(table.render(
+        title="Clarke payments: crowded cloudlets cost their tenants extra"
+    ))
+
+    # Sanity of the externality story: providers on crowded cloudlets pay
+    # more than loners.
+    crowded = [pid for pid, n in outcome.assignment.placement.items()
+               if occupancy[n] >= 3]
+    lonely = [pid for pid, n in outcome.assignment.placement.items()
+              if occupancy[n] == 1]
+    if crowded and lonely:
+        mean = lambda pids: sum(outcome.payments[p] for p in pids) / len(pids)
+        print(f"\nmean payment on crowded cloudlets (|σ|>=3): "
+              f"${mean(crowded):.2f}")
+        print(f"mean payment of lone tenants:               "
+              f"${mean(lonely):.2f}")
+
+    # The leader's two revenue levers.
+    tolls = optimize_toll_level(market)
+    print(f"\nleader revenue, full coordination (Clarke):   "
+          f"${outcome.total_payments:.1f} "
+          f"at social cost {outcome.social_cost:.1f}")
+    print(f"leader revenue, selfish market (tolls @ "
+          f"{tolls.level}): ${tolls.toll_revenue:.1f} "
+          f"at social cost {tolls.social_cost:.1f}")
+    anarchy = tolled_selfish_market(market)
+    print(f"for reference, untolled anarchy social cost:  "
+          f"{anarchy.social_cost:.1f}")
+
+
+if __name__ == "__main__":
+    main()

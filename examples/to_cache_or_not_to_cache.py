@@ -1,0 +1,61 @@
+"""To cache or not to cache — the title question, quantified.
+
+The paper's premise is that delay-sensitive services should be cached at
+the edge *when the economics work out*. This example opens the "do not
+cache" option (serving from the original instance in the remote cloud) and
+shows how the optimal mix of cached vs remote services shifts with
+
+* the backhaul premium of remote serving (WAN egress + latency-violation
+  cost), and
+* the edge congestion level (market size on a fixed network).
+
+Run:  python examples/to_cache_or_not_to_cache.py
+"""
+
+from repro.core import appro
+from repro.market import generate_market
+from repro.market.costs import CostModel
+from repro.network import random_mec_network
+from repro.utils.tables import Table
+
+
+def premium_sweep() -> None:
+    network = random_mec_network(100, rng=31)
+    table = Table([
+        "remote premium", "cached", "remote", "social cost ($)",
+    ])
+    for premium in (1.0, 2.0, 4.0, 8.0, 16.0, 32.0):
+        market = generate_market(network, n_providers=60, rng=32)
+        market.cost_model.remote_premium = premium
+        outcome = appro(market, allow_remote=True)
+        table.add_row([
+            premium,
+            len(outcome.placement),
+            len(outcome.rejected),
+            outcome.social_cost,
+        ])
+    print(table.render(
+        title="Cheap backhaul keeps services remote; expensive backhaul "
+              "fills the edge"
+    ))
+
+
+def congestion_sweep() -> None:
+    network = random_mec_network(100, rng=41)
+    table = Table(["providers", "cached", "remote", "cached share"])
+    for n in (20, 40, 60, 80, 100, 120):
+        market = generate_market(network, n_providers=n, rng=42)
+        # A moderate premium where the trade-off is live.
+        market.cost_model.remote_premium = 6.0
+        outcome = appro(market, allow_remote=True)
+        cached = len(outcome.placement)
+        table.add_row([n, cached, len(outcome.rejected), cached / n])
+    print()
+    print(table.render(
+        title="As the edge congests, the marginal service stays remote"
+    ))
+
+
+if __name__ == "__main__":
+    premium_sweep()
+    congestion_sweep()

@@ -1,0 +1,168 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Usage::
+
+    python -m repro fig2 --scale quick
+    python -m repro fig3 --scale paper --metrics social_cost runtime_s
+    python -m repro fig6 --csv out/
+    python -m repro poa
+    python -m repro all --scale quick
+
+``--scale`` picks the experiment configuration: ``quick`` (seconds),
+``bench`` (the benchmark harness scale, ~a minute) or ``paper`` (the full
+Section IV.A scale). ``--csv DIR`` additionally writes each figure's rows
+as CSV files for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro import __version__
+from repro.experiments.figures import (
+    ablation_congestion_models,
+    ablation_gap_solvers,
+    ablation_selection_strategies,
+    fig2_network_size,
+    fig3_selfish_fraction,
+    fig5_testbed,
+    fig6_testbed_parameters,
+    fig7_max_demands,
+    poa_study,
+)
+from repro.experiments.harness import SweepResult
+from repro.experiments.report import METRIC_LABELS, render_sweep, sweep_to_csv
+from repro.experiments.settings import PAPER, QUICK, ExperimentConfig
+from repro.utils.ascii_plot import line_chart
+
+#: The benchmark-harness scale (mirrors benchmarks/conftest.py).
+BENCH = ExperimentConfig(
+    network_sizes=(50, 100, 150, 200, 250),
+    default_size=150,
+    n_providers=60,
+    testbed_providers=40,
+    xi_sweep=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    repetitions=3,
+    provider_sweep=(20, 40, 60, 80),
+)
+
+_SCALES = {"quick": QUICK, "bench": BENCH, "paper": PAPER}
+_DEFAULT_METRICS = ("social_cost", "runtime_s")
+
+
+def _emit_sweeps(
+    sweeps: Sequence[SweepResult],
+    metrics: Sequence[str],
+    csv_dir: Optional[Path],
+    chart: bool = False,
+) -> None:
+    for result in sweeps:
+        print(render_sweep(result, metrics=metrics))
+        print()
+        if chart:
+            series = {
+                alg: result.series(alg, "social_cost")
+                for alg in result.algorithms
+            }
+            print(line_chart(
+                series,
+                x_values=result.x_values,
+                title=f"[{result.name}] social cost ($)",
+                height=10,
+                width=max(40, 4 * len(result.x_values)),
+            ))
+            print()
+        if csv_dir is not None:
+            path = csv_dir / f"{result.name}.csv"
+            path.write_text(sweep_to_csv(result))
+            print(f"wrote {path}")
+
+
+def _run_figure(name: str, config: ExperimentConfig) -> List[SweepResult]:
+    if name == "fig2":
+        return [fig2_network_size(config)]
+    if name == "fig3":
+        return [fig3_selfish_fraction(config)]
+    if name == "fig5":
+        return [fig5_testbed(config)]
+    if name == "fig6":
+        return list(fig6_testbed_parameters(config).values())
+    if name == "fig7":
+        return list(fig7_max_demands(config).values())
+    if name == "ablations":
+        return [
+            ablation_selection_strategies(config),
+            ablation_congestion_models(config),
+            ablation_gap_solvers(config),
+        ]
+    raise ValueError(f"unknown figure {name!r}")
+
+
+_FIGURES = ("fig2", "fig3", "fig5", "fig6", "fig7", "ablations")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the ICDCS'20 service-caching evaluation.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _FIGURES + ("all",):
+        p = sub.add_parser(name, help=f"run {name}")
+        p.add_argument(
+            "--scale", choices=sorted(_SCALES), default="quick",
+            help="experiment scale (default: quick)",
+        )
+        p.add_argument(
+            "--metrics", nargs="+", choices=sorted(METRIC_LABELS),
+            default=list(_DEFAULT_METRICS),
+            help="metrics to tabulate",
+        )
+        p.add_argument(
+            "--csv", type=Path, default=None, metavar="DIR",
+            help="also write each sweep as CSV into DIR",
+        )
+        p.add_argument(
+            "--chart", action="store_true",
+            help="also draw an ASCII chart of the social-cost series",
+        )
+
+    poa = sub.add_parser("poa", help="empirical bounds study (A1)")
+    poa.add_argument("--providers", type=int, default=8)
+    poa.add_argument("--repetitions", type=int, default=5)
+    poa.add_argument("--seed", type=int, default=11)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "poa":
+        out = poa_study(
+            n_providers=args.providers,
+            repetitions=args.repetitions,
+            seed=args.seed,
+        )
+        width = max(len(k) for k in out)
+        for key, value in out.items():
+            print(f"{key:<{width}}  {value:.4g}")
+        return 0
+
+    config = _SCALES[args.scale]
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+
+    figures = _FIGURES if args.command == "all" else (args.command,)
+    for name in figures:
+        sweeps = _run_figure(name, config)
+        _emit_sweeps(sweeps, args.metrics, args.csv, chart=args.chart)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

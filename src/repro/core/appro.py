@@ -1,0 +1,181 @@
+"""Algorithm 1 — ``Appro``: the approximation for non-selfish players.
+
+Steps (Section III.B):
+
+1. split each cloudlet into ``n_i`` virtual cloudlets (Eq. 7);
+2. build the GAP instance with the congestion-free cost (Eq. 9);
+3. solve GAP with the Shmoys–Tardos approximation [34];
+4. move every service assigned to a virtual cloudlet of ``CL_i`` onto the
+   real ``CL_i``.
+
+Step 4 can overload a real cloudlet (the Shmoys–Tardos rounding may exceed a
+virtual cloudlet's capacity by one item, and the split floors may not tile
+the capacity exactly), so we finish with the *adjustment procedure* the
+paper's Fig. 7 discussion refers to: overflow services are moved to the
+cheapest cloudlet with residual room, and rejected (left in the remote
+cloud) when no cloudlet fits them. Under the paper's standing assumption
+that capacities far exceed individual demands, the repair is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Set, Tuple
+
+from repro.core.assignment import CachingAssignment, Stopwatch
+from repro.core.virtual_cloudlets import VirtualCloudletSplit
+from repro.gap.greedy import greedy_gap
+from repro.gap.instance import GAPSolution
+from repro.gap.shmoys_tardos import shmoys_tardos
+from repro.gap.exact import exact_gap
+from repro.market.market import ServiceMarket
+
+_GAP_SOLVERS: Dict[str, Callable] = {
+    "shmoys_tardos": shmoys_tardos,
+    "greedy": greedy_gap,
+    "exact": exact_gap,
+}
+
+
+def _loads(market: ServiceMarket, placement: Dict[int, int]) -> Dict[int, List[float]]:
+    loads: Dict[int, List[float]] = {
+        cl.node_id: [0.0, 0.0] for cl in market.network.cloudlets
+    }
+    for pid, node in placement.items():
+        p = market.provider(pid)
+        loads[node][0] += p.compute_demand
+        loads[node][1] += p.bandwidth_demand
+    return loads
+
+
+def _fits(market: ServiceMarket, node: int, load: List[float], pid: int) -> bool:
+    cl = market.network.cloudlet_at(node)
+    p = market.provider(pid)
+    return (
+        load[0] + p.compute_demand <= cl.compute_capacity + 1e-9
+        and load[1] + p.bandwidth_demand <= cl.bandwidth_capacity + 1e-9
+    )
+
+
+def _repair_capacities(
+    market: ServiceMarket, placement: Dict[int, int]
+) -> Tuple[Dict[int, int], Set[int], int]:
+    """Evict overflow services and re-place (or reject) them.
+
+    Within an overloaded cloudlet, the largest services leave first — they
+    free the most capacity per eviction, keeping the approximate solution's
+    structure as intact as possible. Returns (placement, rejected, moves).
+    """
+    loads = _loads(market, placement)
+    evicted: List[int] = []
+    for cl in market.network.cloudlets:
+        node = cl.node_id
+        members = sorted(
+            (pid for pid, n in placement.items() if n == node),
+            key=lambda pid: -max(
+                market.provider(pid).compute_demand,
+                market.provider(pid).bandwidth_demand,
+            ),
+        )
+        k = 0
+        while (
+            loads[node][0] > cl.compute_capacity + 1e-9
+            or loads[node][1] > cl.bandwidth_capacity + 1e-9
+        ) and k < len(members):
+            pid = members[k]
+            k += 1
+            p = market.provider(pid)
+            loads[node][0] -= p.compute_demand
+            loads[node][1] -= p.bandwidth_demand
+            del placement[pid]
+            evicted.append(pid)
+
+    rejected: Set[int] = set()
+    moves = 0
+    model = market.cost_model
+    for pid in evicted:
+        provider = market.provider(pid)
+        candidates = [
+            cl.node_id
+            for cl in market.network.cloudlets
+            if _fits(market, cl.node_id, loads[cl.node_id], pid)
+        ]
+        if not candidates:
+            rejected.add(pid)
+            continue
+        best = min(
+            candidates,
+            key=lambda n: model.gap_cost(provider, market.network.cloudlet_at(n)),
+        )
+        placement[pid] = best
+        loads[best][0] += provider.compute_demand
+        loads[best][1] += provider.bandwidth_demand
+        moves += 1
+    return placement, rejected, moves
+
+
+def appro(
+    market: ServiceMarket,
+    gap_solver: str = "shmoys_tardos",
+    allow_remote: bool = False,
+    slot_pricing: str = "marginal",
+) -> CachingAssignment:
+    """Run Algorithm 1 on a market.
+
+    Parameters
+    ----------
+    gap_solver:
+        ``"shmoys_tardos"`` (the paper's choice), ``"greedy"`` or
+        ``"exact"`` — the latter two support ablation A4.
+    allow_remote:
+        Give the GAP a remote ("do not cache") bin: services for which
+        remote serving is genuinely cheaper — or that no virtual cloudlet
+        can host — are left in the remote cloud and count as rejected.
+        Default off, matching the paper's Algorithm 1 whose strategy space
+        is cloudlets only; enable for the "to cache or not to cache"
+        extension studied in the examples.
+    slot_pricing:
+        ``"marginal"`` (default) prices slot ``k`` of a cloudlet at its
+        marginal social congestion cost so the GAP objective equals Eq. (6)
+        exactly; ``"flat"`` uses the paper's literal Eq. (9) cost
+        ``alpha_i + beta_i + c_l^ins + c_i^bdw`` (used by the Lemma 2
+        empirical-ratio study). See DESIGN.md for the rationale.
+
+    Returns a :class:`CachingAssignment` whose ``info`` carries the LP lower
+    bound, ``delta``/``kappa``, the Lemma 2 ratio bound, and repair stats.
+    """
+    try:
+        solve = _GAP_SOLVERS[gap_solver]
+    except KeyError:
+        raise ValueError(
+            f"unknown gap_solver {gap_solver!r}; choose from {sorted(_GAP_SOLVERS)}"
+        ) from None
+
+    with Stopwatch() as watch:
+        split = VirtualCloudletSplit(
+            market, allow_remote=allow_remote, slot_pricing=slot_pricing
+        )
+        instance = split.build_gap_instance()
+        solution: GAPSolution = solve(instance)
+        placement, gap_rejected = split.merge_assignment(solution.assignment)
+        placement, repair_rejected, moves = _repair_capacities(market, placement)
+
+    return CachingAssignment(
+        market=market,
+        placement=placement,
+        rejected=frozenset(gap_rejected | repair_rejected),
+        algorithm=f"Appro[{gap_solver}]",
+        runtime_s=watch.elapsed,
+        info={
+            "gap_cost": solution.cost,
+            "gap_lower_bound": solution.lower_bound,
+            "delta": split.delta,
+            "kappa": split.kappa,
+            "n_prime_max": split.n_prime_max,
+            "virtual_cloudlets": len(split.virtual_cloudlets),
+            "repair_moves": moves,
+            "ratio_bound": 2.0 * split.delta * split.kappa,
+        },
+    )
+
+
+__all__ = ["appro"]

@@ -1,0 +1,155 @@
+"""Caching assignments and their evaluation.
+
+A :class:`CachingAssignment` is the common output type of every algorithm in
+:mod:`repro.core`: which cloudlet hosts each provider's cached instance,
+which providers were rejected (left serving from the remote cloud), and how
+much the outcome costs under the market's congestion-aware model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.market.market import ServiceMarket
+
+
+@dataclass
+class CachingAssignment:
+    """The outcome of a service-caching algorithm on a market.
+
+    Parameters
+    ----------
+    market:
+        The market the assignment refers to.
+    placement:
+        ``provider_id -> cloudlet node_id`` for every cached provider.
+    rejected:
+        Providers whose service stays in the remote cloud (capacity repair
+        could not fit them). Their cost is the remote-serving cost.
+    algorithm:
+        Name of the producing algorithm (for reports).
+    runtime_s:
+        Wall-clock seconds the algorithm took (the paper's Fig. 2d/3d/5b).
+    """
+
+    market: ServiceMarket
+    placement: Dict[int, int]
+    rejected: FrozenSet[int] = frozenset()
+    algorithm: str = ""
+    runtime_s: float = 0.0
+    #: Free-form diagnostics set by algorithms (iterations, bounds, ...).
+    info: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        provider_ids = {p.provider_id for p in self.market.providers}
+        placed = set(self.placement)
+        unknown = placed - provider_ids
+        if unknown:
+            raise ConfigurationError(f"placement has unknown providers {sorted(unknown)}")
+        overlap = placed & set(self.rejected)
+        if overlap:
+            raise ConfigurationError(
+                f"providers {sorted(overlap)} are both placed and rejected"
+            )
+        uncovered = provider_ids - placed - set(self.rejected)
+        if uncovered:
+            raise ConfigurationError(
+                f"providers {sorted(uncovered)} neither placed nor rejected"
+            )
+        for pid, node in self.placement.items():
+            if not self.market.network.has_cloudlet(node):
+                raise ConfigurationError(
+                    f"provider {pid} placed at node {node} which hosts no cloudlet"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Costs
+    # ------------------------------------------------------------------ #
+    def occupancy(self) -> Dict[int, int]:
+        """``|sigma_i|`` per cloudlet node."""
+        return self.market.cost_model.occupancy(self.placement)
+
+    def provider_cost(self, provider_id: int) -> float:
+        """The provider's cost: Eq. (3) if cached, remote cost if rejected."""
+        provider = self.market.provider(provider_id)
+        if provider_id in self.rejected:
+            return self.market.cost_model.remote_cost(provider)
+        return self.market.cost_model.provider_cost(provider, self.placement)
+
+    @property
+    def social_cost(self) -> float:
+        """Eq. (6) over cached providers plus remote costs of rejected ones."""
+        model = self.market.cost_model
+        providers = self.market.providers_by_id()
+        total = model.social_cost(providers, self.placement)
+        total += sum(model.remote_cost(providers[pid]) for pid in self.rejected)
+        return total
+
+    def cost_of(self, provider_ids: Iterable[int]) -> float:
+        """Total cost of a subset of providers (Fig. 2b/2c splits)."""
+        return sum(self.provider_cost(pid) for pid in provider_ids)
+
+    @property
+    def coordinated_cost(self) -> float:
+        return self.cost_of(p.provider_id for p in self.market.coordinated)
+
+    @property
+    def selfish_cost(self) -> float:
+        return self.cost_of(p.provider_id for p in self.market.selfish)
+
+    @property
+    def rejection_rate(self) -> float:
+        return len(self.rejected) / self.market.num_providers
+
+    # ------------------------------------------------------------------ #
+    # Feasibility
+    # ------------------------------------------------------------------ #
+    def check_capacities(self) -> None:
+        """Raise :class:`CapacityError` if any cloudlet is overloaded."""
+        loads: Dict[int, List[float]] = {}
+        for pid, node in self.placement.items():
+            provider = self.market.provider(pid)
+            cpu, bw = loads.get(node, [0.0, 0.0])
+            loads[node] = [cpu + provider.compute_demand, bw + provider.bandwidth_demand]
+        for node, (cpu, bw) in loads.items():
+            cl = self.market.network.cloudlet_at(node)
+            if cpu > cl.compute_capacity + 1e-9:
+                raise CapacityError(
+                    f"{cl.name}: compute load {cpu:.3f} > capacity {cl.compute_capacity}"
+                )
+            if bw > cl.bandwidth_capacity + 1e-9:
+                raise CapacityError(
+                    f"{cl.name}: bandwidth load {bw:.3f} > capacity {cl.bandwidth_capacity}"
+                )
+
+    def is_feasible(self) -> bool:
+        try:
+            self.check_capacities()
+        except CapacityError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"CachingAssignment(algorithm={self.algorithm!r}, "
+            f"placed={len(self.placement)}, rejected={len(self.rejected)}, "
+            f"social_cost={self.social_cost:.4g})"
+        )
+
+
+class Stopwatch:
+    """Tiny context manager measuring wall-clock runtime of algorithms."""
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+__all__ = ["CachingAssignment", "Stopwatch"]

@@ -1,0 +1,127 @@
+"""The paper's comparison baselines (Section IV.A).
+
+``JoOffloadCache`` — modelled on the joint service caching + task offloading
+algorithm of Xu, Chen & Zhou, INFOCOM'18 [23], run *independently* by each
+provider "without communicating with each other" (the paper's adaptation to
+the multi-provider market). Each provider picks the cloudlet minimising its
+joint offloading + caching cost under the *static* price sheet — published
+congestion coefficients ``alpha_i + beta_i``, instantiation, processing and
+request-traffic offloading — but it can observe neither the other providers'
+choices (no congestion anticipation: the herding LCF's coordination fixes)
+nor the consistency-update cost, which [23] does not model.
+
+``OffloadCache`` — the greedy separation of offloading from caching [20]:
+each provider first routes its requests to the offloading-optimal cloudlet
+(minimum end-to-end delay from its users, the natural offloading objective),
+then instantiates the service "with its requests". It ignores prices,
+congestion and updates alike, making it the worst of the three, as in
+Figs. 2–3.
+
+Both run sequential admission: when the preferred cloudlet lacks capacity
+the provider takes its next-best feasible choice, and is rejected (service
+stays remote) only when no cloudlet fits it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.assignment import CachingAssignment, Stopwatch
+from repro.market.market import ServiceMarket
+from repro.network.elements import Cloudlet
+
+
+def _sequential_admission(
+    market: ServiceMarket,
+    preference_cost,
+) -> Tuple[Dict[int, int], Set[int]]:
+    """Admit providers in id order; each takes its cheapest feasible cloudlet
+    under ``preference_cost(provider, cloudlet, occupancy_if_joining)``."""
+    loads: Dict[int, List[float]] = {
+        cl.node_id: [0.0, 0.0] for cl in market.network.cloudlets
+    }
+    occupancy: Dict[int, int] = {cl.node_id: 0 for cl in market.network.cloudlets}
+    placement: Dict[int, int] = {}
+    rejected: Set[int] = set()
+
+    for provider in market.providers:
+        best_node: Optional[int] = None
+        best_cost = float("inf")
+        for cl in market.network.cloudlets:
+            node = cl.node_id
+            if (
+                loads[node][0] + provider.compute_demand > cl.compute_capacity + 1e-9
+                or loads[node][1] + provider.bandwidth_demand
+                > cl.bandwidth_capacity + 1e-9
+            ):
+                continue
+            # Infrastructure-level admission: forbidden (infinite fixed
+            # cost) pairs — e.g. latency-budget violations — are rejected
+            # for the baselines too.
+            if not math.isfinite(market.cost_model.fixed_cost(provider, cl)):
+                continue
+            cost = preference_cost(provider, cl, occupancy[node] + 1)
+            if cost < best_cost:
+                best_cost = cost
+                best_node = node
+        if best_node is None:
+            rejected.add(provider.provider_id)
+            continue
+        placement[provider.provider_id] = best_node
+        loads[best_node][0] += provider.compute_demand
+        loads[best_node][1] += provider.bandwidth_demand
+        occupancy[best_node] += 1
+    return placement, rejected
+
+
+def jo_offload_cache(market: ServiceMarket) -> CachingAssignment:
+    """The ``JoOffloadCache`` baseline (see module docstring)."""
+    model = market.cost_model
+
+    def myopic_cost(provider, cloudlet: Cloudlet, occupancy: int) -> float:
+        # Joint offloading + caching under static prices: the provider sees
+        # the published per-unit congestion prices (occupancy 1, i.e.
+        # itself) but not the other providers' simultaneous choices, and
+        # the update/synchronisation cost is invisible to [23].
+        return (
+            model.congestion_cost(cloudlet, 1)
+            + model.instantiation_cost(provider)
+            + model.access_cost(provider, cloudlet)
+        )
+
+    with Stopwatch() as watch:
+        placement, rejected = _sequential_admission(market, myopic_cost)
+    return CachingAssignment(
+        market=market,
+        placement=placement,
+        rejected=frozenset(rejected),
+        algorithm="JoOffloadCache",
+        runtime_s=watch.elapsed,
+    )
+
+
+def offload_cache(market: ServiceMarket) -> CachingAssignment:
+    """The ``OffloadCache`` baseline (see module docstring)."""
+    model = market.cost_model
+
+    network = market.network
+
+    def offload_only_cost(provider, cloudlet: Cloudlet, occupancy: int) -> float:
+        # Pure offloading optimum: minimum end-to-end delay from the users
+        # to the cloudlet; caching (prices, congestion, updates) is decided
+        # "later" by simply instantiating where the requests went.
+        return network.path_delay(provider.service.user_node, cloudlet.node_id)
+
+    with Stopwatch() as watch:
+        placement, rejected = _sequential_admission(market, offload_only_cost)
+    return CachingAssignment(
+        market=market,
+        placement=placement,
+        rejected=frozenset(rejected),
+        algorithm="OffloadCache",
+        runtime_s=watch.elapsed,
+    )
+
+
+__all__ = ["jo_offload_cache", "offload_cache"]

@@ -1,0 +1,81 @@
+"""Closed-form performance bounds: Lemma 2 and Theorem 1.
+
+* Lemma 2 — ``Appro`` is a ``2 * delta * kappa`` approximation, with
+  ``delta = C(CL_i)/a_max`` and ``kappa = B(CL_i)/b_max`` (taken at their
+  maxima over cloudlets, treated as small constants by the paper).
+* Theorem 1 — the LCF Stackelberg strategy's Price of Anarchy is
+  ``2*delta*kappa / (1 - v) * (1/(4v) + 1 - xi)`` for any ``v in (0, 1)``;
+  :func:`optimal_v` minimises the bound over ``v`` analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.virtual_cloudlets import VirtualCloudletSplit
+from repro.exceptions import ConfigurationError
+from repro.market.market import ServiceMarket
+from repro.utils.validation import check_fraction, check_positive
+
+
+def appro_ratio_bound(delta: float, kappa: float) -> float:
+    """Lemma 2: the approximation ratio ``2 * delta * kappa``."""
+    check_positive(delta, "delta")
+    check_positive(kappa, "kappa")
+    return 2.0 * delta * kappa
+
+
+def stackelberg_poa_bound(
+    delta: float, kappa: float, xi: float, v: Optional[float] = None
+) -> float:
+    """Theorem 1: ``2*delta*kappa/(1-v) * (1/(4v) + 1 - xi)``.
+
+    When ``v`` is omitted the bound is minimised over ``v in (0, 1)``.
+    """
+    check_positive(delta, "delta")
+    check_positive(kappa, "kappa")
+    check_fraction(xi, "xi")
+    if v is None:
+        v = optimal_v(xi)
+    if not 0.0 < v < 1.0:
+        raise ConfigurationError(f"v must lie in (0, 1), got {v}")
+    return 2.0 * delta * kappa / (1.0 - v) * (1.0 / (4.0 * v) + 1.0 - xi)
+
+
+def optimal_v(xi: float) -> float:
+    """The ``v`` minimising Theorem 1's bound for a given ``xi``.
+
+    Minimising ``f(v) = (1/(4v) + c) / (1 - v)`` with ``c = 1 - xi`` gives
+    the stationary condition ``4*c*v^2 + 2*v - 1 = 0``; for ``c = 0`` the
+    minimiser degenerates to ``v = 1/2``.
+    """
+    check_fraction(xi, "xi")
+    c = 1.0 - xi
+    if c < 1e-12:
+        return 0.5
+    # Positive root of 4c v^2 + 2v - 1 = 0.
+    v = (-2.0 + math.sqrt(4.0 + 16.0 * c)) / (8.0 * c)
+    return min(max(v, 1e-9), 1.0 - 1e-9)
+
+
+def bounds_for_market(market: ServiceMarket, xi: float) -> dict:
+    """Convenience: delta/kappa from the market's own demand profile plus
+    both closed-form bounds, as a plain dict for reports."""
+    split = VirtualCloudletSplit(market)
+    delta, kappa = split.delta, split.kappa
+    return {
+        "delta": delta,
+        "kappa": kappa,
+        "appro_ratio_bound": appro_ratio_bound(delta, kappa),
+        "poa_bound": stackelberg_poa_bound(delta, kappa, xi),
+        "optimal_v": optimal_v(xi),
+    }
+
+
+__all__ = [
+    "appro_ratio_bound",
+    "stackelberg_poa_bound",
+    "optimal_v",
+    "bounds_for_market",
+]

@@ -1,0 +1,139 @@
+"""Exact optimal service caching for small instances.
+
+Branch-and-bound over full placements under the true congestion-aware cost
+(Eq. 3). The bound at a partial placement is
+
+``cost committed so far (at current occupancies)  +
+  sum over free providers of their cheapest occupancy-1 cost``
+
+which is admissible because congestion costs are non-decreasing: adding
+providers never cheapens anyone. Practical to roughly 12 providers on 8
+cloudlets — enough for the empirical approximation-ratio and PoA studies
+(ablation A1); the social optimum is NP-hard in general, which is the whole
+reason Algorithm 1 exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.assignment import CachingAssignment, Stopwatch
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.market.market import ServiceMarket
+
+_MAX_PROVIDERS = 14
+
+
+def optimal_caching(market: ServiceMarket, max_providers: int = _MAX_PROVIDERS) -> CachingAssignment:
+    """The socially optimal placement by exhaustive branch-and-bound.
+
+    Raises :class:`ConfigurationError` for markets larger than
+    ``max_providers`` and :class:`InfeasibleError` when no complete feasible
+    placement exists.
+    """
+    providers = market.providers
+    n = len(providers)
+    if n > max_providers:
+        raise ConfigurationError(
+            f"optimal_caching is limited to {max_providers} providers, got {n}"
+        )
+    cloudlets = market.network.cloudlets
+    m = len(cloudlets)
+    model = market.cost_model
+
+    fixed = np.array(
+        [[model.fixed_cost(p, cl) for cl in cloudlets] for p in providers]
+    )
+    shared = np.array([cl.alpha + cl.beta for cl in cloudlets])
+    # congestion factors g(1..n) per cloudlet are shared across players.
+    g = np.array(
+        [[model.congestion(k) for k in range(n + 1)] for _ in range(1)]
+    )[0]
+
+    # Admissible per-provider floor: cheapest fixed cost + the cheapest
+    # possible congestion charge (occupancy 1 on the least congested
+    # cloudlet); suffix-summed for O(1) bound lookups during the search.
+    per_provider_floor = fixed.min(axis=1) + shared.min() * g[1]
+    suffix = np.zeros(n + 1)
+    for j in range(n - 1, -1, -1):
+        suffix[j] = suffix[j + 1] + per_provider_floor[j]
+
+    caps = np.array(
+        [[cl.compute_capacity, cl.bandwidth_capacity] for cl in cloudlets]
+    )
+    demands = np.array(
+        [[p.compute_demand, p.bandwidth_demand] for p in providers]
+    )
+
+    best_cost = np.inf
+    best_assign: Optional[List[int]] = None
+    assign = [-1] * n
+    counts = np.zeros(m, dtype=int)
+    loads = np.zeros((m, 2))
+
+    def placement_cost(counts_arr: np.ndarray, assign_list: List[int]) -> float:
+        total = 0.0
+        for j, i in enumerate(assign_list):
+            total += fixed[j, i]
+        for i in range(m):
+            k = counts_arr[i]
+            if k:
+                total += k * shared[i] * g[k]
+        return total
+
+    def partial_cost() -> float:
+        # Cost of committed providers at *current* occupancies (a lower
+        # bound on their final cost, since occupancies only grow).
+        total = 0.0
+        for i in range(m):
+            k = counts[i]
+            if k:
+                total += k * shared[i] * g[k]
+        for j in range(n):
+            if assign[j] >= 0:
+                total += fixed[j, assign[j]]
+        return total
+
+    def dfs(j: int) -> None:
+        nonlocal best_cost, best_assign
+        if partial_cost() + suffix[j] >= best_cost - 1e-12:
+            return
+        if j == n:
+            cost = placement_cost(counts, assign)
+            if cost < best_cost:
+                best_cost = cost
+                best_assign = assign.copy()
+            return
+        order = np.argsort(fixed[j])
+        for i in order:
+            if np.any(loads[i] + demands[j] > caps[i] + 1e-9):
+                continue
+            assign[j] = int(i)
+            counts[i] += 1
+            loads[i] += demands[j]
+            dfs(j + 1)
+            loads[i] -= demands[j]
+            counts[i] -= 1
+            assign[j] = -1
+
+    with Stopwatch() as watch:
+        dfs(0)
+
+    if best_assign is None:
+        raise InfeasibleError("no feasible complete placement exists")
+    placement: Dict[int, int] = {
+        providers[j].provider_id: cloudlets[i].node_id
+        for j, i in enumerate(best_assign)
+    }
+    return CachingAssignment(
+        market=market,
+        placement=placement,
+        algorithm="Optimal",
+        runtime_s=watch.elapsed,
+        info={"optimal_cost": best_cost},
+    )
+
+
+__all__ = ["optimal_caching"]

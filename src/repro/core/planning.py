@@ -1,0 +1,119 @@
+"""Capacity planning: how much edge do you need? (extension)
+
+An infrastructure provider sizing its cloudlets wants the smallest capacity
+that serves a target market without pushing services back to the remote
+cloud. :func:`capacity_plan` answers that by bisection: uniformly scale
+every cloudlet's compute and bandwidth capacity, run the LCF mechanism, and
+find the smallest scale whose rejection count meets the target.
+
+Rejections are (weakly) monotone in capacity — more room never forces a
+service remote — so bisection is sound; the implementation still verifies
+the bracket and reports every probe for transparency.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.lcf import lcf
+from repro.exceptions import ConfigurationError
+from repro.market.market import ServiceMarket
+from repro.utils.validation import check_positive
+
+
+@contextmanager
+def scaled_capacities(market: ServiceMarket, scale: float) -> Iterator[None]:
+    """Temporarily multiply every cloudlet's capacities by ``scale``."""
+    check_positive(scale, "scale")
+    originals: List[Tuple[float, float]] = []
+    cloudlets = market.network.cloudlets
+    for cl in cloudlets:
+        originals.append((cl.compute_capacity, cl.bandwidth_capacity))
+        cl.compute_capacity *= scale
+        cl.bandwidth_capacity *= scale
+    try:
+        yield
+    finally:
+        for cl, (cpu, bw) in zip(cloudlets, originals):
+            cl.compute_capacity = cpu
+            cl.bandwidth_capacity = bw
+
+
+@dataclass
+class CapacityPlan:
+    """Result of the capacity bisection."""
+
+    #: Smallest probed scale meeting the rejection target.
+    scale: float
+    rejections: int
+    social_cost: float
+    #: Every probe: scale -> (rejections, social cost).
+    probes: Dict[float, Tuple[int, float]] = field(default_factory=dict)
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.probes)
+
+
+def capacity_plan(
+    market: ServiceMarket,
+    xi: float = 0.7,
+    target_rejections: Optional[int] = None,
+    lo: float = 0.2,
+    hi: float = 5.0,
+    tolerance: float = 0.05,
+) -> CapacityPlan:
+    """Find the smallest uniform capacity scale meeting the target.
+
+    ``target_rejections=None`` (default) targets the market's *congestion
+    floor*: the rejections that remain even at ``hi`` capacity, because
+    the congestion charge of one more co-located instance exceeds the
+    remote premium for some providers — a market property capacity cannot
+    buy away. An explicit integer target is honoured verbatim; the call
+    raises :class:`ConfigurationError` when even ``hi`` cannot meet it.
+    """
+    if target_rejections is not None and target_rejections < 0:
+        raise ConfigurationError("target_rejections must be >= 0")
+    if not 0 < lo < hi:
+        raise ConfigurationError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+    check_positive(tolerance, "tolerance")
+
+    probes: Dict[float, Tuple[int, float]] = {}
+
+    def evaluate(scale: float) -> Tuple[int, float]:
+        if scale not in probes:
+            with scaled_capacities(market, scale):
+                assignment = lcf(market, xi=xi, allow_remote=True).assignment
+                probes[scale] = (len(assignment.rejected), assignment.social_cost)
+        return probes[scale]
+
+    hi_rejections, _ = evaluate(hi)
+    if target_rejections is None:
+        target_rejections = hi_rejections
+    elif hi_rejections > target_rejections:
+        raise ConfigurationError(
+            f"even {hi}x capacity leaves {hi_rejections} rejections "
+            f"(target {target_rejections}); widen the bracket"
+        )
+    lo_rejections, _ = evaluate(lo)
+    if lo_rejections <= target_rejections:
+        rej, cost = probes[lo]
+        return CapacityPlan(scale=lo, rejections=rej, social_cost=cost, probes=probes)
+
+    left, right = lo, hi
+    while right - left > tolerance:
+        mid = (left + right) / 2.0
+        rejections, _ = evaluate(mid)
+        if rejections <= target_rejections:
+            right = mid
+        else:
+            left = mid
+    rejections, cost = evaluate(right)
+    return CapacityPlan(
+        scale=right, rejections=rejections, social_cost=cost, probes=probes
+    )
+
+
+__all__ = ["scaled_capacities", "CapacityPlan", "capacity_plan"]

@@ -1,0 +1,264 @@
+"""Epoch-by-epoch simulation of a dynamic caching market.
+
+Each epoch: the population churns, a placement policy reacts, and the epoch
+is billed its social cost (Eq. 6 over the current placement) plus the
+*migration cost* of every cached instance that moved — re-shipping its data
+volume over the network and re-instantiating its VM. Two policies:
+
+* ``"replan"`` — rerun the full LCF mechanism on the new population every
+  epoch. Near-optimal per epoch but migrates aggressively.
+* ``"incremental"`` — survivors keep their cloudlets; only arrivals choose
+  (posted-price cheapest feasible, like LCF's selfish entry). Zero
+  migrations, but the placement drifts away from optimal as the population
+  turns over.
+
+The tension between the two is the classic caching stability trade-off the
+title alludes to; ``examples/dynamic_market.py`` and the dynamics benchmark
+quantify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.lcf import lcf
+from repro.dynamics.population import PopulationEvent, PopulationProcess
+from repro.exceptions import ConfigurationError
+from repro.market.costs import CongestionFunction, CostModel
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+from repro.market.service import ServiceProvider
+from repro.network.topology import MECNetwork
+from repro.utils.validation import check_fraction
+
+_POLICIES = ("replan", "incremental")
+
+
+@dataclass
+class EpochRecord:
+    """Everything billed in one epoch."""
+
+    epoch: int
+    population: int
+    arrived: int
+    departed: int
+    social_cost: float
+    migration_cost: float
+    migrations: int
+    rejected: int
+
+    @property
+    def total_cost(self) -> float:
+        return self.social_cost + self.migration_cost
+
+
+@dataclass
+class SimulationSummary:
+    """Aggregates over a full run."""
+
+    policy: str
+    epochs: List[EpochRecord]
+
+    @property
+    def total_cost(self) -> float:
+        return sum(e.total_cost for e in self.epochs)
+
+    @property
+    def total_migration_cost(self) -> float:
+        return sum(e.migration_cost for e in self.epochs)
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(e.migrations for e in self.epochs)
+
+    @property
+    def mean_social_cost(self) -> float:
+        return float(np.mean([e.social_cost for e in self.epochs]))
+
+    @property
+    def mean_population(self) -> float:
+        return float(np.mean([e.population for e in self.epochs]))
+
+
+class DynamicMarketSimulation:
+    """Run a placement policy over a churning provider population."""
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        population: PopulationProcess,
+        policy: str = "replan",
+        xi: float = 0.7,
+        pricing: Optional[Pricing] = None,
+        congestion: Optional[CongestionFunction] = None,
+        migration_setup_cost: float = 0.1,
+        trace=None,
+    ) -> None:
+        if policy not in _POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        check_fraction(xi, "xi")
+        self.network = network
+        self.population = population
+        self.policy = policy
+        self.xi = xi
+        self.pricing = pricing if pricing is not None else Pricing()
+        self.congestion = congestion
+        self.migration_setup_cost = migration_setup_cost
+        #: Optional ``epoch -> arrival rate`` profile (e.g.
+        #: :class:`repro.dynamics.traces.DiurnalTrace`); when given, the
+        #: population's arrival rate is retargeted before every epoch.
+        self.trace = trace
+        #: provider_id -> cloudlet node of the *currently cached* instance.
+        self.placement: Dict[int, int] = {}
+        self.rejected: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Cost helpers
+    # ------------------------------------------------------------------ #
+    def _market(self, providers: List[ServiceProvider]) -> ServiceMarket:
+        return ServiceMarket(
+            self.network, providers, pricing=self.pricing, congestion=self.congestion
+        )
+
+    def migration_cost(self, provider: ServiceProvider, old: int, new: int) -> float:
+        """Cost of moving a cached instance between cloudlets: re-ship the
+        full service data along the path plus a VM re-setup charge."""
+        hops = self.network.hop_count(old, new)
+        shipping = self.pricing.transmission_cost(provider.service.data_volume_gb, hops)
+        return shipping + self.migration_setup_cost
+
+    # ------------------------------------------------------------------ #
+    # Policies
+    # ------------------------------------------------------------------ #
+    def _replan(self, market: ServiceMarket) -> Tuple[Dict[int, int], Set[int]]:
+        result = lcf(market, xi=self.xi, allow_remote=True)
+        return dict(result.assignment.placement), set(result.assignment.rejected)
+
+    def _incremental(
+        self, market: ServiceMarket, arrivals: Set[int]
+    ) -> Tuple[Dict[int, int], Set[int]]:
+        """Keep survivors in place; arrivals enter posted-price greedily."""
+        model = market.cost_model
+        placement = {
+            pid: node
+            for pid, node in self.placement.items()
+            if pid in {p.provider_id for p in market.providers}
+        }
+        rejected = {
+            pid
+            for pid in self.rejected
+            if pid in {p.provider_id for p in market.providers}
+        }
+        loads: Dict[int, List[float]] = {
+            cl.node_id: [0.0, 0.0] for cl in self.network.cloudlets
+        }
+        for pid, node in placement.items():
+            provider = market.provider(pid)
+            loads[node][0] += provider.compute_demand
+            loads[node][1] += provider.bandwidth_demand
+
+        for pid in sorted(arrivals):
+            provider = market.provider(pid)
+            best_node = None
+            best_cost = model.remote_cost(provider)
+            for cl in self.network.cloudlets:
+                node = cl.node_id
+                if (
+                    loads[node][0] + provider.compute_demand
+                    > cl.compute_capacity + 1e-9
+                    or loads[node][1] + provider.bandwidth_demand
+                    > cl.bandwidth_capacity + 1e-9
+                ):
+                    continue
+                cost = model.cost(provider, cl, 1)  # posted price sheet
+                if cost < best_cost:
+                    best_cost = cost
+                    best_node = node
+            if best_node is None:
+                rejected.add(pid)
+                continue
+            placement[pid] = best_node
+            loads[best_node][0] += provider.compute_demand
+            loads[best_node][1] += provider.bandwidth_demand
+        return placement, rejected
+
+    # ------------------------------------------------------------------ #
+    # The epoch loop
+    # ------------------------------------------------------------------ #
+    def step(self) -> EpochRecord:
+        """Advance one epoch and bill it."""
+        if self.trace is not None:
+            next_epoch = self.population._epoch + 1
+            self.population.arrival_rate = float(self.trace(next_epoch))
+        event: PopulationEvent = self.population.step()
+        providers = self.population.present
+        if not providers:
+            self.placement = {}
+            self.rejected = set()
+            return EpochRecord(
+                epoch=event.epoch,
+                population=0,
+                arrived=len(event.arrived),
+                departed=len(event.departed),
+                social_cost=0.0,
+                migration_cost=0.0,
+                migrations=0,
+                rejected=0,
+            )
+
+        market = self._market(providers)
+        if self.policy == "replan":
+            new_placement, new_rejected = self._replan(market)
+        else:
+            # Anyone present but unplaced must choose now — epoch-1 initial
+            # population included, not just this epoch's arrivals.
+            unplaced = {
+                p.provider_id
+                for p in providers
+                if p.provider_id not in self.placement
+                and p.provider_id not in self.rejected
+            }
+            new_placement, new_rejected = self._incremental(market, unplaced)
+
+        # Migration billing: survivors whose cloudlet changed.
+        migration_cost = 0.0
+        migrations = 0
+        for pid, node in new_placement.items():
+            old = self.placement.get(pid)
+            if old is not None and old != node:
+                migration_cost += self.migration_cost(market.provider(pid), old, node)
+                migrations += 1
+
+        self.placement = new_placement
+        self.rejected = new_rejected
+
+        social = market.cost_model.social_cost(market.providers_by_id(), new_placement)
+        social += sum(
+            market.cost_model.remote_cost(market.provider(pid))
+            for pid in new_rejected
+        )
+        return EpochRecord(
+            epoch=event.epoch,
+            population=len(providers),
+            arrived=len(event.arrived),
+            departed=len(event.departed),
+            social_cost=social,
+            migration_cost=migration_cost,
+            migrations=migrations,
+            rejected=len(new_rejected),
+        )
+
+    def run(self, epochs: int) -> SimulationSummary:
+        """Run ``epochs`` epochs and return the billing summary."""
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        records = [self.step() for _ in range(epochs)]
+        return SimulationSummary(policy=self.policy, epochs=records)
+
+
+__all__ = ["EpochRecord", "SimulationSummary", "DynamicMarketSimulation"]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries while still being able to discriminate
+the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An input object (network, market, instance) is malformed."""
+
+
+class CapacityError(ReproError):
+    """A placement or assignment would violate a resource capacity."""
+
+
+class InfeasibleError(ReproError):
+    """No feasible solution exists for the given instance."""
+
+
+class SolverError(ReproError):
+    """An underlying numerical solver failed unexpectedly."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative procedure (e.g. best-response dynamics) did not converge
+    within its iteration budget."""
+
+
+class TopologyError(ReproError):
+    """A topology generator or network query received invalid parameters."""
+
+
+class EmulationError(ReproError):
+    """The discrete-event testbed emulator reached an inconsistent state."""

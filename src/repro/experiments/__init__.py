@@ -1,0 +1,59 @@
+"""Experiment drivers regenerating every evaluation figure of the paper.
+
+Each ``fig*`` function in :mod:`repro.experiments.figures` reproduces one
+figure's data series; :mod:`repro.experiments.settings` pins the Section
+IV.A parameters (with a ``quick`` preset for CI/benchmarks);
+:mod:`repro.experiments.report` renders the series as the tables the
+benchmark harness prints.
+"""
+
+from repro.experiments.settings import ExperimentConfig, PAPER, QUICK
+from repro.experiments.harness import (
+    AlgorithmMetrics,
+    SweepResult,
+    evaluate_algorithms,
+    sweep,
+)
+from repro.experiments.figures import (
+    fig2_network_size,
+    fig3_selfish_fraction,
+    fig5_testbed,
+    fig6_testbed_parameters,
+    fig7_max_demands,
+    ablation_selection_strategies,
+    ablation_congestion_models,
+    ablation_gap_solvers,
+    ablation_topologies,
+    poa_study,
+)
+from repro.experiments.convergence import ConvergencePoint, convergence_study
+from repro.experiments.report import render_sweep, series_of, sweep_to_csv
+from repro.experiments.stats import mean_ci, paired_comparison, summarize
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER",
+    "QUICK",
+    "AlgorithmMetrics",
+    "SweepResult",
+    "evaluate_algorithms",
+    "sweep",
+    "fig2_network_size",
+    "fig3_selfish_fraction",
+    "fig5_testbed",
+    "fig6_testbed_parameters",
+    "fig7_max_demands",
+    "ablation_selection_strategies",
+    "ablation_congestion_models",
+    "ablation_gap_solvers",
+    "ablation_topologies",
+    "poa_study",
+    "render_sweep",
+    "series_of",
+    "sweep_to_csv",
+    "mean_ci",
+    "paired_comparison",
+    "summarize",
+    "ConvergencePoint",
+    "convergence_study",
+]

@@ -1,0 +1,154 @@
+"""The sweep runner shared by every figure driver.
+
+A figure is a *sweep*: for each x-axis value, build ``repetitions``
+independent (network, market) environments, run every algorithm on each, and
+average the four metrics the paper plots — social cost, selfish-provider
+cost, coordinated-provider cost, and running time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import CachingAssignment
+from repro.core.baselines import jo_offload_cache, offload_cache
+from repro.core.lcf import lcf
+from repro.exceptions import ReproError
+from repro.market.market import ServiceMarket
+
+#: An algorithm entry: name -> callable(market) -> CachingAssignment.
+AlgorithmTable = Mapping[str, Callable[[ServiceMarket], CachingAssignment]]
+
+
+@dataclass
+class AlgorithmMetrics:
+    """Averaged metrics of one algorithm at one sweep point."""
+
+    social_cost: float
+    coordinated_cost: float
+    selfish_cost: float
+    runtime_s: float
+    rejected: float
+    samples: int
+
+    @classmethod
+    def from_assignments(cls, assignments: Sequence[CachingAssignment]) -> "AlgorithmMetrics":
+        if not assignments:
+            raise ReproError("no assignments to aggregate")
+        return cls(
+            social_cost=float(np.mean([a.social_cost for a in assignments])),
+            coordinated_cost=float(np.mean([a.coordinated_cost for a in assignments])),
+            selfish_cost=float(np.mean([a.selfish_cost for a in assignments])),
+            runtime_s=float(np.mean([a.runtime_s for a in assignments])),
+            rejected=float(np.mean([len(a.rejected) for a in assignments])),
+            samples=len(assignments),
+        )
+
+
+@dataclass
+class SweepResult:
+    """All metrics of one figure: ``points[x][algorithm] -> metrics``."""
+
+    name: str
+    x_label: str
+    x_values: List[object]
+    points: List[Dict[str, AlgorithmMetrics]]
+    #: Free-form extras figure drivers attach (bounds, flow metrics, ...).
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def algorithms(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            for alg in point:
+                if alg not in names:
+                    names.append(alg)
+        return names
+
+    def series(self, algorithm: str, metric: str = "social_cost") -> List[float]:
+        """One plotted line: ``metric`` of ``algorithm`` across x values."""
+        return [getattr(point[algorithm], metric) for point in self.points]
+
+
+def default_algorithms(
+    one_minus_xi: float, allow_remote: bool
+) -> AlgorithmTable:
+    """The three algorithms of every paper figure.
+
+    LCF runs first at each point so its coordinated/selfish designation is
+    in place when the baselines' cost splits are read (the paper plots the
+    same provider partition for all algorithms).
+    """
+
+    def run_lcf(market: ServiceMarket) -> CachingAssignment:
+        return lcf(
+            market, xi=1.0 - one_minus_xi, allow_remote=allow_remote
+        ).assignment
+
+    return {
+        "LCF": run_lcf,
+        "JoOffloadCache": jo_offload_cache,
+        "OffloadCache": offload_cache,
+    }
+
+
+def evaluate_algorithms(
+    market: ServiceMarket,
+    algorithms: AlgorithmTable,
+) -> Dict[str, CachingAssignment]:
+    """Run every algorithm on one market (in table order)."""
+    return {name: run(market) for name, run in algorithms.items()}
+
+
+def sweep(
+    name: str,
+    x_label: str,
+    x_values: Sequence[object],
+    make_market: Callable[[object, int], ServiceMarket],
+    make_algorithms: Callable[[object], AlgorithmTable],
+    repetitions: int,
+) -> SweepResult:
+    """Run a full sweep.
+
+    Parameters
+    ----------
+    make_market:
+        ``(x_value, seed) -> ServiceMarket`` builder; the harness supplies a
+        distinct seed per (point, repetition).
+    make_algorithms:
+        ``x_value -> AlgorithmTable``; lets drivers bind x-dependent
+        parameters (e.g. xi in Fig. 3).
+    """
+    points: List[Dict[str, AlgorithmMetrics]] = []
+    for xi, x in enumerate(x_values):
+        collected: Dict[str, List[CachingAssignment]] = {}
+        algorithms = make_algorithms(x)
+        for rep in range(repetitions):
+            # Paired seeds: repetition k draws the same environment at
+            # every sweep point, so curves are compared on common random
+            # numbers and monotone trends are not drowned by cross-point
+            # sampling noise.
+            seed = 7_919 * rep + 13
+            market = make_market(x, seed)
+            for alg_name, assignment in evaluate_algorithms(market, algorithms).items():
+                collected.setdefault(alg_name, []).append(assignment)
+        points.append(
+            {
+                alg: AlgorithmMetrics.from_assignments(assignments)
+                for alg, assignments in collected.items()
+            }
+        )
+    return SweepResult(name=name, x_label=x_label, x_values=list(x_values), points=points)
+
+
+__all__ = [
+    "AlgorithmTable",
+    "AlgorithmMetrics",
+    "SweepResult",
+    "default_algorithms",
+    "evaluate_algorithms",
+    "sweep",
+]

@@ -1,0 +1,72 @@
+"""Rendering of sweep results as plain-text tables and series.
+
+The benchmark harness prints exactly what the paper's figures plot: one row
+per x value, one column per algorithm, for each of the four metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.harness import SweepResult
+from repro.utils.tables import Table, format_series
+
+#: Metric name -> human heading.
+METRIC_LABELS = {
+    "social_cost": "social cost ($)",
+    "coordinated_cost": "coordinated cost ($)",
+    "selfish_cost": "selfish cost ($)",
+    "runtime_s": "running time (s)",
+    "rejected": "rejected services",
+}
+
+
+def render_sweep(
+    result: SweepResult,
+    metrics: Sequence[str] = ("social_cost", "runtime_s"),
+) -> str:
+    """Render one table per requested metric."""
+    blocks: List[str] = []
+    for metric in metrics:
+        if metric not in METRIC_LABELS:
+            raise ValueError(f"unknown metric {metric!r}")
+        table = Table([result.x_label] + result.algorithms)
+        for i, x in enumerate(result.x_values):
+            row: List[object] = [x]
+            for alg in result.algorithms:
+                row.append(getattr(result.points[i][alg], metric))
+            table.add_row(row)
+        blocks.append(table.render(title=f"[{result.name}] {METRIC_LABELS[metric]}"))
+    return "\n\n".join(blocks)
+
+
+def series_of(result: SweepResult, metric: str = "social_cost") -> Dict[str, str]:
+    """Each algorithm's plotted line as a compact one-line string."""
+    return {
+        alg: format_series(alg, result.x_values, result.series(alg, metric))
+        for alg in result.algorithms
+    }
+
+
+def sweep_to_csv(
+    result: SweepResult,
+    metrics: Sequence[str] = tuple(METRIC_LABELS),
+) -> str:
+    """Serialise a sweep as CSV: one row per (x, algorithm) pair.
+
+    Columns: ``x``, ``algorithm``, then one column per metric. Intended for
+    external plotting tools; :func:`render_sweep` remains the human view.
+    """
+    for metric in metrics:
+        if metric not in METRIC_LABELS:
+            raise ValueError(f"unknown metric {metric!r}")
+    lines = [",".join(["x", "algorithm", *metrics])]
+    for i, x in enumerate(result.x_values):
+        for alg in result.algorithms:
+            point = result.points[i][alg]
+            cells = [str(x), alg] + [repr(getattr(point, m)) for m in metrics]
+            lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["METRIC_LABELS", "render_sweep", "series_of", "sweep_to_csv"]

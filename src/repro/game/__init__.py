@@ -1,0 +1,32 @@
+"""Congestion-game machinery (Section II.E).
+
+The selfish providers play a *capacitated singleton congestion game*: each
+player picks one resource (cloudlet); the cost is a shared non-decreasing
+congestion term plus a player-and-resource-specific fixed term. This package
+provides the game model, Rosenthal's exact potential, best-response dynamics,
+Nash-equilibrium verification, the Stackelberg wrapper used by algorithm
+``LCF``, and empirical Price-of-Anarchy measurement.
+"""
+
+from repro.game.congestion import Profile, SingletonCongestionGame
+from repro.game.best_response import BestResponseResult, best_response_dynamics, greedy_feasible_profile
+from repro.game.equilibrium import best_deviation, is_nash_equilibrium
+from repro.game.stackelberg import StackelbergOutcome, play_stackelberg
+from repro.game.poa import empirical_poa, enumerate_equilibria, worst_equilibrium_cost
+from repro.game.dynamics_variants import improvement_dynamics
+
+__all__ = [
+    "Profile",
+    "SingletonCongestionGame",
+    "BestResponseResult",
+    "best_response_dynamics",
+    "greedy_feasible_profile",
+    "best_deviation",
+    "is_nash_equilibrium",
+    "StackelbergOutcome",
+    "play_stackelberg",
+    "empirical_poa",
+    "enumerate_equilibria",
+    "worst_equilibrium_cost",
+    "improvement_dynamics",
+]

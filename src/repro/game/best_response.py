@@ -1,0 +1,180 @@
+"""Best-response dynamics for capacitated singleton congestion games.
+
+Movable players take turns (round-robin, deterministic order) switching to
+their cheapest feasible resource; the dynamics stop when a full round passes
+without an improving move. Because the game admits Rosenthal's exact
+potential, every improving move strictly decreases the potential, so the
+dynamics terminate at a (constrained) Nash equilibrium of the movable
+players (Lemma 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, InfeasibleError
+from repro.game.congestion import Profile, SingletonCongestionGame
+
+_IMPROVEMENT_EPS = 1e-9
+
+
+@dataclass
+class BestResponseResult:
+    """Outcome of a best-response run."""
+
+    profile: Profile
+    converged: bool
+    rounds: int
+    moves: int
+    #: Rosenthal potential sampled after each round (index 0 = initial).
+    potential_trace: List[float] = field(default_factory=list)
+
+    @property
+    def final_potential(self) -> float:
+        return self.potential_trace[-1] if self.potential_trace else float("nan")
+
+
+def greedy_feasible_profile(
+    game: SingletonCongestionGame,
+    players: Optional[Sequence[Hashable]] = None,
+    base_profile: Optional[Mapping[Hashable, Hashable]] = None,
+    order: Optional[Sequence[Hashable]] = None,
+) -> Profile:
+    """Build a feasible profile by sequential cheapest-feasible placement.
+
+    ``base_profile`` holds already-placed players (e.g. the coordinated set);
+    the remaining ``players`` (default: all unplaced) are inserted one at a
+    time onto the resource minimising their cost at the occupancy they would
+    create. Raises :class:`InfeasibleError` when someone cannot be placed.
+    """
+    profile: Profile = dict(base_profile) if base_profile else {}
+    todo = list(players) if players is not None else [
+        p for p in game.players if p not in profile
+    ]
+    if order is not None:
+        order_index = {p: k for k, p in enumerate(order)}
+        todo.sort(key=lambda p: order_index.get(p, len(order_index)))
+
+    loads = game.loads(profile)
+    occ = game.occupancy(profile)
+    for p in todo:
+        best_r = None
+        best_cost = np.inf
+        for r in game.resources:
+            if not game.move_is_feasible(p, r, profile, loads):
+                continue
+            c = game.cost(p, r, occ.get(r, 0) + 1)
+            if c < best_cost:
+                best_cost = c
+                best_r = r
+        if best_r is None:
+            raise InfeasibleError(f"no feasible resource for player {p!r}")
+        profile[p] = best_r
+        occ[best_r] = occ.get(best_r, 0) + 1
+        if game.capacitated:
+            d = game.demand_of(p, best_r)
+            loads[best_r] = loads.get(best_r, np.zeros_like(d)) + d
+    return profile
+
+
+def _best_feasible_response(
+    game: SingletonCongestionGame,
+    player: Hashable,
+    profile: Profile,
+    loads: Dict[Hashable, np.ndarray],
+    occ: Dict[Hashable, int],
+) -> Optional[Hashable]:
+    """The player's cheapest feasible resource, or ``None`` when staying put
+    is (weakly) best. Deviating to ``r`` faces occupancy ``occ[r] + 1``."""
+    current = profile[player]
+    current_cost = game.cost(player, current, occ[current])
+    best_r = None
+    best_cost = current_cost - _IMPROVEMENT_EPS
+    for r in game.resources:
+        if r == current:
+            continue
+        if not game.move_is_feasible(player, r, profile, loads):
+            continue
+        c = game.cost(player, r, occ.get(r, 0) + 1)
+        if c < best_cost:
+            best_cost = c
+            best_r = r
+    return best_r
+
+
+def best_response_dynamics(
+    game: SingletonCongestionGame,
+    initial_profile: Mapping[Hashable, Hashable],
+    movable: Optional[Iterable[Hashable]] = None,
+    max_rounds: int = 1000,
+    raise_on_nonconvergence: bool = False,
+) -> BestResponseResult:
+    """Run round-robin best-response dynamics from ``initial_profile``.
+
+    Parameters
+    ----------
+    movable:
+        The players allowed to deviate; defaults to all. Coordinated
+        (Stackelberg-pinned) players are simply excluded from this set.
+    max_rounds:
+        Safety bound; the potential argument guarantees termination, the
+        bound only protects against ill-formed cost functions.
+    raise_on_nonconvergence:
+        When ``True``, raises :class:`ConvergenceError` instead of returning
+        ``converged=False``.
+    """
+    game.validate_profile(initial_profile)
+    profile: Profile = dict(initial_profile)
+    movable_set: Set[Hashable] = set(movable) if movable is not None else set(game.players)
+    unknown = movable_set - set(game.players)
+    if unknown:
+        raise InfeasibleError(f"movable contains unknown players {sorted(unknown, key=str)}")
+
+    move_order = [p for p in game.players if p in movable_set]
+    loads = game.loads(profile)
+    occ = game.occupancy(profile)
+    trace = [game.potential(profile)]
+    moves = 0
+    rounds = 0
+    converged = not move_order  # nothing to move: trivially converged
+
+    for rounds in range(1, max_rounds + 1):
+        improved = False
+        for p in move_order:
+            r_new = _best_feasible_response(game, p, profile, loads, occ)
+            if r_new is None:
+                continue
+            r_old = profile[p]
+            profile[p] = r_new
+            occ[r_old] -= 1
+            if occ[r_old] == 0:
+                del occ[r_old]
+            occ[r_new] = occ.get(r_new, 0) + 1
+            if game.capacitated:
+                loads[r_old] = loads[r_old] - game.demand_of(p, r_old)
+                d = game.demand_of(p, r_new)
+                loads[r_new] = loads.get(r_new, np.zeros_like(d)) + d
+            moves += 1
+            improved = True
+        trace.append(game.potential(profile))
+        if not improved:
+            converged = True
+            break
+
+    if not converged and raise_on_nonconvergence:
+        raise ConvergenceError(
+            f"best-response dynamics did not converge in {max_rounds} rounds"
+        )
+    return BestResponseResult(
+        profile=profile,
+        converged=converged,
+        rounds=rounds,
+        moves=moves,
+        potential_trace=trace,
+    )
+
+
+__all__ = ["BestResponseResult", "best_response_dynamics", "greedy_feasible_profile"]

@@ -1,0 +1,100 @@
+"""The Stackelberg layer: pin the coordinated set, equilibrate the rest.
+
+An *approximation-restricted* Stackelberg strategy (Section III.A) prescribes
+to each coordinated player the strategy it holds in an approximate social
+optimum; the selfish players then settle into a Nash equilibrium around the
+pinned players. :func:`play_stackelberg` executes exactly that and reports
+the cost split the paper's figures plot (total / coordinated / selfish).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set
+
+from repro.exceptions import ConfigurationError
+from repro.game.best_response import (
+    BestResponseResult,
+    best_response_dynamics,
+    greedy_feasible_profile,
+)
+from repro.game.congestion import Profile, SingletonCongestionGame
+from repro.game.equilibrium import is_nash_equilibrium
+
+
+@dataclass
+class StackelbergOutcome:
+    """Result of one Stackelberg play."""
+
+    profile: Profile
+    coordinated: Set[Hashable]
+    social_cost: float
+    coordinated_cost: float
+    selfish_cost: float
+    is_equilibrium: bool
+    dynamics: BestResponseResult
+
+    @property
+    def selfish(self) -> Set[Hashable]:
+        return set(self.profile) - self.coordinated
+
+
+def play_stackelberg(
+    game: SingletonCongestionGame,
+    prescribed: Mapping[Hashable, Hashable],
+    coordinated: Iterable[Hashable],
+    initial_selfish: Optional[Mapping[Hashable, Hashable]] = None,
+    max_rounds: int = 1000,
+) -> StackelbergOutcome:
+    """Pin ``coordinated`` players to their ``prescribed`` strategies and run
+    best-response dynamics over the remaining players.
+
+    Parameters
+    ----------
+    prescribed:
+        Strategy per coordinated player (typically the Appro solution).
+    initial_selfish:
+        Optional starting strategies for the selfish players; when omitted
+        they enter sequentially via cheapest-feasible placement, which
+        models providers arriving at the market one by one.
+    """
+    coordinated_set = set(coordinated)
+    missing = coordinated_set - set(prescribed)
+    if missing:
+        raise ConfigurationError(
+            f"coordinated players {sorted(missing, key=str)} lack a prescribed strategy"
+        )
+
+    base: Profile = {p: prescribed[p] for p in coordinated_set}
+    selfish_players = [p for p in game.players if p not in coordinated_set]
+
+    if initial_selfish is None:
+        profile = greedy_feasible_profile(game, players=selfish_players, base_profile=base)
+    else:
+        profile = dict(base)
+        for p in selfish_players:
+            if p not in initial_selfish:
+                raise ConfigurationError(f"initial_selfish misses player {p!r}")
+            profile[p] = initial_selfish[p]
+
+    result = best_response_dynamics(
+        game, profile, movable=selfish_players, max_rounds=max_rounds
+    )
+    final = result.profile
+    occ = game.occupancy(final)
+    coordinated_cost = sum(
+        game.cost(p, final[p], occ[final[p]]) for p in coordinated_set
+    )
+    selfish_cost = sum(game.cost(p, final[p], occ[final[p]]) for p in selfish_players)
+    return StackelbergOutcome(
+        profile=final,
+        coordinated=coordinated_set,
+        social_cost=coordinated_cost + selfish_cost,
+        coordinated_cost=coordinated_cost,
+        selfish_cost=selfish_cost,
+        is_equilibrium=is_nash_equilibrium(game, final, movable=selfish_players),
+        dynamics=result,
+    )
+
+
+__all__ = ["StackelbergOutcome", "play_stackelberg"]

@@ -1,0 +1,62 @@
+"""A regret-based greedy heuristic for min-cost GAP.
+
+Used as a fast fallback inside the experiment harness and as a comparator in
+ablation A4. Items are assigned in order of largest *regret* (difference
+between their two cheapest feasible bins): items that are most penalised by
+losing their best bin commit first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import InfeasibleError
+from repro.gap.instance import GAPInstance, GAPSolution
+
+
+def greedy_gap(instance: GAPInstance) -> GAPSolution:
+    """Greedy regret assignment; raises :class:`InfeasibleError` when it
+    cannot place every item (greedy incompleteness counts as infeasible —
+    callers that need certainty should use the LP-based solvers)."""
+    remaining_cap = instance.capacities.astype(float).copy()
+    assignment: List[Optional[int]] = [None] * instance.n_items
+    unassigned = set(range(instance.n_items))
+
+    while unassigned:
+        best_item = -1
+        best_bin = -1
+        best_regret = -np.inf
+        for j in unassigned:
+            feasible = [
+                i
+                for i in range(instance.n_bins)
+                if np.isfinite(instance.costs[j, i])
+                and instance.weights[j, i] <= remaining_cap[i] + 1e-12
+            ]
+            if not feasible:
+                raise InfeasibleError(f"greedy could not place item {j}")
+            ordered = sorted(feasible, key=lambda i: instance.costs[j, i])
+            cheapest = ordered[0]
+            if len(ordered) > 1:
+                regret = instance.costs[j, ordered[1]] - instance.costs[j, cheapest]
+            else:
+                regret = np.inf  # only one option left: place it now
+            if regret > best_regret:
+                best_regret = regret
+                best_item = j
+                best_bin = cheapest
+
+        assignment[best_item] = best_bin
+        remaining_cap[best_bin] -= instance.weights[best_item, best_bin]
+        unassigned.remove(best_item)
+
+    return GAPSolution(
+        instance=instance,
+        assignment=[int(a) for a in assignment],
+        method="greedy",
+    )
+
+
+__all__ = ["greedy_gap"]

@@ -1,0 +1,103 @@
+"""LP relaxation of min-cost GAP, solved with :func:`scipy.optimize.linprog`.
+
+Variables ``x[j, i] >= 0`` for each *allowed* (item, bin) pair:
+
+* assignment constraints  ``sum_i x[j, i] = 1`` for every item ``j``;
+* capacity constraints    ``sum_j w[j, i] * x[j, i] <= cap[i]``;
+* objective               ``min sum c[j, i] * x[j, i]``.
+
+Only allowed pairs get a column, which keeps the LP small for sparse
+instances (each virtual cloudlet admits every service in the paper's
+reduction, but the library is generic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.exceptions import InfeasibleError, SolverError
+from repro.gap.instance import GAPInstance
+
+
+@dataclass
+class LPRelaxationResult:
+    """Fractional optimum of the GAP LP relaxation."""
+
+    instance: GAPInstance
+    #: ``(n_items, n_bins)`` fractional assignment; rows sum to 1.
+    fractions: np.ndarray
+    #: Optimal LP objective — a lower bound on the integral optimum.
+    value: float
+
+    def support(self, item: int, atol: float = 1e-9) -> List[int]:
+        """Bins with positive fraction for ``item``."""
+        return [i for i in range(self.instance.n_bins) if self.fractions[item, i] > atol]
+
+
+def solve_lp_relaxation(instance: GAPInstance) -> LPRelaxationResult:
+    """Solve the GAP LP relaxation; raises :class:`InfeasibleError` when the
+    relaxation (hence the GAP) has no solution."""
+    if instance.trivially_infeasible():
+        raise InfeasibleError("some item has no admissible bin")
+
+    pairs: List[Tuple[int, int]] = [
+        (j, i)
+        for j in range(instance.n_items)
+        for i in range(instance.n_bins)
+        if instance.allowed(j, i)
+    ]
+    col_of: Dict[Tuple[int, int], int] = {p: k for k, p in enumerate(pairs)}
+    n_cols = len(pairs)
+
+    c = np.array([instance.costs[j, i] for j, i in pairs])
+
+    # Equality: one row per item.
+    eq_rows, eq_cols, eq_data = [], [], []
+    for (j, i), k in col_of.items():
+        eq_rows.append(j)
+        eq_cols.append(k)
+        eq_data.append(1.0)
+    a_eq = csr_matrix((eq_data, (eq_rows, eq_cols)), shape=(instance.n_items, n_cols))
+    b_eq = np.ones(instance.n_items)
+
+    # Inequality: one row per bin.
+    ub_rows, ub_cols, ub_data = [], [], []
+    for (j, i), k in col_of.items():
+        ub_rows.append(i)
+        ub_cols.append(k)
+        ub_data.append(instance.weights[j, i])
+    a_ub = csr_matrix((ub_data, (ub_rows, ub_cols)), shape=(instance.n_bins, n_cols))
+    b_ub = instance.capacities
+
+    result = linprog(
+        c,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=(0.0, 1.0),
+        method="highs",
+    )
+    if result.status == 2:
+        raise InfeasibleError("GAP LP relaxation is infeasible")
+    if not result.success:
+        raise SolverError(f"linprog failed: {result.message}")
+
+    fractions = np.zeros((instance.n_items, instance.n_bins))
+    for (j, i), k in col_of.items():
+        fractions[j, i] = max(0.0, result.x[k])
+    # Normalise tiny numerical drift so each row sums to exactly 1.
+    row_sums = fractions.sum(axis=1, keepdims=True)
+    fractions = fractions / row_sums
+
+    return LPRelaxationResult(
+        instance=instance, fractions=fractions, value=float(result.fun)
+    )
+
+
+__all__ = ["LPRelaxationResult", "solve_lp_relaxation"]

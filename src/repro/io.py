@@ -1,0 +1,255 @@
+"""JSON (de)serialisation of networks, markets and assignments.
+
+Reproducibility plumbing: an experiment can dump the exact market instance
+it ran on and anyone can reload it bit-identically — no re-rolling of RNG
+streams required. Only plain-JSON types are emitted.
+
+The congestion function serialises by registry name + parameters; custom
+callables are rejected with a clear error rather than pickled.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.assignment import CachingAssignment
+from repro.exceptions import ConfigurationError
+from repro.market.costs import (
+    CongestionFunction,
+    LinearCongestion,
+    MM1Congestion,
+    QuadraticCongestion,
+)
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+from repro.market.service import Service, ServiceProvider
+from repro.network.elements import Cloudlet, DataCenter
+from repro.network.topology import MECNetwork
+
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Congestion registry
+# --------------------------------------------------------------------- #
+def _congestion_to_dict(fn: CongestionFunction) -> Dict:
+    if isinstance(fn, LinearCongestion):
+        return {"kind": "linear"}
+    if isinstance(fn, QuadraticCongestion):
+        return {"kind": "quadratic", "scale": fn.scale}
+    if isinstance(fn, MM1Congestion):
+        return {
+            "kind": "mm1",
+            "capacity": fn.capacity,
+            "saturation_penalty": fn.saturation_penalty,
+        }
+    raise ConfigurationError(
+        f"cannot serialise congestion function {type(fn).__name__}; "
+        "register it in repro.io or use a built-in model"
+    )
+
+
+def _congestion_from_dict(data: Dict) -> CongestionFunction:
+    kind = data.get("kind")
+    if kind == "linear":
+        return LinearCongestion()
+    if kind == "quadratic":
+        return QuadraticCongestion(scale=data["scale"])
+    if kind == "mm1":
+        return MM1Congestion(
+            capacity=data["capacity"],
+            saturation_penalty=data["saturation_penalty"],
+        )
+    raise ConfigurationError(f"unknown congestion kind {kind!r}")
+
+
+# --------------------------------------------------------------------- #
+# Network
+# --------------------------------------------------------------------- #
+def network_to_dict(network: MECNetwork) -> Dict:
+    return {
+        "name": network.name,
+        "nodes": sorted(int(n) for n in network.graph.nodes),
+        "links": [
+            {
+                "u": int(link.u),
+                "v": int(link.v),
+                "bandwidth": link.bandwidth,
+                "delay_ms": link.delay_ms,
+            }
+            for link in network.links()
+        ],
+        "cloudlets": [
+            {
+                "node_id": cl.node_id,
+                "compute_capacity": cl.compute_capacity,
+                "bandwidth_capacity": cl.bandwidth_capacity,
+                "alpha": cl.alpha,
+                "beta": cl.beta,
+                "bdw_unit_cost": cl.bdw_unit_cost,
+                "name": cl.name,
+            }
+            for cl in network.cloudlets
+        ],
+        "data_centers": [
+            {
+                "node_id": dc.node_id,
+                "name": dc.name,
+                "processing_unit_cost": dc.processing_unit_cost,
+            }
+            for dc in network.data_centers
+        ],
+    }
+
+
+def network_from_dict(data: Dict) -> MECNetwork:
+    network = MECNetwork(name=data.get("name", "mec"))
+    for node in data["nodes"]:
+        network.add_switch(int(node))
+    for link in data["links"]:
+        network.add_link(
+            int(link["u"]), int(link["v"]),
+            bandwidth=link["bandwidth"], delay_ms=link["delay_ms"],
+        )
+    for cl in data["cloudlets"]:
+        network.attach_cloudlet(Cloudlet(**cl))
+    for dc in data["data_centers"]:
+        network.attach_data_center(DataCenter(**dc))
+    network.validate()
+    return network
+
+
+# --------------------------------------------------------------------- #
+# Market
+# --------------------------------------------------------------------- #
+_SERVICE_FIELDS = (
+    "service_id", "requests", "compute_per_request", "bandwidth_per_request",
+    "data_volume_gb", "home_dc", "user_node", "update_ratio",
+    "sync_frequency", "request_traffic_gb", "instantiation_cost",
+)
+
+
+def market_to_dict(market: ServiceMarket) -> Dict:
+    pricing = market.cost_model.pricing
+    return {
+        "version": FORMAT_VERSION,
+        "network": network_to_dict(market.network),
+        "pricing": {
+            "transmit_per_gb": pricing.transmit_per_gb,
+            "process_per_gb": pricing.process_per_gb,
+            "hop_surcharge": pricing.hop_surcharge,
+        },
+        "congestion": _congestion_to_dict(market.cost_model.congestion),
+        "remote_premium": market.cost_model.remote_premium,
+        "providers": [
+            {
+                **{f: getattr(p.service, f) for f in _SERVICE_FIELDS},
+                "user_clusters": (
+                    [list(c) for c in p.service.user_clusters]
+                    if p.service.user_clusters is not None
+                    else None
+                ),
+                "coordinated": p.coordinated,
+                "name": p.name,
+            }
+            for p in market.providers
+        ],
+    }
+
+
+def market_from_dict(data: Dict) -> ServiceMarket:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported market format version {version!r}"
+        )
+    network = network_from_dict(data["network"])
+    providers = []
+    for entry in data["providers"]:
+        clusters = entry.get("user_clusters")
+        service = Service(
+            **{f: entry[f] for f in _SERVICE_FIELDS},
+            user_clusters=(
+                tuple((int(n), float(w)) for n, w in clusters)
+                if clusters is not None
+                else None
+            ),
+        )
+        provider = ServiceProvider(
+            provider_id=service.service_id,
+            service=service,
+            name=entry.get("name", ""),
+        )
+        provider.coordinated = bool(entry.get("coordinated", False))
+        providers.append(provider)
+    market = ServiceMarket(
+        network,
+        providers,
+        pricing=Pricing(**data["pricing"]),
+        congestion=_congestion_from_dict(data["congestion"]),
+    )
+    market.cost_model.remote_premium = float(data.get("remote_premium", 20.0))
+    return market
+
+
+# --------------------------------------------------------------------- #
+# Assignments
+# --------------------------------------------------------------------- #
+def assignment_to_dict(assignment: CachingAssignment) -> Dict:
+    return {
+        "version": FORMAT_VERSION,
+        "algorithm": assignment.algorithm,
+        "runtime_s": assignment.runtime_s,
+        "placement": {str(pid): int(node) for pid, node in assignment.placement.items()},
+        "rejected": sorted(int(pid) for pid in assignment.rejected),
+    }
+
+
+def assignment_from_dict(data: Dict, market: ServiceMarket) -> CachingAssignment:
+    if data.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported assignment format version {data.get('version')!r}"
+        )
+    return CachingAssignment(
+        market=market,
+        placement={int(pid): int(node) for pid, node in data["placement"].items()},
+        rejected=frozenset(int(pid) for pid in data["rejected"]),
+        algorithm=data.get("algorithm", ""),
+        runtime_s=float(data.get("runtime_s", 0.0)),
+    )
+
+
+# --------------------------------------------------------------------- #
+# File helpers
+# --------------------------------------------------------------------- #
+def save_market(market: ServiceMarket, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(market_to_dict(market), indent=2))
+
+
+def load_market(path: Union[str, Path]) -> ServiceMarket:
+    return market_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_assignment(assignment: CachingAssignment, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(assignment_to_dict(assignment), indent=2))
+
+
+def load_assignment(path: Union[str, Path], market: ServiceMarket) -> CachingAssignment:
+    return assignment_from_dict(json.loads(Path(path).read_text()), market)
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "network_to_dict",
+    "network_from_dict",
+    "market_to_dict",
+    "market_from_dict",
+    "assignment_to_dict",
+    "assignment_from_dict",
+    "save_market",
+    "load_market",
+    "save_assignment",
+    "load_assignment",
+]

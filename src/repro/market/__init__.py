@@ -1,0 +1,34 @@
+"""The hierarchical service market (Section II.B–II.D).
+
+A :class:`~repro.market.market.ServiceMarket` ties together a two-tiered MEC
+network, a set of network service providers (each with one service to cache),
+a resource pricing policy, and the congestion-dependent cost model of
+Eq. (1)–(5).
+"""
+
+from repro.market.service import Service, ServiceProvider
+from repro.market.pricing import Pricing
+from repro.market.costs import (
+    CongestionFunction,
+    CostModel,
+    LinearCongestion,
+    MM1Congestion,
+    QuadraticCongestion,
+)
+from repro.market.market import ServiceMarket
+from repro.market.workload import WorkloadParams, generate_providers, generate_market
+
+__all__ = [
+    "Service",
+    "ServiceProvider",
+    "Pricing",
+    "CongestionFunction",
+    "CostModel",
+    "LinearCongestion",
+    "QuadraticCongestion",
+    "MM1Congestion",
+    "ServiceMarket",
+    "WorkloadParams",
+    "generate_providers",
+    "generate_market",
+]

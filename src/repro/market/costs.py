@@ -1,0 +1,300 @@
+"""The congestion-dependent cost model of Section II.C.
+
+The cost of caching service ``SV_l`` in cloudlet ``CL_i`` when ``|sigma_i|``
+providers (including ``sp_l``) are cached there is
+
+``c_{l,i} = alpha_i*g(|sigma_i|) + c_l_ins + beta_i*g(|sigma_i|) + c_i_bdw``
+
+with ``g`` the congestion function — the identity in the paper's proportional
+model (Eq. 1–3). The paper notes its derivations only require ``g`` to be
+non-decreasing, so :class:`CostModel` accepts any
+:class:`CongestionFunction`; :class:`QuadraticCongestion` and
+:class:`MM1Congestion` support the ablation study.
+
+The *fixed* (congestion-free) components are grounded in the Section IV.A
+economics:
+
+* ``c_l_ins``  = instantiation base + processing price × request traffic GB;
+* ``c_i_bdw(l)`` = cloudlet unit cost + transmit price × update volume ×
+  hop-scaled distance from ``CL_i`` to the service's home data center (the
+  consistency-update traffic of Section II.C).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.market.pricing import Pricing
+from repro.market.service import ServiceProvider
+from repro.network.elements import Cloudlet
+from repro.network.topology import MECNetwork
+from repro.utils.validation import check_non_negative
+
+
+class CongestionFunction(abc.ABC):
+    """A non-decreasing map from occupancy ``|sigma_i|`` to a load factor."""
+
+    @abc.abstractmethod
+    def __call__(self, occupancy: int) -> float:
+        """Load factor at integer occupancy >= 0."""
+
+    def validate_monotone(self, up_to: int = 64) -> None:
+        """Assert non-decreasingness on [0, up_to] (used by tests)."""
+        values = [self(k) for k in range(up_to + 1)]
+        for a, b in zip(values, values[1:]):
+            if b < a - 1e-12:
+                raise ConfigurationError(
+                    f"{type(self).__name__} is not non-decreasing: "
+                    f"f({values.index(b)}) < f({values.index(b) - 1})"
+                )
+
+
+class LinearCongestion(CongestionFunction):
+    """The paper's proportional model: ``g(k) = k`` (Eq. 1–2)."""
+
+    def __call__(self, occupancy: int) -> float:
+        if occupancy < 0:
+            raise ValueError(f"occupancy must be >= 0, got {occupancy}")
+        return float(occupancy)
+
+    def __repr__(self) -> str:
+        return "LinearCongestion()"
+
+
+class QuadraticCongestion(CongestionFunction):
+    """``g(k) = k^2 / scale`` — super-linear congestion penalty."""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def __call__(self, occupancy: int) -> float:
+        if occupancy < 0:
+            raise ValueError(f"occupancy must be >= 0, got {occupancy}")
+        return occupancy * occupancy / self.scale
+
+    def __repr__(self) -> str:
+        return f"QuadraticCongestion(scale={self.scale})"
+
+
+class MM1Congestion(CongestionFunction):
+    """M/M/1-style delay curve ``g(k) = k / (1 - k/capacity)``.
+
+    Saturates towards ``capacity``; occupancies at or above capacity get a
+    large finite penalty so best-response dynamics remain well-defined.
+    """
+
+    def __init__(self, capacity: int = 32, saturation_penalty: float = 1e6) -> None:
+        if capacity < 2:
+            raise ConfigurationError(f"capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self.saturation_penalty = saturation_penalty
+
+    def __call__(self, occupancy: int) -> float:
+        if occupancy < 0:
+            raise ValueError(f"occupancy must be >= 0, got {occupancy}")
+        if occupancy >= self.capacity:
+            return self.saturation_penalty + occupancy
+        return occupancy / (1.0 - occupancy / self.capacity)
+
+    def __repr__(self) -> str:
+        return f"MM1Congestion(capacity={self.capacity})"
+
+
+class CostModel:
+    """Evaluates Eq. (3)–(6) over a concrete network and pricing policy.
+
+    The expensive, congestion-independent part of ``c_{l,i}`` (instantiation,
+    request processing, update transmission) is memoised per
+    (provider, cloudlet) pair since algorithms query it many times.
+    """
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        pricing: Optional[Pricing] = None,
+        congestion: Optional[CongestionFunction] = None,
+        remote_premium: float = 20.0,
+        latency_budget_ms: Optional[float] = None,
+    ) -> None:
+        self.network = network
+        self.pricing = pricing if pricing is not None else Pricing()
+        self.congestion = congestion if congestion is not None else LinearCongestion()
+        self.remote_premium = check_non_negative(remote_premium, "remote_premium")
+        #: Optional hard QoS constraint: a cloudlet whose (cluster-weighted)
+        #: network delay from the users exceeds this budget is infeasible
+        #: for the provider — its fixed cost becomes +inf, which every
+        #: solver in the library treats as "forbidden pair". None disables.
+        if latency_budget_ms is not None:
+            check_non_negative(latency_budget_ms, "latency_budget_ms")
+        self.latency_budget_ms = latency_budget_ms
+        self._fixed_cache: Dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cost components
+    # ------------------------------------------------------------------ #
+    def instantiation_cost(self, provider: ServiceProvider) -> float:
+        """``c_l^ins``: VM/software setup plus request-processing charges."""
+        svc = provider.service
+        return svc.instantiation_cost + self.pricing.processing_cost(svc.request_traffic_gb)
+
+    def access_cost(self, provider: ServiceProvider, cloudlet: Cloudlet) -> float:
+        """Offloading cost: shipping the users' request traffic from their
+        aggregation point(s) to the cached instance at ``CL_i``.
+
+        With a single user cluster this is the request traffic over the
+        ``user_node -> CL_i`` path; with several clusters each ships its
+        weighted share. This is the term the ``OffloadCache`` baseline
+        optimises in isolation; it is part of the full ``c_{l,i}`` for
+        every algorithm.
+        """
+        svc = provider.service
+        total = 0.0
+        for node, weight in svc.clusters:
+            hops = self.network.hop_count(node, cloudlet.node_id)
+            total += self.pricing.transmission_cost(
+                svc.request_traffic_gb * weight, hops
+            )
+        return total
+
+    def update_cost(self, provider: ServiceProvider, cloudlet: Cloudlet) -> float:
+        """``c_i^bdw``: consistency-update bandwidth cost at ``CL_i``.
+
+        Update traffic flows from the cloudlet back to the service's home
+        data center, so the charge scales with both the synchronised volume
+        and the network distance (Section II.C).
+        """
+        svc = provider.service
+        hops = self.network.hop_count(cloudlet.node_id, svc.home_dc)
+        transit = self.pricing.transmission_cost(svc.update_volume_gb, hops)
+        return cloudlet.bdw_unit_cost * svc.update_volume_gb + transit
+
+    def fixed_cost(self, provider: ServiceProvider, cloudlet: Cloudlet) -> float:
+        """Congestion-free part of ``c_{l,i}``: ``c_l^ins + c_i^bdw``.
+
+        ``c_l^ins`` covers instantiation, request processing and offloading
+        the request traffic to the instance; ``c_i^bdw`` the consistency
+        updates. This is exactly the flat GAP cost of Eq. (9) minus the
+        ``alpha_i + beta_i`` term, which :meth:`gap_cost` adds back.
+        """
+        key = (provider.provider_id, cloudlet.node_id)
+        if key not in self._fixed_cache:
+            if (
+                self.latency_budget_ms is not None
+                and self.access_delay_ms(provider, cloudlet) > self.latency_budget_ms
+            ):
+                self._fixed_cache[key] = float("inf")
+            else:
+                self._fixed_cache[key] = (
+                    self.instantiation_cost(provider)
+                    + self.access_cost(provider, cloudlet)
+                    + self.update_cost(provider, cloudlet)
+                )
+        return self._fixed_cache[key]
+
+    def access_delay_ms(self, provider: ServiceProvider, cloudlet: Cloudlet) -> float:
+        """Cluster-weighted network delay from the users to ``CL_i``."""
+        svc = provider.service
+        return sum(
+            weight * self.network.path_delay(node, cloudlet.node_id)
+            for node, weight in svc.clusters
+        )
+
+    def congestion_cost(self, cloudlet: Cloudlet, occupancy: int) -> float:
+        """``(alpha_i + beta_i) * g(|sigma_i|)`` — shared congestion charge."""
+        return (cloudlet.alpha + cloudlet.beta) * self.congestion(occupancy)
+
+    def cost(self, provider: ServiceProvider, cloudlet: Cloudlet, occupancy: int) -> float:
+        """``c_{l,i}`` (Eq. 3) at the given occupancy ``|sigma_i|``.
+
+        ``occupancy`` must already count ``sp_l`` itself when it is cached
+        at ``CL_i`` (the paper's ``|sigma_i|`` includes the provider).
+        """
+        if occupancy < 1:
+            raise ValueError(
+                f"occupancy must count the provider itself (>= 1), got {occupancy}"
+            )
+        return self.congestion_cost(cloudlet, occupancy) + self.fixed_cost(provider, cloudlet)
+
+    def gap_cost(self, provider: ServiceProvider, cloudlet: Cloudlet) -> float:
+        """The congestion-free GAP cost of Eq. (9):
+        ``alpha_i + beta_i + c_l^ins + c_i^bdw``."""
+        return cloudlet.alpha + cloudlet.beta + self.fixed_cost(provider, cloudlet)
+
+    def remote_cost(self, provider: ServiceProvider) -> float:
+        """Cost of *not* caching: serving all requests from the original
+        instance in the home data center.
+
+        All request traffic crosses the backhaul from the users to the
+        remote cloud, charged at :attr:`remote_premium` times the normal
+        transmission rate, plus processing at the data center. The premium
+        models the paper's premise that hauling delay-sensitive traffic to
+        central clouds is expensive (WAN egress pricing plus the revenue
+        lost to "hundreds of milliseconds" latency [11]); it is what makes
+        "to cache" the default answer and "not to cache" a last resort.
+        """
+        svc = provider.service
+        key = ("remote", provider.provider_id)
+        if key not in self._fixed_cache:
+            dc = self.network.data_center_at(svc.home_dc)
+            processing = svc.request_traffic_gb * dc.processing_unit_cost
+            transit = 0.0
+            for node, weight in svc.clusters:
+                hops = self.network.hop_count(node, svc.home_dc)
+                transit += self.remote_premium * self.pricing.transmission_cost(
+                    svc.request_traffic_gb * weight, hops
+                )
+            self._fixed_cache[key] = svc.instantiation_cost + processing + transit
+        return self._fixed_cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def occupancy(self, placement: Mapping[int, int]) -> Dict[int, int]:
+        """Per-cloudlet provider counts ``|sigma_i|`` for a placement
+        (mapping ``provider_id -> cloudlet node_id``)."""
+        counts: Dict[int, int] = {}
+        for node in placement.values():
+            counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    def provider_cost(
+        self,
+        provider: ServiceProvider,
+        placement: Mapping[int, int],
+    ) -> float:
+        """``c_l(sigma_l)`` (Eq. 5) for ``sp_l`` under a full placement."""
+        node = placement.get(provider.provider_id)
+        if node is None:
+            raise ConfigurationError(
+                f"provider {provider.provider_id} is unplaced in the given placement"
+            )
+        cloudlet = self.network.cloudlet_at(node)
+        occ = self.occupancy(placement)[node]
+        return self.cost(provider, cloudlet, occ)
+
+    def social_cost(
+        self,
+        providers: Mapping[int, ServiceProvider],
+        placement: Mapping[int, int],
+    ) -> float:
+        """Total cost of all placed providers (Eq. 6)."""
+        occ = self.occupancy(placement)
+        total = 0.0
+        for pid, node in placement.items():
+            provider = providers[pid]
+            cloudlet = self.network.cloudlet_at(node)
+            total += self.cost(provider, cloudlet, occ[node])
+        return total
+
+
+__all__ = [
+    "CongestionFunction",
+    "LinearCongestion",
+    "QuadraticCongestion",
+    "MM1Congestion",
+    "CostModel",
+]

@@ -1,0 +1,135 @@
+"""The hierarchical service market (Section II.D).
+
+:class:`ServiceMarket` aggregates the network, the provider population, the
+pricing policy and the cost model, and owns the leader's bookkeeping of which
+providers are coordinated (set ``S``) versus selfish (``N \\ S``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.market.costs import CongestionFunction, CostModel
+from repro.market.pricing import Pricing
+from repro.market.service import ServiceProvider
+from repro.network.topology import MECNetwork
+from repro.utils.validation import check_fraction
+
+
+class ServiceMarket:
+    """A two-tiered MEC service market with one infrastructure provider.
+
+    Parameters
+    ----------
+    network:
+        The two-tiered MEC network ``G``.
+    providers:
+        The provider population ``N`` (each owns one service).
+    pricing:
+        Per-GB resource prices; defaults to the midpoint of Section IV.A.
+    congestion:
+        Congestion function ``g``; defaults to the paper's linear model.
+    """
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        providers: Sequence[ServiceProvider],
+        pricing: Optional[Pricing] = None,
+        congestion: Optional[CongestionFunction] = None,
+        latency_budget_ms: Optional[float] = None,
+    ) -> None:
+        if not providers:
+            raise ConfigurationError("a market needs at least one provider")
+        ids = [p.provider_id for p in providers]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("provider ids must be unique")
+        network.validate()
+
+        self.network = network
+        self.providers: List[ServiceProvider] = sorted(
+            providers, key=lambda p: p.provider_id
+        )
+        self.cost_model = CostModel(
+            network,
+            pricing=pricing,
+            congestion=congestion,
+            latency_budget_ms=latency_budget_ms,
+        )
+        self._by_id: Dict[int, ServiceProvider] = {
+            p.provider_id: p for p in self.providers
+        }
+
+    # ------------------------------------------------------------------ #
+    # Provider access
+    # ------------------------------------------------------------------ #
+    def provider(self, provider_id: int) -> ServiceProvider:
+        try:
+            return self._by_id[provider_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown provider id {provider_id}") from None
+
+    def providers_by_id(self) -> Mapping[int, ServiceProvider]:
+        return dict(self._by_id)
+
+    @property
+    def num_providers(self) -> int:
+        return len(self.providers)
+
+    @property
+    def coordinated(self) -> List[ServiceProvider]:
+        """The leader-coordinated set ``S``."""
+        return [p for p in self.providers if p.coordinated]
+
+    @property
+    def selfish(self) -> List[ServiceProvider]:
+        """The selfish set ``N \\ S``."""
+        return [p for p in self.providers if not p.coordinated]
+
+    def set_coordinated(self, provider_ids: Iterable[int]) -> None:
+        """Mark exactly the given providers as coordinated."""
+        wanted = set(provider_ids)
+        unknown = wanted - set(self._by_id)
+        if unknown:
+            raise ConfigurationError(f"unknown provider ids {sorted(unknown)}")
+        for p in self.providers:
+            p.coordinated = p.provider_id in wanted
+
+    def coordination_budget(self, xi: float) -> int:
+        """``floor(xi * |N|)`` — how many providers the leader coordinates."""
+        check_fraction(xi, "xi")
+        return int(xi * self.num_providers)
+
+    # ------------------------------------------------------------------ #
+    # Demand statistics (feed the virtual-cloudlet split, Eq. 7–8)
+    # ------------------------------------------------------------------ #
+    def max_compute_demand(self) -> float:
+        """``a_max`` — the largest total computing demand ``a_l * r_l``."""
+        return max(p.compute_demand for p in self.providers)
+
+    def min_compute_demand(self) -> float:
+        return min(p.compute_demand for p in self.providers)
+
+    def max_bandwidth_demand(self) -> float:
+        """``b_max`` — the largest total bandwidth demand ``b_l * r_l``."""
+        return max(p.bandwidth_demand for p in self.providers)
+
+    def min_bandwidth_demand(self) -> float:
+        return min(p.bandwidth_demand for p in self.providers)
+
+    def total_compute_demand(self) -> float:
+        return sum(p.compute_demand for p in self.providers)
+
+    def total_bandwidth_demand(self) -> float:
+        return sum(p.bandwidth_demand for p in self.providers)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceMarket(providers={self.num_providers}, "
+            f"cloudlets={len(self.network.cloudlets)}, "
+            f"coordinated={len(self.coordinated)})"
+        )
+
+
+__all__ = ["ServiceMarket"]

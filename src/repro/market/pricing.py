@@ -1,0 +1,59 @@
+"""Resource pricing (Section IV.A).
+
+The infrastructure provider charges per GB: transmission $0.05–0.12/GB and
+processing $0.15–0.22/GB, mirroring public-cloud price lists [1], [8]. A
+:class:`Pricing` instance holds one concrete draw; :meth:`Pricing.random`
+draws per-experiment prices from those ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import RandomSource, as_rng, uniform
+from repro.utils.validation import check_non_negative
+
+TRANSMIT_PRICE_RANGE = (0.05, 0.12)  # $/GB
+PROCESS_PRICE_RANGE = (0.15, 0.22)  # $/GB
+
+
+@dataclass(frozen=True)
+class Pricing:
+    """Per-GB prices for bandwidth (transmission) and computing (processing)."""
+
+    transmit_per_gb: float = 0.08
+    process_per_gb: float = 0.18
+    #: Extra transmission charge per hop traversed, as a fraction of the
+    #: base price — this is what makes distant cloudlets more expensive and
+    #: produces Fig. 6(c)'s cost-vs-network-size shape.
+    hop_surcharge: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.transmit_per_gb, "transmit_per_gb")
+        check_non_negative(self.process_per_gb, "process_per_gb")
+        check_non_negative(self.hop_surcharge, "hop_surcharge")
+
+    @classmethod
+    def random(cls, rng: RandomSource = None, hop_surcharge: float = 0.25) -> "Pricing":
+        """Draw prices uniformly from the Section IV.A ranges."""
+        rng = as_rng(rng)
+        return cls(
+            transmit_per_gb=uniform(rng, *TRANSMIT_PRICE_RANGE),
+            process_per_gb=uniform(rng, *PROCESS_PRICE_RANGE),
+            hop_surcharge=hop_surcharge,
+        )
+
+    def transmission_cost(self, volume_gb: float, hops: int) -> float:
+        """Cost of moving ``volume_gb`` across ``hops`` network hops."""
+        check_non_negative(volume_gb, "volume_gb")
+        if hops < 0:
+            raise ValueError(f"hops must be non-negative, got {hops}")
+        return volume_gb * self.transmit_per_gb * (1.0 + self.hop_surcharge * hops)
+
+    def processing_cost(self, volume_gb: float) -> float:
+        """Cost of processing ``volume_gb`` of request data."""
+        check_non_negative(volume_gb, "volume_gb")
+        return volume_gb * self.process_per_gb
+
+
+__all__ = ["Pricing", "TRANSMIT_PRICE_RANGE", "PROCESS_PRICE_RANGE"]

@@ -1,0 +1,157 @@
+"""Services and network service providers.
+
+Per Section II.B, each network service provider ``sp_l`` offers exactly one
+delay-sensitive service ``SV_l`` whose *original instance* lives in a remote
+data center; the provider wants to cache one instance into a cloudlet. A
+service aggregates ``r_l`` user requests of uniform workload: its computing
+demand is ``a_l * r_l`` and its bandwidth demand ``b_l * r_l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_int_at_least, check_non_negative, check_positive
+
+
+@dataclass
+class Service:
+    """A network service and its resource/traffic profile.
+
+    Parameters
+    ----------
+    service_id:
+        Unique id (equals the owning provider's id; one service per provider).
+    requests:
+        ``r_l`` — number of user requests the service must serve.
+    compute_per_request:
+        ``a_l`` — computing units consumed per request.
+    bandwidth_per_request:
+        ``b_l`` — Mbps assigned to each request (Section II.B).
+    data_volume_gb:
+        Size of the service's data/state, 1–5 GB in Section IV.A.
+    update_ratio:
+        Fraction of ``data_volume_gb`` synchronised back to the original
+        instance (10% in Section IV.A).
+    request_traffic_gb:
+        Total request payload shipped to the instance per decision epoch
+        (drawn from [10, 200] MB per request in Section IV.A).
+    home_dc:
+        Node id of the data center hosting the original instance.
+    user_node:
+        Switch node where the service's users aggregate; request traffic is
+        offloaded from there to the cached instance. ``None`` falls back to
+        ``home_dc`` (users co-located with the original instance).
+    user_clusters:
+        Optional tuple of ``(node, weight)`` pairs splitting the user base
+        across several aggregation points (weights must sum to 1). Used by
+        the multi-replica extension (:mod:`repro.core.multicache`), where
+        each cluster offloads to its nearest replica; single-instance
+        algorithms read the weighted mix through the cost model. ``None``
+        means one cluster at ``user_node``.
+    instantiation_cost:
+        ``c_l^ins`` base cost of spinning up the VM and software for a
+        cached instance (Eq. 1); request processing charges are added by
+        the cost model on top.
+    """
+
+    service_id: int
+    requests: int
+    compute_per_request: float
+    bandwidth_per_request: float
+    data_volume_gb: float
+    home_dc: int
+    user_node: int = None
+    user_clusters: tuple = None
+    update_ratio: float = 0.10
+    #: Synchronisation rounds per decision epoch. The paper reserves
+    #: ``b_l * r_l`` of bandwidth continuously for consistency updates
+    #: (Section II.C); we discretise that into recurring sync rounds, each
+    #: shipping ``update_ratio * data_volume_gb`` back to the original
+    #: instance.
+    sync_frequency: float = 10.0
+    request_traffic_gb: float = 0.0
+    instantiation_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_int_at_least(self.requests, 1, "requests")
+        check_positive(self.compute_per_request, "compute_per_request")
+        check_positive(self.bandwidth_per_request, "bandwidth_per_request")
+        check_positive(self.data_volume_gb, "data_volume_gb")
+        check_non_negative(self.update_ratio, "update_ratio")
+        check_non_negative(self.sync_frequency, "sync_frequency")
+        check_non_negative(self.request_traffic_gb, "request_traffic_gb")
+        check_non_negative(self.instantiation_cost, "instantiation_cost")
+        if self.user_node is None:
+            self.user_node = self.home_dc
+        if self.user_clusters is not None:
+            clusters = tuple((int(n), float(w)) for n, w in self.user_clusters)
+            if not clusters:
+                raise ConfigurationError("user_clusters must not be empty")
+            total = sum(w for _, w in clusters)
+            if abs(total - 1.0) > 1e-6:
+                raise ConfigurationError(
+                    f"user_clusters weights must sum to 1, got {total}"
+                )
+            if any(w <= 0 for _, w in clusters):
+                raise ConfigurationError("user_clusters weights must be positive")
+            self.user_clusters = clusters
+
+    @property
+    def clusters(self) -> tuple:
+        """The user clusters, normalised: ``((node, weight), ...)``."""
+        if self.user_clusters is not None:
+            return self.user_clusters
+        return ((self.user_node, 1.0),)
+
+    @property
+    def compute_demand(self) -> float:
+        """``a_l * r_l`` — total computing units if cached."""
+        return self.compute_per_request * self.requests
+
+    @property
+    def bandwidth_demand(self) -> float:
+        """``b_l * r_l`` — total Mbps if cached."""
+        return self.bandwidth_per_request * self.requests
+
+    @property
+    def update_volume_gb(self) -> float:
+        """GB synchronised from the cached to the original instance per
+        decision epoch (all sync rounds combined)."""
+        return self.update_ratio * self.data_volume_gb * self.sync_frequency
+
+
+@dataclass
+class ServiceProvider:
+    """A network service provider ``sp_l`` owning one service.
+
+    ``coordinated`` is set by the Stackelberg leader (the infrastructure
+    provider): coordinated providers follow the prescribed Appro strategy;
+    the rest play selfishly (Section II.D).
+    """
+
+    provider_id: int
+    service: Service
+    name: str = ""
+    coordinated: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.provider_id != self.service.service_id:
+            raise ValueError(
+                f"provider {self.provider_id} must own service with the same id, "
+                f"got service {self.service.service_id}"
+            )
+        if not self.name:
+            self.name = f"sp{self.provider_id}"
+
+    @property
+    def compute_demand(self) -> float:
+        return self.service.compute_demand
+
+    @property
+    def bandwidth_demand(self) -> float:
+        return self.service.bandwidth_demand
+
+
+__all__ = ["Service", "ServiceProvider"]

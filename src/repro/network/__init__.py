@@ -1,0 +1,34 @@
+"""Two-tiered mobile edge-cloud (MEC) network model.
+
+The paper's network is ``G = (CL ∪ DC, E)``: cloudlets with finite computing
+and bandwidth capacities near the edge, remote data centers with effectively
+unbounded capacity, and links interconnecting them. This package provides the
+element types, the :class:`~repro.network.topology.MECNetwork` container,
+GT-ITM-style random topology generators, an AS1755-like topology-zoo graph,
+and routing/distance queries used by the cost model.
+"""
+
+from repro.network.elements import Cloudlet, DataCenter, Link, NodeKind, SwitchNode
+from repro.network.topology import MECNetwork
+from repro.network.generators import (
+    transit_stub_graph,
+    waxman_graph,
+    random_mec_network,
+)
+from repro.network.zoo import as1755, as1755_mec_network
+from repro.network.routing import RoutingTable
+
+__all__ = [
+    "Cloudlet",
+    "DataCenter",
+    "Link",
+    "NodeKind",
+    "SwitchNode",
+    "MECNetwork",
+    "transit_stub_graph",
+    "waxman_graph",
+    "random_mec_network",
+    "as1755",
+    "as1755_mec_network",
+    "RoutingTable",
+]

@@ -1,0 +1,76 @@
+"""Shortest-path routing with cached all-pairs distances.
+
+The cost model turns network distance into bandwidth cost (a cached instance
+must synchronise updates back to its home data center, Section II.C), so
+distance queries are on the hot path of every algorithm. We precompute
+delay-weighted shortest paths once per topology with Dijkstra and memoise the
+actual node sequences on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+
+
+class RoutingTable:
+    """All-pairs shortest paths over a delay-weighted graph.
+
+    Distances (sum of ``weight`` = link delay) and hop counts are computed
+    eagerly; explicit paths are computed lazily and cached.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("cannot build a routing table for an empty graph")
+        self._graph = graph
+        # dict-of-dict: delay[u][v]
+        self._delay: Dict[int, Dict[int, float]] = dict(
+            nx.all_pairs_dijkstra_path_length(graph, weight="weight")
+        )
+        self._hops: Dict[int, Dict[int, int]] = {
+            u: {v: L for v, L in lengths.items()}
+            for u, lengths in nx.all_pairs_shortest_path_length(graph)
+        }
+        self._path_cache: Dict[Tuple[int, int], List[int]] = {}
+
+    def path_delay(self, u: int, v: int) -> float:
+        """Total delay (ms) along the min-delay path; 0 when ``u == v``."""
+        try:
+            return self._delay[u][v]
+        except KeyError:
+            raise TopologyError(f"no path between {u} and {v}") from None
+
+    def hop_count(self, u: int, v: int) -> int:
+        """Hop count of the unweighted shortest path; 0 when ``u == v``."""
+        try:
+            return self._hops[u][v]
+        except KeyError:
+            raise TopologyError(f"no path between {u} and {v}") from None
+
+    def shortest_path(self, u: int, v: int) -> List[int]:
+        """Node sequence of the min-delay path ``u → v`` (inclusive)."""
+        key = (u, v)
+        if key not in self._path_cache:
+            try:
+                path = nx.dijkstra_path(self._graph, u, v, weight="weight")
+            except nx.NetworkXNoPath:
+                raise TopologyError(f"no path between {u} and {v}") from None
+            except nx.NodeNotFound as exc:
+                raise TopologyError(str(exc)) from None
+            self._path_cache[key] = path
+        return list(self._path_cache[key])
+
+    def eccentricity(self, u: int) -> float:
+        """Max delay from ``u`` to any reachable node."""
+        return max(self._delay[u].values())
+
+    def diameter(self) -> float:
+        """Max delay between any node pair (delay-weighted diameter)."""
+        return max(self.eccentricity(u) for u in self._delay)
+
+
+__all__ = ["RoutingTable"]

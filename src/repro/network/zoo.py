@@ -1,0 +1,103 @@
+"""An AS1755 (Ebone) topology substitute.
+
+The paper's testbed overlay follows the real topology "AS1755" from the
+Internet Topology Zoo / Rocketfuel data set [29] — the Ebone European
+backbone, commonly reported as 87 routers and 161 links. The data file is not
+redistributable here, so :func:`as1755` *constructs* a deterministic graph
+with exactly those counts and an ISP-like structure: point-of-presence (PoP)
+clusters of 2–6 routers, a well-connected PoP-level core ring with chords,
+and intra-PoP meshes. Every node has degree >= 2 (the testbed requires each
+switch to reach at least two others).
+
+The substitution is documented in DESIGN.md; the experiments consume only
+connectivity and path lengths, which this graph reproduces at the right scale.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from repro.network.generators import mec_network_from_graph
+from repro.network.topology import MECNetwork
+from repro.utils.rng import RandomSource, as_rng
+
+AS1755_NODES = 87
+AS1755_EDGES = 161
+
+#: PoP sizes (router counts per city) summing to 87; loosely modelled on
+#: Ebone's European footprint (large hubs + small regional PoPs).
+_POP_SIZES: List[int] = [6, 6, 5, 5, 5, 4, 4, 4, 4, 4, 4, 3, 3, 3, 3, 3, 3, 3, 3, 2, 2, 2, 2, 2, 2]
+
+_SEED = 1755  # fixed: the graph must be identical across runs
+
+
+def _build_as1755() -> nx.Graph:
+    assert sum(_POP_SIZES) == AS1755_NODES
+    rng = np.random.default_rng(_SEED)
+    g = nx.Graph()
+
+    pops: List[List[int]] = []
+    nid = 0
+    for size in _POP_SIZES:
+        members = list(range(nid, nid + size))
+        nid += size
+        pops.append(members)
+        for u in members:
+            g.add_node(u, pop=len(pops) - 1)
+        # Intra-PoP: ring (mesh for size 2 collapses to one edge).
+        if size == 2:
+            g.add_edge(members[0], members[1])
+        elif size > 2:
+            for i in range(size):
+                g.add_edge(members[i], members[(i + 1) % size])
+
+    # PoP-level backbone ring through gateway routers (first member of each
+    # PoP), so the graph is connected even before chords.
+    n_pops = len(pops)
+    for i in range(n_pops):
+        g.add_edge(pops[i][0], pops[(i + 1) % n_pops][0])
+
+    # Chords between random PoP pairs until the edge budget is met; connect
+    # via the second router when available to spread degree.
+    while g.number_of_edges() < AS1755_EDGES:
+        i, j = rng.choice(n_pops, size=2, replace=False)
+        u = pops[i][min(1, len(pops[i]) - 1)]
+        v = pops[j][min(1, len(pops[j]) - 1)]
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+
+    assert g.number_of_nodes() == AS1755_NODES
+    assert g.number_of_edges() == AS1755_EDGES
+    assert nx.is_connected(g)
+    assert min(d for _, d in g.degree) >= 2
+    for u in g.nodes:
+        g.nodes[u]["level"] = "transit" if u in {p[0] for p in pops} else "stub"
+    return g
+
+
+_AS1755_CACHE: nx.Graph = None
+
+
+def as1755() -> nx.Graph:
+    """The deterministic AS1755-like backbone graph (87 nodes, 161 edges)."""
+    global _AS1755_CACHE
+    if _AS1755_CACHE is None:
+        _AS1755_CACHE = _build_as1755()
+    return _AS1755_CACHE.copy()
+
+
+def as1755_mec_network(rng: RandomSource = None, **kwargs) -> MECNetwork:
+    """AS1755 dressed as a two-tiered MEC network (Section IV.A parameters).
+
+    Keyword arguments pass through to
+    :func:`repro.network.generators.mec_network_from_graph`; only the
+    capacities and costs are random (under ``rng``), the topology is fixed.
+    """
+    kwargs.setdefault("name", "as1755")
+    return mec_network_from_graph(as1755(), as_rng(rng), **kwargs)
+
+
+__all__ = ["AS1755_NODES", "AS1755_EDGES", "as1755", "as1755_mec_network"]

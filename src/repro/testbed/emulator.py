@@ -1,0 +1,202 @@
+"""The testbed facade: underlay + overlay + controller + traffic emulation.
+
+:class:`Testbed` assembles the paper's Fig. 4 setup — the five hardware
+switches, five servers, an AS1755 OVS/VXLAN overlay — and exposes
+:meth:`Testbed.run` which (1) runs a caching algorithm as a controller app,
+(2) installs its placement, (3) emulates the resulting access and update
+traffic at flow level, and (4) reports social cost, wall-clock runtime and
+transfer metrics. The Fig. 5–7 experiments are thin loops over this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.assignment import CachingAssignment
+from repro.exceptions import ConfigurationError
+from repro.market.market import ServiceMarket
+from repro.network.topology import MECNetwork
+from repro.network.zoo import as1755_mec_network
+from repro.testbed.controller import CachingApp, RyuController
+from repro.testbed.flows import FlowSimulator
+from repro.testbed.ovs import OverlayNetwork
+from repro.testbed.switch import HardwareSwitch, default_underlay
+from repro.testbed.vm import Server, VMManager
+from repro.utils.rng import RandomSource, as_rng
+
+#: Capacity of one underlay cable (10GbE uplinks), Mbps.
+UNDERLAY_CABLE_MBPS = 10_000.0
+
+
+@dataclass
+class TestbedRun:
+    """Everything measured for one algorithm run on the testbed."""
+
+    #: Not a pytest test class, despite the Test* name.
+    __test__ = False
+
+    algorithm: str
+    assignment: CachingAssignment
+    social_cost: float
+    runtime_s: float
+    flow_metrics: Dict[str, float]
+    vm_utilization: Dict[str, float]
+    #: Byte counters: GB carried per overlay link / underlay cable, keyed
+    #: by the same resource ids the flow simulator uses.
+    telemetry: Dict[object, float] = field(default_factory=dict)
+
+    @property
+    def makespan_s(self) -> float:
+        return self.flow_metrics["makespan"]
+
+    def hottest_links(self, top: int = 5, layer: str = "overlay"):
+        """The ``top`` busiest links of a layer as ``(endpoints, GB)``.
+
+        ``layer`` is ``"overlay"`` (VXLAN tunnels) or ``"underlay"``
+        (physical cables).
+        """
+        if layer not in ("overlay", "underlay"):
+            raise ConfigurationError(f"unknown layer {layer!r}")
+        rows = [
+            (tuple(sorted(key[1])), volume)
+            for key, volume in self.telemetry.items()
+            if key[0] == layer
+        ]
+        rows.sort(key=lambda t: (-t[1], t[0]))
+        return rows[:top]
+
+
+class Testbed:
+    """The emulated hardware testbed of Section IV.C.
+
+    Parameters
+    ----------
+    network:
+        The overlay dressed as a two-tiered MEC network; default builds the
+        AS1755 overlay with the Section IV.A parameters.
+    rng:
+        Seeds the default network construction.
+    """
+
+    #: Not a pytest test class, despite the Test* name.
+    __test__ = False
+
+    def __init__(
+        self,
+        network: Optional[MECNetwork] = None,
+        rng: RandomSource = None,
+    ) -> None:
+        self.network = network if network is not None else as1755_mec_network(as_rng(rng))
+        self.switches: List[HardwareSwitch] = default_underlay()
+        self.servers: List[Server] = [Server(server_id=i) for i in range(5)]
+        self.vm_manager = VMManager(self.servers)
+        self.overlay = OverlayNetwork(self.network.graph, self.switches, self.servers)
+        self.controller = RyuController(self.overlay)
+
+    def register_algorithm(self, name: str, app: CachingApp) -> None:
+        """Expose a caching algorithm as a controller application."""
+        self.controller.register_app(name, app)
+
+    # ------------------------------------------------------------------ #
+    # Traffic emulation
+    # ------------------------------------------------------------------ #
+    def _capacities(self) -> Dict[Hashable, float]:
+        caps: Dict[Hashable, float] = {}
+        for link in self.network.links():
+            caps[("overlay", frozenset((link.u, link.v)))] = link.bandwidth
+        cable_set = set()
+        for tunnel in self.overlay.tunnels.values():
+            for cable in tunnel.underlay_path:
+                cable_set.add(frozenset(cable))
+        for cable in cable_set:
+            caps[("underlay", cable)] = UNDERLAY_CABLE_MBPS
+        return caps
+
+    def _flow_resources(self, src: int, dst: int) -> List[Hashable]:
+        """Overlay links + underlay cables a transfer crosses (dedup)."""
+        resources: List[Hashable] = []
+        path = self.overlay.overlay_path(src, dst)
+        seen = set()
+        for u, v in zip(path, path[1:]):
+            key = ("overlay", frozenset((u, v)))
+            if key not in seen:
+                seen.add(key)
+                resources.append(key)
+        for cable in self.overlay.underlay_cables(src, dst):
+            key = ("underlay", frozenset(cable))
+            if key not in seen:
+                seen.add(key)
+                resources.append(key)
+        return resources
+
+    def build_flow_simulator(self, assignment: CachingAssignment) -> FlowSimulator:
+        """The flow set one epoch of the assignment's traffic generates.
+
+        Cached providers generate an access flow (users -> cache) and an
+        update flow (cache -> home DC); rejected providers backhaul their
+        request traffic to the remote cloud.
+        """
+        simulator = FlowSimulator(self._capacities())
+        market = assignment.market
+        for pid, node in sorted(assignment.placement.items()):
+            svc = market.provider(pid).service
+            if svc.user_node != node and svc.request_traffic_gb > 0:
+                simulator.add_flow(
+                    svc.user_node, node, svc.request_traffic_gb,
+                    self._flow_resources(svc.user_node, node),
+                )
+            if node != svc.home_dc and svc.update_volume_gb > 0:
+                simulator.add_flow(
+                    node, svc.home_dc, svc.update_volume_gb,
+                    self._flow_resources(node, svc.home_dc),
+                )
+        for pid in sorted(assignment.rejected):
+            svc = market.provider(pid).service
+            if svc.user_node != svc.home_dc and svc.request_traffic_gb > 0:
+                simulator.add_flow(
+                    svc.user_node, svc.home_dc, svc.request_traffic_gb,
+                    self._flow_resources(svc.user_node, svc.home_dc),
+                )
+        return simulator
+
+    def emulate_traffic(self, assignment: CachingAssignment) -> Dict[str, float]:
+        """Run the flow emulation and return the summary metrics only."""
+        return self.build_flow_simulator(assignment).run()
+
+    # ------------------------------------------------------------------ #
+    # One full run
+    # ------------------------------------------------------------------ #
+    def run(self, algorithm: str, market: ServiceMarket) -> TestbedRun:
+        """Run a registered algorithm on a market over this testbed."""
+        if market.network is not self.network:
+            raise ConfigurationError(
+                "market was generated over a different network than the testbed overlay"
+            )
+        self.vm_manager.destroy_all()
+        assignment = self.controller.run_app(algorithm, market)
+
+        # Provision one VM per cached instance (capacity effects on the
+        # servers are reported, not enforced — the paper's servers are
+        # sized to fit the experiment).
+        for pid in sorted(assignment.placement):
+            self.vm_manager.provision(
+                cores=0.25, memory_gb=0.25, label=f"svc{pid}"
+            )
+
+        simulator = self.build_flow_simulator(assignment)
+        flow_metrics = simulator.run()
+        return TestbedRun(
+            algorithm=algorithm,
+            assignment=assignment,
+            social_cost=assignment.social_cost,
+            runtime_s=self.controller.app_runtimes[algorithm],
+            flow_metrics=flow_metrics,
+            vm_utilization=self.vm_manager.utilization(),
+            telemetry=simulator.resource_volumes(),
+        )
+
+
+__all__ = ["UNDERLAY_CABLE_MBPS", "Testbed", "TestbedRun"]

@@ -1,0 +1,119 @@
+"""Hardware-switch models of the physical underlay (Fig. 4).
+
+The paper's underlay uses five switches of five different vendors. We model
+each as a port-count + per-packet switching latency + backplane capacity
+triple (numbers from the vendors' public data sheets, rounded); the emulator
+only consumes ports and capacities, so the exact figures shape constants,
+not conclusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError, EmulationError
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """Static data-sheet characteristics of a switch product."""
+
+    vendor: str
+    product: str
+    ports: int
+    port_speed_mbps: float
+    switching_latency_us: float
+    backplane_gbps: float
+
+
+#: The five physical switches of the paper's testbed.
+SWITCH_CATALOG: Dict[str, SwitchModel] = {
+    "huawei": SwitchModel("Huawei", "S5720-32C-HI-24S-AC", 24, 10_000.0, 1.2, 680.0),
+    "h3c": SwitchModel("H3C", "S5560-30S-EI", 30, 10_000.0, 1.5, 598.0),
+    "ruijie": SwitchModel("Ruijie", "RG-5750C-28GT4XS-H", 28, 1_000.0, 2.0, 256.0),
+    "cisco": SwitchModel("Cisco", "3750X-24T", 24, 1_000.0, 2.8, 160.0),
+    "centec": SwitchModel("Centec", "aSW1100-48T4X", 48, 1_000.0, 2.2, 176.0),
+}
+
+
+class HardwareSwitch:
+    """A runtime switch instance: ports, links and a forwarding table."""
+
+    def __init__(self, switch_id: int, model: SwitchModel, name: str = "") -> None:
+        self.switch_id = switch_id
+        self.model = model
+        self.name = name or f"{model.vendor}-{switch_id}"
+        # port -> peer switch_id (None = free port)
+        self._ports: List[Optional[int]] = [None] * model.ports
+        # destination switch_id -> egress port
+        self.forwarding_table: Dict[int, int] = {}
+
+    @property
+    def free_ports(self) -> int:
+        return sum(1 for p in self._ports if p is None)
+
+    def connect(self, peer_id: int) -> int:
+        """Attach a cable towards ``peer_id``; returns the port used."""
+        for port, peer in enumerate(self._ports):
+            if peer is None:
+                self._ports[port] = peer_id
+                return port
+        raise EmulationError(f"{self.name}: no free ports (all {self.model.ports} used)")
+
+    def disconnect(self, port: int) -> None:
+        if not 0 <= port < self.model.ports:
+            raise ConfigurationError(f"{self.name}: no port {port}")
+        self._ports[port] = None
+        self.forwarding_table = {
+            dst: p for dst, p in self.forwarding_table.items() if p != port
+        }
+
+    def peer_on(self, port: int) -> Optional[int]:
+        if not 0 <= port < self.model.ports:
+            raise ConfigurationError(f"{self.name}: no port {port}")
+        return self._ports[port]
+
+    def install_route(self, destination: int, port: int) -> None:
+        """Install a forwarding entry (done by the controller via Netconf/
+        SNMP in the real testbed)."""
+        if self._ports[port] is None:
+            raise EmulationError(
+                f"{self.name}: cannot route {destination} via unconnected port {port}"
+            )
+        self.forwarding_table[destination] = port
+
+    def next_hop(self, destination: int) -> int:
+        """Peer switch towards ``destination``; raises when unknown."""
+        try:
+            port = self.forwarding_table[destination]
+        except KeyError:
+            raise EmulationError(
+                f"{self.name}: no forwarding entry for {destination}"
+            ) from None
+        peer = self._ports[port]
+        if peer is None:
+            raise EmulationError(f"{self.name}: forwarding entry points at dead port")
+        return peer
+
+    def __repr__(self) -> str:
+        return f"HardwareSwitch({self.name}, model={self.model.product})"
+
+
+def default_underlay() -> List[HardwareSwitch]:
+    """The paper's five-switch underlay, each connected to >= 2 others.
+
+    Wiring is a ring plus two chords (each switch reaches at least two
+    peers, the paper's survivability requirement).
+    """
+    switches = [
+        HardwareSwitch(i, model) for i, model in enumerate(SWITCH_CATALOG.values())
+    ]
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3)]
+    for u, v in edges:
+        switches[u].connect(v)
+        switches[v].connect(u)
+    return switches
+
+
+__all__ = ["SwitchModel", "SWITCH_CATALOG", "HardwareSwitch", "default_underlay"]

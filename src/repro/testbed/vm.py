@@ -1,0 +1,124 @@
+"""Servers and VM provisioning.
+
+The testbed has five servers (i7-8700, 16 GB RAM); overlay OVS nodes and the
+VMs implementing cached service instances are placed on them. The manager
+balances VMs across servers and enforces core/memory limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import CapacityError, ConfigurationError
+
+
+@dataclass
+class Server:
+    """A physical server of the testbed."""
+
+    server_id: int
+    cores: int = 6  # i7-8700
+    memory_gb: float = 16.0
+    name: str = ""
+    cores_used: float = field(default=0.0, compare=False)
+    memory_used: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.memory_gb <= 0:
+            raise ConfigurationError("server must have positive cores and memory")
+        if not self.name:
+            self.name = f"server{self.server_id}"
+
+    def can_host(self, cores: float, memory_gb: float) -> bool:
+        return (
+            self.cores_used + cores <= self.cores + 1e-9
+            and self.memory_used + memory_gb <= self.memory_gb + 1e-9
+        )
+
+    def allocate(self, cores: float, memory_gb: float) -> None:
+        if not self.can_host(cores, memory_gb):
+            raise CapacityError(
+                f"{self.name}: cannot allocate {cores} cores / {memory_gb} GB"
+            )
+        self.cores_used += cores
+        self.memory_used += memory_gb
+
+    def release(self, cores: float, memory_gb: float) -> None:
+        self.cores_used = max(0.0, self.cores_used - cores)
+        self.memory_used = max(0.0, self.memory_used - memory_gb)
+
+
+@dataclass
+class VirtualMachine:
+    """A VM implementing one cached service instance (or an OVS helper)."""
+
+    vm_id: int
+    server: Server
+    cores: float = 0.5
+    memory_gb: float = 0.5
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.memory_gb <= 0:
+            raise ConfigurationError("VM must request positive resources")
+
+
+class VMManager:
+    """Provision/destroy VMs across a server pool (least-loaded first)."""
+
+    def __init__(self, servers: List[Server]) -> None:
+        if not servers:
+            raise ConfigurationError("VMManager needs at least one server")
+        self.servers = list(servers)
+        self._vms: Dict[int, VirtualMachine] = {}
+        self._next_id = 0
+
+    def provision(
+        self, cores: float = 0.5, memory_gb: float = 0.5, label: str = ""
+    ) -> VirtualMachine:
+        """Create a VM on the least-loaded server able to host it."""
+        candidates = sorted(
+            (s for s in self.servers if s.can_host(cores, memory_gb)),
+            key=lambda s: (s.cores_used / s.cores, s.server_id),
+        )
+        if not candidates:
+            raise CapacityError(
+                f"no server can host a VM with {cores} cores / {memory_gb} GB"
+            )
+        server = candidates[0]
+        server.allocate(cores, memory_gb)
+        vm = VirtualMachine(
+            vm_id=self._next_id, server=server, cores=cores,
+            memory_gb=memory_gb, label=label,
+        )
+        self._next_id += 1
+        self._vms[vm.vm_id] = vm
+        return vm
+
+    def destroy(self, vm_id: int) -> None:
+        try:
+            vm = self._vms.pop(vm_id)
+        except KeyError:
+            raise ConfigurationError(f"unknown VM {vm_id}") from None
+        vm.server.release(vm.cores, vm.memory_gb)
+
+    def destroy_all(self) -> None:
+        for vm_id in list(self._vms):
+            self.destroy(vm_id)
+
+    @property
+    def vms(self) -> List[VirtualMachine]:
+        return [self._vms[k] for k in sorted(self._vms)]
+
+    def utilization(self) -> Dict[str, float]:
+        """Pool-wide core/memory utilisation fractions."""
+        total_cores = sum(s.cores for s in self.servers)
+        total_mem = sum(s.memory_gb for s in self.servers)
+        return {
+            "cores": sum(s.cores_used for s in self.servers) / total_cores,
+            "memory": sum(s.memory_used for s in self.servers) / total_mem,
+        }
+
+
+__all__ = ["Server", "VirtualMachine", "VMManager"]

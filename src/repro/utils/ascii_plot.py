@@ -1,0 +1,92 @@
+"""Dependency-free ASCII charts for examples and bench output.
+
+A terminal-first reproduction shouldn't need matplotlib to show a trend:
+:func:`sparkline` compresses a series into one line of block glyphs, and
+:func:`line_chart` draws a multi-series y-vs-x chart on a character grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-glyph rendering of a numeric series.
+
+    >>> sparkline([1, 2, 3])
+    '▁▄█'
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return ""
+    lo, hi = min(xs), max(xs)
+    if hi - lo < 1e-12:
+        return _BLOCKS[0] * len(xs)
+    scale = (len(_BLOCKS) - 1) / (hi - lo)
+    return "".join(_BLOCKS[int(round((v - lo) * scale))] for v in xs)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_values: Optional[Sequence[object]] = None,
+    height: int = 10,
+    width: Optional[int] = None,
+    title: str = "",
+) -> str:
+    """A multi-series character chart.
+
+    Each series gets a marker (``*``, ``o``, ``+``, …); y is linearly
+    binned into ``height`` rows; x positions spread over ``width`` columns
+    (default: one column per point).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise ValueError("series are empty")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    width = width if width is not None else max(n_points, 2)
+
+    all_values = [float(v) for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    markers = "*o+x#@%&"
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for s_index, (name, values) in enumerate(series.items()):
+        marker = markers[s_index % len(markers)]
+        for i, value in enumerate(values):
+            col = 0 if n_points == 1 else round(i * (width - 1) / (n_points - 1))
+            row = round((float(value) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    label_hi = f"{hi:.4g}"
+    label_lo = f"{lo:.4g}"
+    pad = max(len(label_hi), len(label_lo))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        label = label_hi if r == 0 else (label_lo if r == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    if x_values is not None and len(x_values) >= 2:
+        axis = f"{' ' * pad} +" + "-" * width
+        lines.append(axis)
+        first, last = str(x_values[0]), str(x_values[-1])
+        gap = max(1, width - len(first) - len(last))
+        lines.append(f"{' ' * pad}  {first}{' ' * gap}{last}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * pad}  {legend}")
+    return "\n".join(lines)
+
+
+__all__ = ["sparkline", "line_chart"]

@@ -1,0 +1,73 @@
+"""Plain-text table and series rendering for the experiment harness.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+this module owns the formatting so every figure driver renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class Table:
+    """A simple left-aligned ASCII table.
+
+    >>> t = Table(["size", "LCF", "Greedy"])
+    >>> t.add_row([50, 1.23456, 2.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], float_format: str = "{:.4g}") -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.float_format = float_format
+        self._rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self._rows.append(row)
+
+    def _fmt(self, value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return self.float_format.format(value)
+        return str(value)
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """Rendered cell strings (copy); useful for assertions in tests."""
+        return [list(r) for r in self._rows]
+
+    def render(self, title: Optional[str] = None) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        parts: List[str] = []
+        if title:
+            parts.append(title)
+        parts.append(line(self.headers))
+        parts.append(line(["-" * w for w in widths]))
+        parts.extend(line(r) for r in self._rows)
+        return "\n".join(parts)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """Render one plotted series as ``name: x=y, x=y, ...`` for bench output."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pairs = ", ".join(f"{x}={y:.4g}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+__all__ = ["Table", "format_series"]

@@ -1,0 +1,56 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`repro.exceptions.ConfigurationError` with a uniform
+message format, so API misuse surfaces as a library error rather than a bare
+``ValueError`` deep inside numpy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0`` (and finite); return it for chaining."""
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0`` (and finite); return it for chaining."""
+    if not math.isfinite(value) or value < 0:
+        raise ConfigurationError(f"{name} must be non-negative and finite, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Alias of :func:`check_fraction` kept for call-site readability."""
+    return check_fraction(value, name)
+
+
+def check_int_at_least(value: int, minimum: int, name: str) -> int:
+    """Require an integer ``value >= minimum``; return it for chaining."""
+    if int(value) != value:
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value!r}")
+    return int(value)
+
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_probability",
+    "check_int_at_least",
+]

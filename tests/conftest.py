@@ -1,0 +1,102 @@
+"""Shared fixtures: hand-built and random networks/markets of various sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+from repro.market.service import Service, ServiceProvider
+from repro.market.workload import generate_market
+from repro.network.elements import Cloudlet, DataCenter
+from repro.network.generators import random_mec_network
+from repro.network.topology import MECNetwork
+
+
+def build_line_network(
+    n_cloudlets: int = 2,
+    compute: float = 10.0,
+    bandwidth: float = 500.0,
+    alpha: float = 0.5,
+    beta: float = 0.5,
+) -> MECNetwork:
+    """A deterministic path network: DC - sw - CL - sw - CL - ...
+
+    Node 0 hosts the data center; cloudlets sit at odd distances, giving
+    predictable hop counts for exact cost assertions.
+    """
+    net = MECNetwork(name="line")
+    n_nodes = 2 * n_cloudlets + 1
+    for node in range(n_nodes):
+        net.add_switch(node)
+    for node in range(n_nodes - 1):
+        net.add_link(node, node + 1, bandwidth=1000.0, delay_ms=1.0)
+    net.attach_data_center(DataCenter(node_id=0))
+    for k in range(n_cloudlets):
+        net.attach_cloudlet(
+            Cloudlet(
+                node_id=2 * (k + 1),
+                compute_capacity=compute,
+                bandwidth_capacity=bandwidth,
+                alpha=alpha,
+                beta=beta,
+                bdw_unit_cost=0.08,
+            )
+        )
+    return net
+
+
+def build_provider(
+    pid: int,
+    home_dc: int = 0,
+    user_node: int = 1,
+    requests: int = 10,
+    compute_per_request: float = 0.1,
+    bandwidth_per_request: float = 1.0,
+    data_volume_gb: float = 2.0,
+    traffic_gb: float = 1.0,
+    instantiation_cost: float = 0.1,
+    sync_frequency: float = 10.0,
+) -> ServiceProvider:
+    """A provider with controllable numbers for exact assertions."""
+    service = Service(
+        service_id=pid,
+        requests=requests,
+        compute_per_request=compute_per_request,
+        bandwidth_per_request=bandwidth_per_request,
+        data_volume_gb=data_volume_gb,
+        home_dc=home_dc,
+        user_node=user_node,
+        request_traffic_gb=traffic_gb,
+        instantiation_cost=instantiation_cost,
+        sync_frequency=sync_frequency,
+    )
+    return ServiceProvider(provider_id=pid, service=service)
+
+
+@pytest.fixture
+def line_network() -> MECNetwork:
+    return build_line_network()
+
+
+@pytest.fixture
+def line_market(line_network: MECNetwork) -> ServiceMarket:
+    providers = [build_provider(pid) for pid in range(4)]
+    return ServiceMarket(line_network, providers, pricing=Pricing())
+
+
+@pytest.fixture
+def small_network() -> MECNetwork:
+    return random_mec_network(40, rng=7)
+
+
+@pytest.fixture
+def small_market(small_network: MECNetwork) -> ServiceMarket:
+    return generate_market(small_network, n_providers=12, rng=9)
+
+
+@pytest.fixture
+def tiny_market() -> ServiceMarket:
+    """Small enough for the exact optimal solver."""
+    network = random_mec_network(25, rng=3)
+    return generate_market(network, n_providers=6, rng=4)

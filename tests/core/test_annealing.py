@@ -1,0 +1,74 @@
+"""Tests for the simulated-annealing placement solver."""
+
+import pytest
+
+from repro.core.annealing import annealed_caching
+from repro.core.optimal import optimal_caching
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+
+from tests.conftest import build_line_network, build_provider
+
+
+class TestAnnealedCaching:
+    def test_finds_exact_optimum_on_small_instances(self):
+        for seed in (3, 5):
+            network = random_mec_network(25, rng=seed)
+            market = generate_market(network, 6, rng=seed + 1)
+            optimum = optimal_caching(market)
+            annealed = annealed_caching(market, iterations=5000, rng=1)
+            assert annealed.social_cost == pytest.approx(
+                optimum.social_cost, rel=0.02
+            )
+
+    def test_feasible_and_complete(self, small_market):
+        result = annealed_caching(small_market, iterations=2000, rng=2)
+        result.check_capacities()
+        assert len(result.placement) == small_market.num_providers
+
+    def test_deterministic_under_seed(self, small_market):
+        a = annealed_caching(small_market, iterations=2000, rng=7)
+        b = annealed_caching(small_market, iterations=2000, rng=7)
+        assert a.placement == b.placement
+
+    def test_never_worse_than_greedy_start(self, small_market):
+        from repro.core.annealing import _initial_greedy
+
+        start = _initial_greedy(small_market)
+        start_cost = small_market.cost_model.social_cost(
+            small_market.providers_by_id(), start
+        )
+        result = annealed_caching(small_market, iterations=3000, rng=3)
+        assert result.social_cost <= start_cost + 1e-9
+
+    def test_info_fields(self, small_market):
+        result = annealed_caching(small_market, iterations=500, rng=1)
+        assert result.info["iterations"] == 500
+        assert result.info["accepted_moves"] >= 0
+        assert 0 < result.info["final_temperature"] <= 1.0
+
+    def test_parameter_validation(self, small_market):
+        with pytest.raises(ConfigurationError):
+            annealed_caching(small_market, iterations=0)
+        with pytest.raises(ConfigurationError):
+            annealed_caching(small_market, cooling=1.0)
+        with pytest.raises(ConfigurationError):
+            annealed_caching(small_market, initial_temperature=0.0)
+
+    def test_uncacheable_market_raises(self):
+        net = build_line_network(compute=1.5)
+        providers = [build_provider(i) for i in range(4)]  # only 2 fit
+        market = ServiceMarket(net, providers, pricing=Pricing())
+        with pytest.raises(InfeasibleError):
+            annealed_caching(market, iterations=100)
+
+    def test_delta_bookkeeping_consistent(self, small_market):
+        """The incrementally-tracked cost must match a fresh evaluation."""
+        result = annealed_caching(small_market, iterations=4000, rng=9)
+        fresh = small_market.cost_model.social_cost(
+            small_market.providers_by_id(), result.placement
+        )
+        assert result.social_cost == pytest.approx(fresh)

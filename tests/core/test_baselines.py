@@ -1,0 +1,99 @@
+"""Tests for the JoOffloadCache and OffloadCache baselines."""
+
+import pytest
+
+from repro.core.baselines import jo_offload_cache, offload_cache
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+
+from tests.conftest import build_line_network, build_provider
+
+
+def make_market(n_providers=4, **net_kwargs):
+    net = build_line_network(**net_kwargs)
+    providers = [build_provider(i) for i in range(n_providers)]
+    return ServiceMarket(net, providers, pricing=Pricing())
+
+
+class TestJoOffloadCache:
+    def test_covers_all_providers(self, small_market):
+        a = jo_offload_cache(small_market)
+        assert len(a.placement) + len(a.rejected) == small_market.num_providers
+        a.check_capacities()
+
+    def test_congestion_blind_herding(self):
+        """All identical providers pile onto the individually-best cloudlet
+        until capacity stops them — the behaviour LCF's coordination fixes."""
+        market = make_market(n_providers=4, compute=100.0, bandwidth=5000.0)
+        a = jo_offload_cache(market)
+        occupancy = a.occupancy()
+        assert max(occupancy.values()) == 4  # everyone on one cloudlet
+
+    def test_capacity_forces_spillover(self):
+        market = make_market(n_providers=4, compute=2.0)  # 2 services per cloudlet
+        a = jo_offload_cache(market)
+        occupancy = a.occupancy()
+        assert max(occupancy.values()) <= 2
+        assert len(a.placement) == 4
+
+    def test_rejects_when_everything_full(self):
+        market = make_market(n_providers=5, compute=2.0)
+        a = jo_offload_cache(market)
+        assert len(a.rejected) == 1
+
+    def test_runtime_and_label(self, small_market):
+        a = jo_offload_cache(small_market)
+        assert a.algorithm == "JoOffloadCache"
+        assert a.runtime_s >= 0.0
+
+    def test_deterministic(self, small_market):
+        assert jo_offload_cache(small_market).placement == jo_offload_cache(
+            small_market
+        ).placement
+
+
+class TestOffloadCache:
+    def test_covers_all_providers(self, small_market):
+        a = offload_cache(small_market)
+        assert len(a.placement) + len(a.rejected) == small_market.num_providers
+        a.check_capacities()
+
+    def test_picks_delay_nearest_cloudlet(self):
+        market = make_market(n_providers=1, compute=100.0)
+        # user at node 1: CL at node 2 is 1 hop, CL at node 4 is 3 hops.
+        a = offload_cache(market)
+        assert a.placement[0] == 2
+
+    def test_ignores_prices_entirely(self):
+        """OffloadCache's choice must not change when cloudlet congestion
+        prices change (it only reads delays)."""
+        market_cheap = make_market(alpha=0.0, beta=0.0)
+        market_pricey = make_market(alpha=1.0, beta=1.0)
+        assert offload_cache(market_cheap).placement == offload_cache(
+            market_pricey
+        ).placement
+
+    def test_label(self, small_market):
+        assert offload_cache(small_market).algorithm == "OffloadCache"
+
+
+class TestOrdering:
+    def test_lcf_beats_baselines_on_average(self):
+        """The Fig. 2a ordering at paper-like scale, averaged over seeds."""
+        import numpy as np
+
+        from repro.core.lcf import lcf
+        from repro.market.workload import generate_market
+        from repro.network.generators import random_mec_network
+
+        lcf_costs, jo_costs, off_costs = [], [], []
+        for seed in range(3):
+            net = random_mec_network(100, rng=seed)
+            market = generate_market(net, n_providers=50, rng=seed + 10)
+            lcf_costs.append(
+                lcf(market, xi=0.7, allow_remote=True).assignment.social_cost
+            )
+            jo_costs.append(jo_offload_cache(market).social_cost)
+            off_costs.append(offload_cache(market).social_cost)
+        assert np.mean(lcf_costs) < np.mean(jo_costs)
+        assert np.mean(jo_costs) < np.mean(off_costs)

@@ -1,0 +1,71 @@
+"""Tests for the Lemma 2 / Theorem 1 closed-form bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    appro_ratio_bound,
+    bounds_for_market,
+    optimal_v,
+    stackelberg_poa_bound,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestLemma2:
+    def test_formula(self):
+        assert appro_ratio_bound(3.0, 4.0) == pytest.approx(24.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            appro_ratio_bound(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            appro_ratio_bound(1.0, -1.0)
+
+
+class TestTheorem1:
+    def test_formula_with_explicit_v(self):
+        # 2*d*k/(1-v) * (1/(4v) + 1 - xi)
+        value = stackelberg_poa_bound(1.0, 1.0, xi=0.5, v=0.5)
+        assert value == pytest.approx(2.0 / 0.5 * (0.5 + 0.5))
+
+    def test_bound_decreases_with_coordination(self):
+        lo = stackelberg_poa_bound(2.0, 2.0, xi=0.9)
+        hi = stackelberg_poa_bound(2.0, 2.0, xi=0.1)
+        assert lo < hi
+
+    def test_v_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stackelberg_poa_bound(1.0, 1.0, xi=0.5, v=1.0)
+        with pytest.raises(ConfigurationError):
+            stackelberg_poa_bound(1.0, 1.0, xi=0.5, v=0.0)
+
+    def test_bad_xi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stackelberg_poa_bound(1.0, 1.0, xi=1.5)
+
+
+class TestOptimalV:
+    def test_full_coordination_limit(self):
+        assert optimal_v(1.0) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("xi", [0.0, 0.25, 0.5, 0.75, 0.99])
+    def test_minimises_the_bound(self, xi):
+        v_star = optimal_v(xi)
+        best = stackelberg_poa_bound(1.0, 1.0, xi, v=v_star)
+        for v in np.linspace(0.02, 0.98, 49):
+            assert best <= stackelberg_poa_bound(1.0, 1.0, xi, v=float(v)) + 1e-9
+
+    def test_in_open_interval(self):
+        for xi in np.linspace(0.0, 1.0, 11):
+            assert 0.0 < optimal_v(float(xi)) < 1.0
+
+
+class TestMarketBounds:
+    def test_bounds_for_market(self, small_market):
+        out = bounds_for_market(small_market, xi=0.7)
+        assert out["appro_ratio_bound"] == pytest.approx(
+            2 * out["delta"] * out["kappa"]
+        )
+        assert out["poa_bound"] > 0
+        assert 0 < out["optimal_v"] < 1

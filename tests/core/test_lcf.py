@@ -1,0 +1,135 @@
+"""Tests for Algorithm 2 (LCF)."""
+
+import pytest
+
+from repro.core.appro import appro
+from repro.core.lcf import lcf, select_coordinated_lcf
+from repro.exceptions import ConfigurationError
+
+from tests.conftest import build_line_network, build_provider
+from repro.market.market import ServiceMarket
+
+
+class TestSelection:
+    def test_largest_cost_first(self, small_market):
+        reference = appro(small_market)
+        chosen = select_coordinated_lcf(small_market, reference, budget=3)
+        costs = {pid: reference.provider_cost(pid) for pid in reference.placement}
+        threshold = min(costs[pid] for pid in chosen)
+        others = [c for pid, c in costs.items() if pid not in chosen]
+        assert all(threshold >= c - 1e-9 for c in others)
+
+    def test_smallest_cost_first(self, small_market):
+        reference = appro(small_market)
+        chosen = select_coordinated_lcf(
+            small_market, reference, budget=3, strategy="smallest_cost"
+        )
+        costs = {pid: reference.provider_cost(pid) for pid in reference.placement}
+        ceiling = max(costs[pid] for pid in chosen)
+        others = [c for pid, c in costs.items() if pid not in chosen]
+        assert all(ceiling <= c + 1e-9 for c in others)
+
+    def test_random_selection_deterministic_under_seed(self, small_market):
+        reference = appro(small_market)
+        a = select_coordinated_lcf(small_market, reference, 4, "random", rng=5)
+        b = select_coordinated_lcf(small_market, reference, 4, "random", rng=5)
+        assert a == b
+
+    def test_budget_clamped(self, small_market):
+        reference = appro(small_market)
+        chosen = select_coordinated_lcf(small_market, reference, budget=10**6)
+        assert len(chosen) == small_market.num_providers
+
+    def test_zero_budget(self, small_market):
+        reference = appro(small_market)
+        assert select_coordinated_lcf(small_market, reference, 0) == []
+
+    def test_unknown_strategy_rejected(self, small_market):
+        reference = appro(small_market)
+        with pytest.raises(ConfigurationError):
+            select_coordinated_lcf(small_market, reference, 2, "magic")
+
+
+class TestLCF:
+    def test_full_coordination_equals_appro(self, small_market):
+        result = lcf(small_market, xi=1.0)
+        zeta = result.appro_assignment
+        assert result.assignment.placement == zeta.placement
+        assert result.assignment.rejected == zeta.rejected
+        assert result.assignment.social_cost == pytest.approx(zeta.social_cost)
+
+    def test_zero_coordination_is_all_selfish(self, small_market):
+        result = lcf(small_market, xi=0.0)
+        assert result.coordinated_ids == []
+        assert not small_market.coordinated
+
+    def test_market_flags_set(self, small_market):
+        result = lcf(small_market, xi=0.5)
+        flagged = {p.provider_id for p in small_market.coordinated}
+        assert flagged == set(result.coordinated_ids)
+        assert len(flagged) == small_market.coordination_budget(0.5)
+
+    def test_coordinated_pinned_to_appro(self, small_market):
+        result = lcf(small_market, xi=0.5)
+        zeta = result.appro_assignment
+        for pid in result.coordinated_ids:
+            if pid in zeta.placement:
+                assert result.assignment.placement[pid] == zeta.placement[pid]
+            else:
+                assert pid in result.assignment.rejected
+
+    def test_capacities_respected(self, small_market):
+        result = lcf(small_market, xi=0.4)
+        result.assignment.check_capacities()
+
+    def test_posted_price_outcome_is_flagged_stable(self, small_market):
+        result = lcf(small_market, xi=0.5, information="posted_price")
+        assert result.is_equilibrium
+
+    def test_full_information_reaches_nash(self, small_market):
+        result = lcf(small_market, xi=0.5, information="full")
+        assert result.is_equilibrium
+
+    def test_full_information_social_cost_not_worse_than_posted(self, small_market):
+        posted = lcf(small_market, xi=0.3, information="posted_price")
+        full = lcf(small_market, xi=0.3, information="full")
+        # congestion-aware equilibration can only weakly improve the posted
+        # outcome on average; allow small tolerance for tie-breaks.
+        assert full.assignment.social_cost <= posted.assignment.social_cost * 1.05
+
+    def test_invalid_information_rejected(self, small_market):
+        with pytest.raises(ConfigurationError):
+            lcf(small_market, xi=0.5, information="psychic")
+
+    def test_invalid_xi_rejected(self, small_market):
+        with pytest.raises(ConfigurationError):
+            lcf(small_market, xi=1.5)
+
+    def test_info_fields(self, small_market):
+        result = lcf(small_market, xi=0.5)
+        info = result.assignment.info
+        assert info["xi"] == 0.5
+        assert info["coordinated"] == len(result.coordinated_ids)
+        assert "appro_social_cost" in info
+
+    def test_algorithm_name_mentions_xi(self, small_market):
+        result = lcf(small_market, xi=0.25)
+        assert "0.25" in result.assignment.algorithm
+
+
+class TestLCFEconomics:
+    def test_more_coordination_weakly_helps(self):
+        """Averaged over seeds, the posted-price market degrades as fewer
+        providers are coordinated (the Fig. 3a trend)."""
+        import numpy as np
+
+        from repro.market.workload import generate_market
+        from repro.network.generators import random_mec_network
+
+        lo, hi = [], []
+        for seed in range(3):
+            net = random_mec_network(80, rng=seed)
+            market = generate_market(net, n_providers=40, rng=seed + 50)
+            hi.append(lcf(market, xi=0.9, allow_remote=True).assignment.social_cost)
+            lo.append(lcf(market, xi=0.1, allow_remote=True).assignment.social_cost)
+        assert np.mean(hi) <= np.mean(lo) * 1.02

@@ -1,0 +1,69 @@
+"""Tests for the LP lower bound on the social optimum."""
+
+import pytest
+
+from repro.core.appro import appro
+from repro.core.lcf import lcf
+from repro.core.lower_bound import social_cost_lower_bound
+from repro.core.optimal import optimal_caching
+from repro.exceptions import InfeasibleError
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+
+from tests.conftest import build_line_network, build_provider
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("seed", [3, 9, 17])
+    def test_never_exceeds_exact_optimum(self, seed):
+        network = random_mec_network(25, rng=seed)
+        market = generate_market(network, 6, rng=seed + 1)
+        lb = social_cost_lower_bound(market)
+        opt = optimal_caching(market).social_cost
+        assert lb <= opt + 1e-6
+
+    def test_tight_on_uncongested_line(self):
+        """One provider: the bound equals the best single placement
+        exactly (occupancy 1 everywhere)."""
+        net = build_line_network()
+        market = ServiceMarket(net, [build_provider(0)], pricing=Pricing())
+        lb = social_cost_lower_bound(market)
+        model = market.cost_model
+        best = min(
+            model.cost(market.providers[0], cl, 1)
+            for cl in net.cloudlets
+        )
+        assert lb == pytest.approx(best)
+
+    def test_lower_bounds_every_algorithm(self, small_market):
+        lb = social_cost_lower_bound(small_market, allow_remote=True)
+        assert appro(small_market, allow_remote=True).social_cost >= lb - 1e-6
+        assert (
+            lcf(small_market, xi=0.7, allow_remote=True).assignment.social_cost
+            >= lb - 1e-6
+        )
+
+    def test_remote_option_cannot_raise_the_bound(self, small_market):
+        without = social_cost_lower_bound(small_market, allow_remote=False)
+        with_remote = social_cost_lower_bound(small_market, allow_remote=True)
+        assert with_remote <= without + 1e-6
+
+    def test_infeasible_without_remote(self):
+        net = build_line_network(compute=1.5)  # 1 service per cloudlet
+        providers = [build_provider(i) for i in range(4)]
+        market = ServiceMarket(net, providers, pricing=Pricing())
+        with pytest.raises(InfeasibleError):
+            social_cost_lower_bound(market)
+        # with the remote option it is always feasible.
+        assert social_cost_lower_bound(market, allow_remote=True) > 0
+
+    def test_appro_marginal_is_near_optimal_at_scale(self):
+        """The reproduction's headline certification: Appro with marginal
+        slot pricing lands within a few percent of the LP bound."""
+        network = random_mec_network(120, rng=1)
+        market = generate_market(network, 50, rng=2)
+        lb = social_cost_lower_bound(market, allow_remote=True)
+        ap = appro(market, allow_remote=True).social_cost
+        assert ap <= lb * 1.05

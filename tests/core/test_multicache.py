@@ -1,0 +1,184 @@
+"""Tests for the multi-replica caching extension."""
+
+import pytest
+
+from repro.core.multicache import (
+    MultiCacheAssignment,
+    check_multi_capacities,
+    evaluate_social_cost,
+    greedy_multicache,
+    provider_multi_cost,
+    _occupancy,
+    _replica_shares,
+)
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+from repro.market.workload import WorkloadParams, generate_market
+from repro.network.generators import random_mec_network
+
+from tests.conftest import build_line_network, build_provider
+
+
+def line_market_with_clusters():
+    """Line net DC-sw-CL2-sw-CL4; users split across nodes 1 and 3."""
+    net = build_line_network()
+    provider = build_provider(0, user_node=1)
+    provider.service.user_clusters = ((1, 0.5), (3, 0.5))
+    return ServiceMarket(net, [provider], pricing=Pricing())
+
+
+DISPERSED = WorkloadParams(
+    user_clusters_range=(3, 5),
+    requests_range=(200, 400),
+    compute_per_request_range=(0.002, 0.005),
+    bandwidth_per_request_range=(0.05, 0.12),
+    sync_frequency=1.0,
+    update_ratio=0.02,
+)
+
+
+class TestReplicaShares:
+    def test_each_cluster_routes_to_nearest(self):
+        market = line_market_with_clusters()
+        provider = market.providers[0]
+        shares = _replica_shares(market, provider, frozenset({2, 4}))
+        # cluster at node 1 -> CL2 (1 hop); cluster at node 3 -> CL2 or CL4
+        # (both 1 hop, tie to smaller id = 2).
+        assert shares[2] == pytest.approx(1.0)
+        assert shares[4] == pytest.approx(0.0)
+
+    def test_single_replica_takes_all(self):
+        market = line_market_with_clusters()
+        shares = _replica_shares(market, market.providers[0], frozenset({4}))
+        assert shares[4] == pytest.approx(1.0)
+
+
+class TestMultiCost:
+    def test_single_replica_matches_singleton_model(self):
+        """With one replica and one cluster, the multi-cost equals the
+        classic Eq. (3) cost."""
+        net = build_line_network()
+        provider = build_provider(0, user_node=1)
+        market = ServiceMarket(net, [provider], pricing=Pricing())
+        cl = net.cloudlet_at(2)
+        multi = provider_multi_cost(market, provider, frozenset({2}), {2: 1})
+        classic = market.cost_model.cost(provider, cl, 1)
+        assert multi == pytest.approx(classic)
+
+    def test_second_replica_adds_instantiation_and_update(self):
+        market = line_market_with_clusters()
+        provider = market.providers[0]
+        one = provider_multi_cost(market, provider, frozenset({2}), {2: 1})
+        two = provider_multi_cost(
+            market, provider, frozenset({2, 4}), {2: 1, 4: 1}
+        )
+        # both clusters are 1 hop from CL2, so the second replica cannot
+        # reduce access cost but pays setup + update + congestion.
+        assert two > one
+
+    def test_empty_replica_set_rejected(self):
+        market = line_market_with_clusters()
+        with pytest.raises(ConfigurationError):
+            provider_multi_cost(market, market.providers[0], frozenset(), {})
+
+    def test_social_cost_includes_rejected_remote(self):
+        market = line_market_with_clusters()
+        base = evaluate_social_cost(market, {}, frozenset({0}))
+        assert base == pytest.approx(
+            market.cost_model.remote_cost(market.providers[0])
+        )
+
+    def test_occupancy_counts_replicas(self):
+        placement = {0: frozenset({2, 4}), 1: frozenset({2})}
+        assert _occupancy(placement) == {2: 2, 4: 1}
+
+
+class TestCapacities:
+    def test_shares_split_demand(self):
+        net = build_line_network(compute=1.2)  # one full service won't fit twice
+        provider = build_provider(0, user_node=1)
+        provider.service.user_clusters = ((1, 0.5), (4, 0.5))
+        market = ServiceMarket(net, [provider], pricing=Pricing())
+        # split across both cloudlets: each serves 0.5 -> 0.5 compute each.
+        check_multi_capacities(market, {0: frozenset({2, 4})})
+
+    def test_overload_detected(self):
+        net = build_line_network(compute=1.5)
+        providers = [build_provider(i, user_node=1) for i in range(2)]
+        market = ServiceMarket(net, providers, pricing=Pricing())
+        with pytest.raises(CapacityError):
+            check_multi_capacities(
+                market, {0: frozenset({2}), 1: frozenset({2})}
+            )
+
+
+class TestGreedyMultiCache:
+    @pytest.fixture(scope="class")
+    def dispersed_market(self):
+        network = random_mec_network(150, rng=1)
+        return generate_market(network, 30, params=DISPERSED, rng=2)
+
+    def test_never_worse_than_single_replica(self, dispersed_market):
+        result = greedy_multicache(dispersed_market, max_replicas=4)
+        assert result.social_cost <= result.info["base_social_cost"] + 1e-6
+
+    def test_respects_max_replicas(self, dispersed_market):
+        result = greedy_multicache(dispersed_market, max_replicas=2)
+        assert all(len(r) <= 2 for r in result.placement.values())
+
+    def test_max_replicas_one_is_plain_lcf(self, dispersed_market):
+        result = greedy_multicache(dispersed_market, max_replicas=1)
+        assert result.info["additions"] == 0
+        assert result.total_replicas == len(result.placement)
+
+    def test_capacities_respected(self, dispersed_market):
+        result = greedy_multicache(dispersed_market, max_replicas=3)
+        check_multi_capacities(dispersed_market, result.placement)
+
+    def test_max_additions_budget(self, dispersed_market):
+        result = greedy_multicache(
+            dispersed_market, max_replicas=4, max_additions=1
+        )
+        assert result.info["additions"] <= 1
+
+    def test_invalid_max_replicas(self, dispersed_market):
+        with pytest.raises(ConfigurationError):
+            greedy_multicache(dispersed_market, max_replicas=0)
+
+    def test_assignment_validation(self, dispersed_market):
+        with pytest.raises(ConfigurationError):
+            MultiCacheAssignment(
+                market=dispersed_market,
+                placement={0: frozenset()},
+                rejected=frozenset(
+                    p.provider_id for p in dispersed_market.providers
+                    if p.provider_id != 0
+                ),
+            )
+
+
+class TestClusterValidation:
+    def test_weights_must_sum_to_one(self):
+        from repro.market.service import Service
+
+        with pytest.raises(ConfigurationError):
+            Service(
+                service_id=0, requests=10, compute_per_request=0.1,
+                bandwidth_per_request=1.0, data_volume_gb=1.0, home_dc=0,
+                user_clusters=((1, 0.5), (2, 0.6)),
+            )
+
+    def test_positive_weights_required(self):
+        from repro.market.service import Service
+
+        with pytest.raises(ConfigurationError):
+            Service(
+                service_id=0, requests=10, compute_per_request=0.1,
+                bandwidth_per_request=1.0, data_volume_gb=1.0, home_dc=0,
+                user_clusters=((1, 1.0), (2, 0.0)),
+            )
+
+    def test_clusters_property_default(self):
+        provider = build_provider(0, user_node=3)
+        assert provider.service.clusters == ((3, 1.0),)

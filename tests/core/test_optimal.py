@@ -1,0 +1,77 @@
+"""Tests for the exact optimal solver."""
+
+import itertools
+
+import pytest
+
+from repro.core.optimal import optimal_caching
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+
+from tests.conftest import build_line_network, build_provider
+
+
+def brute_force_cost(market: ServiceMarket) -> float:
+    model = market.cost_model
+    cloudlets = market.network.cloudlets
+    providers = market.providers
+    best = float("inf")
+    for combo in itertools.product([c.node_id for c in cloudlets], repeat=len(providers)):
+        placement = {p.provider_id: node for p, node in zip(providers, combo)}
+        loads = {c.node_id: [0.0, 0.0] for c in cloudlets}
+        ok = True
+        for p, node in zip(providers, combo):
+            loads[node][0] += p.compute_demand
+            loads[node][1] += p.bandwidth_demand
+        for c in cloudlets:
+            if (
+                loads[c.node_id][0] > c.compute_capacity + 1e-9
+                or loads[c.node_id][1] > c.bandwidth_capacity + 1e-9
+            ):
+                ok = False
+        if ok:
+            best = min(best, model.social_cost(market.providers_by_id(), placement))
+    return best
+
+
+def make_market(n_providers=4, **kwargs):
+    net = build_line_network(n_cloudlets=2, **kwargs)
+    providers = [build_provider(i) for i in range(n_providers)]
+    return ServiceMarket(net, providers, pricing=Pricing())
+
+
+class TestOptimal:
+    def test_matches_brute_force(self):
+        market = make_market(4)
+        result = optimal_caching(market)
+        assert result.social_cost == pytest.approx(brute_force_cost(market))
+
+    def test_matches_brute_force_random(self, tiny_market):
+        result = optimal_caching(tiny_market)
+        assert result.social_cost == pytest.approx(brute_force_cost(tiny_market))
+
+    def test_feasible(self, tiny_market):
+        optimal_caching(tiny_market).check_capacities()
+
+    def test_optimum_lower_bounds_heuristics(self, tiny_market):
+        from repro.core.appro import appro
+        from repro.core.baselines import jo_offload_cache, offload_cache
+
+        opt = optimal_caching(tiny_market).social_cost
+        assert appro(tiny_market).social_cost >= opt - 1e-9
+        assert jo_offload_cache(tiny_market).social_cost >= opt - 1e-9
+        assert offload_cache(tiny_market).social_cost >= opt - 1e-9
+
+    def test_size_limit_enforced(self, small_market):
+        with pytest.raises(ConfigurationError):
+            optimal_caching(small_market, max_providers=5)
+
+    def test_infeasible_market_raises(self):
+        market = make_market(n_providers=5, compute=2.0)  # 4 slots, 5 providers
+        with pytest.raises(InfeasibleError):
+            optimal_caching(market)
+
+    def test_info_reports_cost(self, tiny_market):
+        result = optimal_caching(tiny_market)
+        assert result.info["optimal_cost"] == pytest.approx(result.social_cost)

@@ -1,0 +1,89 @@
+"""Tests for the capacity-planning bisection."""
+
+import pytest
+
+from repro.core.lcf import lcf
+from repro.core.planning import CapacityPlan, capacity_plan, scaled_capacities
+from repro.exceptions import ConfigurationError
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+
+
+@pytest.fixture(scope="module")
+def tight_market():
+    """A market that overloads its network at base capacity."""
+    network = random_mec_network(60, rng=1)  # 6 cloudlets
+    return generate_market(network, 60, rng=2)
+
+
+class TestScaledCapacities:
+    def test_scales_and_restores(self, tight_market):
+        cl = tight_market.network.cloudlets[0]
+        before = (cl.compute_capacity, cl.bandwidth_capacity)
+        with scaled_capacities(tight_market, 2.0):
+            assert cl.compute_capacity == pytest.approx(2 * before[0])
+            assert cl.bandwidth_capacity == pytest.approx(2 * before[1])
+        assert (cl.compute_capacity, cl.bandwidth_capacity) == before
+
+    def test_restores_on_exception(self, tight_market):
+        cl = tight_market.network.cloudlets[0]
+        before = cl.compute_capacity
+        with pytest.raises(RuntimeError):
+            with scaled_capacities(tight_market, 2.0):
+                raise RuntimeError("boom")
+        assert cl.compute_capacity == before
+
+    def test_rejects_nonpositive(self, tight_market):
+        with pytest.raises(ConfigurationError):
+            with scaled_capacities(tight_market, 0.0):
+                pass
+
+
+class TestCapacityPlan:
+    def test_targets_the_congestion_floor_by_default(self, tight_market):
+        base = lcf(tight_market, xi=0.7, allow_remote=True).assignment
+        assert base.rejected  # the premise: base capacity rejects services
+        plan = capacity_plan(tight_market, lo=0.5, hi=6.0)
+        # the default target is the floor at abundant capacity: fewer
+        # rejections than the unscaled market, reached above base scale.
+        assert plan.rejections < len(base.rejected)
+        assert plan.scale > 1.0
+
+    def test_plan_scale_actually_works(self, tight_market):
+        plan = capacity_plan(tight_market, lo=0.5, hi=6.0)
+        with scaled_capacities(tight_market, plan.scale):
+            assignment = lcf(tight_market, xi=0.7, allow_remote=True).assignment
+            assert len(assignment.rejected) <= plan.rejections
+
+    def test_slightly_less_capacity_fails(self, tight_market):
+        """Minimality: well below the planned scale, extra rejections
+        reappear."""
+        plan = capacity_plan(tight_market, lo=0.5, hi=6.0, tolerance=0.02)
+        with scaled_capacities(tight_market, plan.scale * 0.8):
+            assignment = lcf(tight_market, xi=0.7, allow_remote=True).assignment
+            assert len(assignment.rejected) > plan.rejections
+
+    def test_explicit_unreachable_target_raises(self, tight_market):
+        with pytest.raises(ConfigurationError):
+            capacity_plan(tight_market, target_rejections=0, lo=0.5, hi=6.0)
+
+    def test_loose_market_returns_lo(self):
+        network = random_mec_network(100, rng=3)  # plenty of cloudlets
+        market = generate_market(network, 10, rng=4)
+        plan = capacity_plan(market, lo=1.0, hi=3.0)
+        assert plan.scale == 1.0
+
+    def test_bad_bracket_raises(self, tight_market):
+        with pytest.raises(ConfigurationError):
+            capacity_plan(tight_market, target_rejections=0, lo=0.05, hi=0.1)
+
+    def test_validation(self, tight_market):
+        with pytest.raises(ConfigurationError):
+            capacity_plan(tight_market, target_rejections=-1)
+        with pytest.raises(ConfigurationError):
+            capacity_plan(tight_market, lo=2.0, hi=1.0)
+
+    def test_probe_log(self, tight_market):
+        plan = capacity_plan(tight_market, lo=0.5, hi=6.0)
+        assert plan.evaluations == len(plan.probes) >= 2
+        assert all(r >= 0 for r, _cost in plan.probes.values())

@@ -1,0 +1,177 @@
+"""Tests for the Eq. (7)–(9) virtual-cloudlet reduction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.virtual_cloudlets import VirtualCloudletSplit
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+
+from tests.conftest import build_line_network, build_provider
+
+
+def make_market(n_providers=4, compute=10.0, bandwidth=500.0):
+    net = build_line_network(compute=compute, bandwidth=bandwidth)
+    providers = [build_provider(i) for i in range(n_providers)]
+    return ServiceMarket(net, providers, pricing=Pricing())
+
+
+class TestSplitCounts:
+    def test_eq7_slot_counts(self):
+        # each provider: compute demand 1.0, bandwidth demand 10.0
+        market = make_market(compute=10.0, bandwidth=55.0)
+        split = VirtualCloudletSplit(market)
+        # a_max = 1.0 -> floor(10/1)=10; b_max = 10 -> floor(55/10)=5
+        for cl in market.network.cloudlets:
+            assert split.n_i[cl.node_id] == 5
+        assert len(split.virtual_cloudlets) == 10
+
+    def test_slot_capacity_is_max_demand(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market)
+        assert split.slot_capacity == pytest.approx(10.0)  # bandwidth demand
+
+    def test_delta_kappa(self):
+        market = make_market(compute=10.0, bandwidth=55.0)
+        split = VirtualCloudletSplit(market)
+        assert split.delta == pytest.approx(10.0)
+        assert split.kappa == pytest.approx(5.5)
+
+    def test_n_prime_max_eq8(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market)
+        expected = max(
+            split.slot_capacity / split.a_min, split.slot_capacity / split.b_min
+        )
+        assert split.n_prime_max == pytest.approx(expected)
+
+    def test_zero_slots_without_remote_raises(self):
+        # capacity below the largest demand -> zero virtual cloudlets
+        net = build_line_network(compute=0.5)
+        providers = [build_provider(0)]
+        market = ServiceMarket(net, providers)
+        with pytest.raises(InfeasibleError):
+            VirtualCloudletSplit(market)
+
+    def test_zero_slots_with_remote_allowed(self):
+        net = build_line_network(compute=0.5)
+        providers = [build_provider(0)]
+        market = ServiceMarket(net, providers)
+        split = VirtualCloudletSplit(market, allow_remote=True)
+        inst = split.build_gap_instance()
+        assert inst.n_bins == 1  # just the remote bin
+
+    def test_bad_pricing_mode_rejected(self):
+        market = make_market()
+        with pytest.raises(ConfigurationError):
+            VirtualCloudletSplit(market, slot_pricing="bogus")
+
+
+class TestGAPInstance:
+    def test_one_service_per_slot(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market)
+        inst = split.build_gap_instance()
+        # uniform weights equal to capacities: exactly one item fits a bin.
+        assert np.allclose(inst.weights, split.slot_capacity)
+        assert np.allclose(inst.capacities, split.slot_capacity)
+
+    def test_flat_pricing_is_eq9(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market, slot_pricing="flat")
+        inst = split.build_gap_instance()
+        model = market.cost_model
+        for j, provider in enumerate(market.providers):
+            for vc in split.virtual_cloudlets:
+                cl = market.network.cloudlet_at(vc.cloudlet_node)
+                assert inst.costs[j, vc.index] == pytest.approx(model.gap_cost(provider, cl))
+
+    def test_flat_pricing_equal_across_slots(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market, slot_pricing="flat")
+        inst = split.build_gap_instance()
+        by_cloudlet = {}
+        for vc in split.virtual_cloudlets:
+            by_cloudlet.setdefault(vc.cloudlet_node, []).append(inst.costs[0, vc.index])
+        for costs in by_cloudlet.values():
+            assert len(set(np.round(costs, 12))) == 1
+
+    def test_marginal_pricing_increases_with_slot(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market, slot_pricing="marginal")
+        inst = split.build_gap_instance()
+        for node in {vc.cloudlet_node for vc in split.virtual_cloudlets}:
+            slots = sorted(
+                (vc for vc in split.virtual_cloudlets if vc.cloudlet_node == node),
+                key=lambda vc: vc.slot,
+            )
+            costs = [inst.costs[0, vc.index] for vc in slots]
+            assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    def test_marginal_prices_telescope_to_social_congestion(self):
+        """Filling the first k slots of a cloudlet must charge exactly the
+        social congestion cost k * (alpha+beta) * g(k) = (alpha+beta)k^2."""
+        market = make_market()
+        split = VirtualCloudletSplit(market, slot_pricing="marginal")
+        inst = split.build_gap_instance()
+        model = market.cost_model
+        provider = market.providers[0]
+        node = split.virtual_cloudlets[0].cloudlet_node
+        cl = market.network.cloudlet_at(node)
+        slots = sorted(
+            (vc for vc in split.virtual_cloudlets if vc.cloudlet_node == node),
+            key=lambda vc: vc.slot,
+        )
+        fixed = model.fixed_cost(provider, cl)
+        for k in range(1, len(slots) + 1):
+            charged = sum(inst.costs[0, slots[j].index] - fixed for j in range(k))
+            assert charged == pytest.approx((cl.alpha + cl.beta) * k * k)
+
+    def test_remote_bin_costs(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market, allow_remote=True)
+        inst = split.build_gap_instance()
+        model = market.cost_model
+        for j, provider in enumerate(market.providers):
+            assert inst.costs[j, split.remote_bin] == pytest.approx(
+                model.remote_cost(provider)
+            )
+
+    def test_remote_bin_property_requires_flag(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market)
+        with pytest.raises(ConfigurationError):
+            _ = split.remote_bin
+
+
+class TestMergeAssignment:
+    def test_merge_maps_to_real_cloudlets(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market)
+        first_node = split.virtual_cloudlets[0].cloudlet_node
+        n_first = split.n_i[first_node]  # bins [0, n_first) belong to CL2
+        assignment = [0, 1, n_first, n_first + 1]
+        placement, rejected = split.merge_assignment(assignment)
+        assert not rejected
+        cl_nodes = sorted({vc.cloudlet_node for vc in split.virtual_cloudlets})
+        assert placement[0] in cl_nodes and placement[2] in cl_nodes
+        assert placement[0] == placement[1]
+        assert placement[2] == placement[3]
+        assert placement[0] != placement[2]
+
+    def test_merge_remote_as_rejection(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market, allow_remote=True)
+        assignment = [split.remote_bin, 0, 1, 2]
+        placement, rejected = split.merge_assignment(assignment)
+        assert rejected == {0}
+        assert 0 not in placement
+
+    def test_wrong_length_rejected(self):
+        market = make_market()
+        split = VirtualCloudletSplit(market)
+        with pytest.raises(ConfigurationError):
+            split.merge_assignment([0])

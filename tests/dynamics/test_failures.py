@@ -1,0 +1,99 @@
+"""Tests for cloudlet failure injection and recovery."""
+
+import pytest
+
+from repro.core.lcf import lcf
+from repro.dynamics.failures import FailureInjector
+from repro.exceptions import ConfigurationError
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = random_mec_network(100, rng=1)
+    market = generate_market(network, 40, rng=2)
+    assignment = lcf(market, xi=0.7, allow_remote=True).assignment
+    return market, assignment
+
+
+def busiest_cloudlet(assignment):
+    occupancy = assignment.occupancy()
+    return max(occupancy, key=occupancy.get)
+
+
+class TestInjection:
+    def test_failover_recovers_everyone(self, setup):
+        market, assignment = setup
+        victim = busiest_cloudlet(assignment)
+        report = FailureInjector(market).inject(assignment, [victim])
+        assert victim not in set(report.recovered_placement.values())
+        covered = set(report.recovered_placement) | set(report.newly_rejected) | set(
+            assignment.rejected
+        )
+        assert covered == {p.provider_id for p in market.providers}
+
+    def test_displaced_are_exactly_the_victims_tenants(self, setup):
+        market, assignment = setup
+        victim = busiest_cloudlet(assignment)
+        report = FailureInjector(market).inject(assignment, [victim])
+        expected = tuple(
+            sorted(pid for pid, n in assignment.placement.items() if n == victim)
+        )
+        assert report.displaced == expected
+        assert report.displacement_rate > 0
+
+    def test_failure_costs_money(self, setup):
+        market, assignment = setup
+        victim = busiest_cloudlet(assignment)
+        report = FailureInjector(market).inject(assignment, [victim])
+        # losing capacity can only hurt (weakly) under greedy failover.
+        assert report.cost_after >= report.cost_before - 1e-6
+
+    def test_survivors_stay_put_under_failover(self, setup):
+        market, assignment = setup
+        victim = busiest_cloudlet(assignment)
+        report = FailureInjector(market).inject(assignment, [victim])
+        for pid, node in assignment.placement.items():
+            if node != victim:
+                assert report.recovered_placement[pid] == node
+
+    def test_replan_policy_avoids_failed_cloudlet(self, setup):
+        market, assignment = setup
+        victim = busiest_cloudlet(assignment)
+        report = FailureInjector(market).inject(
+            assignment, [victim], policy="replan"
+        )
+        assert victim not in set(report.recovered_placement.values())
+
+    def test_replan_restores_capacity_bookkeeping(self, setup):
+        market, assignment = setup
+        victim = busiest_cloudlet(assignment)
+        cl = market.network.cloudlet_at(victim)
+        before = (cl.compute_used, cl.bandwidth_used)
+        FailureInjector(market).inject(assignment, [victim], policy="replan")
+        assert (cl.compute_used, cl.bandwidth_used) == before
+
+    def test_multi_failure(self, setup):
+        market, assignment = setup
+        nodes = [cl.node_id for cl in market.network.cloudlets]
+        report = FailureInjector(market).inject(assignment, nodes[:2])
+        for node in nodes[:2]:
+            assert node not in set(report.recovered_placement.values())
+
+    def test_unknown_cloudlet_rejected(self, setup):
+        market, assignment = setup
+        with pytest.raises(ConfigurationError):
+            FailureInjector(market).inject(assignment, [999_999])
+
+    def test_total_failure_rejected(self, setup):
+        market, assignment = setup
+        nodes = [cl.node_id for cl in market.network.cloudlets]
+        with pytest.raises(ConfigurationError):
+            FailureInjector(market).inject(assignment, nodes)
+
+    def test_unknown_policy_rejected(self, setup):
+        market, assignment = setup
+        victim = busiest_cloudlet(assignment)
+        with pytest.raises(ConfigurationError):
+            FailureInjector(market).inject(assignment, [victim], policy="pray")

@@ -1,0 +1,118 @@
+"""Tests for the dynamic market simulation."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.population import PopulationProcess
+from repro.dynamics.simulation import DynamicMarketSimulation
+from repro.exceptions import ConfigurationError
+from repro.network.generators import random_mec_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_mec_network(80, rng=1)
+
+
+def make_sim(network, policy="replan", rng=2, **kwargs):
+    pop = PopulationProcess(
+        network, arrival_rate=4.0, mean_lifetime=6.0, rng=rng,
+        initial_population=20,
+    )
+    return DynamicMarketSimulation(network, pop, policy=policy, **kwargs)
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self, network):
+        with pytest.raises(ConfigurationError):
+            make_sim(network, policy="oracle")
+
+    def test_replan_runs_and_bills(self, network):
+        summary = make_sim(network, "replan").run(5)
+        assert len(summary.epochs) == 5
+        assert summary.total_cost > 0
+        assert summary.policy == "replan"
+
+    def test_incremental_never_migrates(self, network):
+        summary = make_sim(network, "incremental").run(10)
+        assert summary.total_migrations == 0
+        assert summary.total_migration_cost == 0.0
+
+    def test_replan_beats_incremental_on_social_cost(self, network):
+        replan = make_sim(network, "replan", rng=3).run(10)
+        incremental = make_sim(network, "incremental", rng=3).run(10)
+        assert replan.mean_social_cost <= incremental.mean_social_cost
+
+    def test_incremental_covers_every_present_provider(self, network):
+        sim = make_sim(network, "incremental")
+        for _ in range(8):
+            sim.step()
+            present = {p.provider_id for p in sim.population.present}
+            covered = set(sim.placement) | sim.rejected
+            assert covered == present
+
+    def test_epoch_records_consistent(self, network):
+        sim = make_sim(network, "replan")
+        record = sim.step()
+        assert record.population == sim.population.population
+        assert record.total_cost == pytest.approx(
+            record.social_cost + record.migration_cost
+        )
+
+    def test_zero_epochs_rejected(self, network):
+        with pytest.raises(ConfigurationError):
+            make_sim(network).run(0)
+
+    def test_deterministic(self, network):
+        a = make_sim(network, "replan", rng=9).run(5)
+        b = make_sim(network, "replan", rng=9).run(5)
+        assert a.total_cost == pytest.approx(b.total_cost)
+        assert a.total_migrations == b.total_migrations
+
+
+class TestMigrationAccounting:
+    def test_migration_cost_formula(self, network):
+        sim = make_sim(network)
+        provider = sim.population.present[0]
+        cl_nodes = [c.node_id for c in network.cloudlets]
+        old, new = cl_nodes[0], cl_nodes[-1]
+        cost = sim.migration_cost(provider, old, new)
+        hops = network.hop_count(old, new)
+        expected = sim.pricing.transmission_cost(
+            provider.service.data_volume_gb, hops
+        ) + sim.migration_setup_cost
+        assert cost == pytest.approx(expected)
+
+    def test_same_cloudlet_is_not_a_migration(self, network):
+        sim = make_sim(network, "replan")
+        first = sim.step()
+        # Re-running on an unchanged placement should not bill survivors
+        # that stayed put: force no churn by monkeying the population step.
+        placement_before = dict(sim.placement)
+        record = sim.step()
+        stayed = {
+            pid for pid, node in sim.placement.items()
+            if placement_before.get(pid) == node
+        }
+        # migrations counted only for movers, so it is bounded by the
+        # number of providers whose cloudlet actually changed.
+        movers = {
+            pid for pid, node in sim.placement.items()
+            if pid in placement_before and placement_before[pid] != node
+        }
+        assert record.migrations == len(movers)
+
+    def test_empty_market_epoch(self, network):
+        pop = PopulationProcess(
+            network, arrival_rate=1.0, mean_lifetime=1.0, rng=11,
+        )
+        # force emptiness: no initial population and zero arrivals is
+        # possible; simulate until an empty epoch shows up or assert the
+        # record stays consistent regardless.
+        sim = DynamicMarketSimulation(network, pop, policy="incremental")
+        for _ in range(10):
+            record = sim.step()
+            if record.population == 0:
+                assert record.social_cost == 0.0
+                assert record.migration_cost == 0.0
+                break

@@ -1,0 +1,91 @@
+"""Tests for diurnal arrival traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dynamics import DiurnalTrace, DynamicMarketSimulation, PopulationProcess
+from repro.exceptions import ConfigurationError
+from repro.network.generators import random_mec_network
+
+
+class TestDiurnalTrace:
+    def test_peak_and_trough(self):
+        trace = DiurnalTrace(base_rate=10.0, amplitude=0.5, period=24, phase=-6.0)
+        rates = [trace(t) for t in range(24)]
+        assert max(rates) == pytest.approx(trace.peak_rate, rel=0.05)
+        assert min(rates) == pytest.approx(trace.trough_rate, rel=0.2)
+        assert trace.peak_rate == pytest.approx(15.0)
+        assert trace.trough_rate == pytest.approx(5.0)
+
+    def test_periodicity(self):
+        trace = DiurnalTrace(base_rate=5.0, period=12.0)
+        for t in range(12):
+            assert trace(t) == pytest.approx(trace(t + 12))
+
+    def test_mean_over_period_is_base(self):
+        trace = DiurnalTrace(base_rate=8.0, amplitude=0.7, period=24.0)
+        rates = [trace(t) for t in range(24)]
+        assert np.mean(rates) == pytest.approx(8.0, rel=0.02)
+
+    def test_noise_perturbs_but_stays_positive(self):
+        trace = DiurnalTrace(base_rate=4.0, noise=0.5, rng=1)
+        rates = [trace(t) for t in range(50)]
+        assert all(r >= trace.min_rate for r in rates)
+        clean = DiurnalTrace(base_rate=4.0, noise=0.0)
+        assert rates != [clean(t) for t in range(50)]
+
+    def test_floor_applies(self):
+        trace = DiurnalTrace(base_rate=1.0, amplitude=0.99, min_rate=0.5)
+        assert min(trace(t) for t in range(48)) >= 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_rate=0.0),
+            dict(amplitude=1.0),
+            dict(amplitude=-0.1),
+            dict(period=0.0),
+            dict(noise=-0.1),
+            dict(min_rate=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DiurnalTrace(**kwargs)
+
+
+class TestTracedSimulation:
+    def test_population_follows_the_trace(self):
+        network = random_mec_network(60, rng=1)
+        trace = DiurnalTrace(base_rate=6.0, amplitude=0.8, period=20.0, phase=-5.0)
+        population = PopulationProcess(
+            network, arrival_rate=1.0, mean_lifetime=3.0, rng=2,
+        )
+        sim = DynamicMarketSimulation(
+            network, population, policy="incremental", trace=trace
+        )
+        arrivals = [sim.step().arrived for _ in range(40)]
+        # arrivals in peak epochs (rate ~10.8) exceed trough epochs (~1.2)
+        # on average.
+        peak = [a for t, a in enumerate(arrivals, 1) if trace(t) > 8]
+        trough = [a for t, a in enumerate(arrivals, 1) if trace(t) < 3]
+        assert peak and trough
+        assert np.mean(peak) > np.mean(trough)
+
+    def test_rate_is_retargeted_each_epoch(self):
+        network = random_mec_network(60, rng=3)
+        seen = []
+
+        def spy(epoch):
+            seen.append(epoch)
+            return 2.0
+
+        population = PopulationProcess(network, arrival_rate=1.0, rng=4)
+        sim = DynamicMarketSimulation(
+            network, population, policy="incremental", trace=spy
+        )
+        sim.run(3)
+        assert seen == [1, 2, 3]
+        assert population.arrival_rate == 2.0

@@ -1,0 +1,36 @@
+"""Tests for the ablation drivers not covered by test_figures."""
+
+import pytest
+
+from repro.experiments.figures import ablation_topologies
+from repro.experiments.settings import ExperimentConfig
+
+TINY = ExperimentConfig(
+    network_sizes=(40,),
+    default_size=50,
+    n_providers=12,
+    repetitions=1,
+)
+
+
+class TestAblationTopologies:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_topologies(TINY)
+
+    def test_covers_three_families(self, result):
+        assert result.x_values == ["transit_stub", "waxman", "scale_free"]
+
+    def test_all_algorithms_evaluated(self, result):
+        for point in result.points:
+            assert set(point) == {"LCF", "JoOffloadCache", "OffloadCache"}
+            for metrics in point.values():
+                assert metrics.social_cost > 0
+
+    def test_same_seeds_across_families(self):
+        """Paired seeds: rerunning must reproduce bit-identically."""
+        a = ablation_topologies(TINY)
+        b = ablation_topologies(TINY)
+        for pa, pb in zip(a.points, b.points):
+            for alg in pa:
+                assert pa[alg].social_cost == pytest.approx(pb[alg].social_cost)

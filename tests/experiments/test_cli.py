@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import BENCH, build_parser, main
+from repro.experiments.settings import PAPER, QUICK
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.scale == "quick"
+        assert args.metrics == ["social_cost", "runtime_s"]
+        assert args.csv is None
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["fig3", "--scale", "paper"])
+        assert args.scale == "paper"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--scale", "galactic"])
+
+    def test_metric_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--metrics", "vibes"])
+
+    def test_poa_options(self):
+        args = build_parser().parse_args(["poa", "--providers", "6"])
+        assert args.providers == 6
+
+    def test_bench_scale_exists(self):
+        assert BENCH.repetitions < PAPER.repetitions or (
+            BENCH.n_providers < PAPER.n_providers
+        )
+
+
+class TestMain:
+    def test_fig2_quick_runs(self, capsys, tmp_path):
+        code = main(["fig2", "--scale", "quick", "--csv", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[fig2] social cost" in out
+        csv_file = tmp_path / "fig2.csv"
+        assert csv_file.exists()
+        header = csv_file.read_text().splitlines()[0]
+        assert header.startswith("x,algorithm,")
+
+    def test_poa_runs(self, capsys):
+        code = main(["poa", "--providers", "5", "--repetitions", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "empirical_poa" in out
+        assert "theorem1_bound" in out
+
+    def test_custom_metrics(self, capsys):
+        code = main(["fig3", "--scale", "quick", "--metrics", "rejected"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rejected services" in out
+        assert "running time" not in out
+
+    def test_chart_flag(self, capsys):
+        code = main(["fig2", "--scale", "quick", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "*=LCF" in out
+        assert "+" in out and "|" in out  # chart frame present

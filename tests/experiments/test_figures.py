@@ -1,0 +1,104 @@
+"""Tests for the figure drivers (tiny configs — code-path coverage; the
+paper-shape assertions live in tests/integration/test_shapes.py)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ablation_congestion_models,
+    ablation_gap_solvers,
+    ablation_selection_strategies,
+    fig2_network_size,
+    fig3_selfish_fraction,
+    fig5_testbed,
+    fig6_testbed_parameters,
+    fig7_max_demands,
+    poa_study,
+)
+from repro.experiments.settings import ExperimentConfig
+
+TINY = ExperimentConfig(
+    network_sizes=(40, 60),
+    default_size=50,
+    n_providers=12,
+    xi_sweep=(0.0, 0.5, 1.0),
+    repetitions=1,
+    provider_sweep=(6, 12),
+    data_volume_sweep=(1.0, 5.0),
+    demand_scale_sweep=(1.0, 2.0),
+    bandwidth_scale_sweep=(1.0, 3.0),
+)
+
+ALGOS = {"LCF", "JoOffloadCache", "OffloadCache"}
+
+
+class TestSimulationFigures:
+    def test_fig2(self):
+        result = fig2_network_size(TINY)
+        assert result.x_values == [40, 60]
+        assert set(result.algorithms) == ALGOS
+        for point in result.points:
+            for metrics in point.values():
+                assert metrics.social_cost > 0
+
+    def test_fig3(self):
+        result = fig3_selfish_fraction(TINY)
+        assert result.x_values == [0.0, 0.5, 1.0]
+        # at 1 - xi = 0 nobody is selfish; at 1 everyone is.
+        lcf0 = result.points[0]["LCF"]
+        lcf1 = result.points[-1]["LCF"]
+        assert lcf0.selfish_cost == pytest.approx(0.0)
+        assert lcf1.coordinated_cost == pytest.approx(0.0)
+
+
+class TestTestbedFigures:
+    def test_fig5(self):
+        result = fig5_testbed(TINY)
+        assert result.x_values == [6, 12]
+        assert set(result.algorithms) == ALGOS
+        flows = result.extra["flow_metrics"]
+        assert len(flows) == 2
+        assert flows[0]["LCF"]["total_gb"] > 0
+
+    def test_fig6(self):
+        results = fig6_testbed_parameters(TINY)
+        assert set(results) == {"a", "c", "d"}
+        assert results["a"].x_values == [0.0, 0.5, 1.0]
+        assert results["d"].x_values == [1.0, 5.0]
+
+    def test_fig6d_update_volume_increases_cost(self):
+        results = fig6_testbed_parameters(TINY)
+        series = results["d"].series("LCF")
+        assert series[-1] > series[0]
+
+    def test_fig7(self):
+        results = fig7_max_demands(TINY)
+        assert set(results) == {"a", "b"}
+        assert results["a"].x_values == [1.0, 2.0]
+        assert results["b"].x_values == [1.0, 3.0]
+
+
+class TestAblations:
+    def test_selection(self):
+        result = ablation_selection_strategies(TINY)
+        assert set(result.algorithms) == {
+            "LCF(largest)", "LCF(smallest)", "LCF(random)",
+        }
+
+    def test_congestion_models(self):
+        result = ablation_congestion_models(TINY)
+        assert result.x_values == ["linear", "quadratic", "mm1"]
+        assert set(result.algorithms) == ALGOS
+
+    def test_gap_solvers(self):
+        result = ablation_gap_solvers(TINY)
+        assert set(result.algorithms) == {
+            "Appro(shmoys_tardos)", "Appro(greedy)",
+        }
+
+
+class TestPoAStudy:
+    def test_bounds_hold(self):
+        out = poa_study(n_providers=6, n_nodes=25, repetitions=2, seed=3)
+        assert 1.0 <= out["empirical_appro_ratio"] <= out["lemma2_bound"]
+        assert 1.0 - 1e-9 <= out["empirical_poa"] <= out["theorem1_bound"]
+        assert 0 < out["optimal_v"] < 1

@@ -1,0 +1,86 @@
+"""Tests for the sweep harness."""
+
+import pytest
+
+from repro.core.baselines import jo_offload_cache, offload_cache
+from repro.experiments.harness import (
+    AlgorithmMetrics,
+    default_algorithms,
+    evaluate_algorithms,
+    sweep,
+)
+from repro.exceptions import ReproError
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+
+
+def make_market(size, seed):
+    network = random_mec_network(int(size), rng=seed)
+    return generate_market(network, 10, rng=seed + 1)
+
+
+class TestAlgorithmMetrics:
+    def test_aggregates_means(self, small_market):
+        a = jo_offload_cache(small_market)
+        b = offload_cache(small_market)
+        metrics = AlgorithmMetrics.from_assignments([a, b])
+        assert metrics.samples == 2
+        assert metrics.social_cost == pytest.approx(
+            (a.social_cost + b.social_cost) / 2
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            AlgorithmMetrics.from_assignments([])
+
+
+class TestEvaluateAlgorithms:
+    def test_runs_all(self, small_market):
+        table = default_algorithms(one_minus_xi=0.3, allow_remote=True)
+        results = evaluate_algorithms(small_market, table)
+        assert set(results) == {"LCF", "JoOffloadCache", "OffloadCache"}
+
+    def test_lcf_runs_first_so_flags_are_set(self, small_market):
+        table = default_algorithms(one_minus_xi=0.4, allow_remote=True)
+        assert list(table)[0] == "LCF"
+        evaluate_algorithms(small_market, table)
+        budget = small_market.coordination_budget(0.6)
+        assert len(small_market.coordinated) <= budget
+
+
+class TestSweep:
+    def test_shape_of_result(self):
+        result = sweep(
+            name="t",
+            x_label="size",
+            x_values=[30, 40],
+            make_market=make_market,
+            make_algorithms=lambda _x: {"Jo": jo_offload_cache},
+            repetitions=2,
+        )
+        assert result.x_values == [30, 40]
+        assert len(result.points) == 2
+        assert result.algorithms == ["Jo"]
+        assert result.points[0]["Jo"].samples == 2
+
+    def test_series_extraction(self):
+        result = sweep(
+            name="t",
+            x_label="size",
+            x_values=[30, 40],
+            make_market=make_market,
+            make_algorithms=lambda _x: {"Jo": jo_offload_cache},
+            repetitions=1,
+        )
+        series = result.series("Jo", "social_cost")
+        assert len(series) == 2
+        assert all(v > 0 for v in series)
+
+    def test_deterministic(self):
+        def run():
+            return sweep(
+                "t", "size", [30],
+                make_market, lambda _x: {"Jo": jo_offload_cache}, 2,
+            ).series("Jo")
+
+        assert run() == run()

@@ -1,0 +1,45 @@
+"""Tests for sweep-result rendering."""
+
+import pytest
+
+from repro.core.baselines import jo_offload_cache
+from repro.experiments.harness import sweep
+from repro.experiments.report import render_sweep, series_of
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+
+
+@pytest.fixture(scope="module")
+def result():
+    def make_market(size, seed):
+        network = random_mec_network(int(size), rng=seed)
+        return generate_market(network, 8, rng=seed + 1)
+
+    return sweep(
+        "demo", "size", [30, 40], make_market,
+        lambda _x: {"Jo": jo_offload_cache}, repetitions=1,
+    )
+
+
+class TestRenderSweep:
+    def test_contains_title_and_rows(self, result):
+        out = render_sweep(result, metrics=("social_cost",))
+        assert "[demo] social cost ($)" in out
+        assert "30" in out and "40" in out
+        assert "Jo" in out
+
+    def test_multiple_metrics_render_blocks(self, result):
+        out = render_sweep(result, metrics=("social_cost", "runtime_s"))
+        assert out.count("[demo]") == 2
+
+    def test_unknown_metric_rejected(self, result):
+        with pytest.raises(ValueError):
+            render_sweep(result, metrics=("nope",))
+
+
+class TestSeriesOf:
+    def test_series_strings(self, result):
+        lines = series_of(result, "social_cost")
+        assert set(lines) == {"Jo"}
+        assert lines["Jo"].startswith("Jo:")
+        assert "30=" in lines["Jo"]

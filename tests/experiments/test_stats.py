@@ -1,0 +1,105 @@
+"""Tests for the experiment statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.stats import (
+    mean_ci,
+    paired_comparison,
+    summarize,
+)
+
+
+class TestMeanCI:
+    def test_symmetric_around_mean(self):
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.mean == pytest.approx(2.5)
+        assert ci.lower < ci.mean < ci.upper
+        assert ci.mean - ci.lower == pytest.approx(ci.upper - ci.mean)
+
+    def test_single_sample_degenerates(self):
+        ci = mean_ci([5.0])
+        assert ci.lower == ci.upper == ci.mean == 5.0
+        assert ci.n == 1
+
+    def test_more_samples_narrow_the_interval(self):
+        rng = np.random.default_rng(1)
+        small = mean_ci(rng.normal(0, 1, size=5))
+        big = mean_ci(rng.normal(0, 1, size=100))
+        assert big.half_width < small.half_width
+
+    def test_higher_confidence_widens(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert mean_ci(xs, 0.99).half_width > mean_ci(xs, 0.90).half_width
+
+    def test_coverage_monte_carlo(self):
+        """~95% of 95% CIs should cover the true mean."""
+        rng = np.random.default_rng(7)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            xs = rng.normal(10.0, 2.0, size=12)
+            ci = mean_ci(xs, 0.95)
+            covered += ci.lower <= 10.0 <= ci.upper
+        assert 0.88 <= covered / trials <= 0.99
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_ci([])
+        with pytest.raises(ConfigurationError):
+            mean_ci([1.0], confidence=1.5)
+
+    def test_str(self):
+        assert "±" in str(mean_ci([1.0, 2.0, 3.0]))
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        a = [1.0, 1.1, 0.9, 1.05, 0.95]
+        b = [2.0, 2.1, 1.9, 2.05, 1.95]
+        cmp = paired_comparison(a, b)
+        assert cmp.a_wins
+        assert not cmp.b_wins
+        assert cmp.mean_difference == pytest.approx(-1.0)
+        assert cmp.sign_test_p < 0.1
+
+    def test_symmetric(self):
+        a = [1.0, 2.0, 3.0]
+        b = [2.0, 3.0, 4.0]
+        ab = paired_comparison(a, b)
+        ba = paired_comparison(b, a)
+        assert ab.mean_difference == pytest.approx(-ba.mean_difference)
+
+    def test_identical_sequences_tie(self):
+        cmp = paired_comparison([1.0, 2.0], [1.0, 2.0])
+        assert not cmp.a_wins and not cmp.b_wins
+        assert cmp.sign_test_p == 1.0
+
+    def test_noisy_tie_is_not_significant(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(10, 1, size=10)
+        b = a + rng.normal(0, 2, size=10)
+        cmp = paired_comparison(a, b)
+        # huge noise, zero true effect: usually not significant.
+        assert cmp.n == 10
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            paired_comparison([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            paired_comparison([], [])
+
+
+class TestSummarize:
+    def test_mentions_names_and_verdict(self):
+        cmp = paired_comparison([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])
+        line = summarize("LCF", "Jo", cmp)
+        assert "LCF" in line and "Jo" in line
+        assert "cheaper" in line
+
+    def test_tie_wording(self):
+        cmp = paired_comparison([1.0, 2.0], [1.0, 2.0])
+        assert "no significant difference" in summarize("A", "B", cmp)

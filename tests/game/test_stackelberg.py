@@ -1,0 +1,72 @@
+"""Tests for the Stackelberg wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.game.congestion import SingletonCongestionGame
+from repro.game.stackelberg import play_stackelberg
+
+
+def make_game(n_players=4, n_resources=2, fixed=None):
+    fixed = fixed or {}
+    return SingletonCongestionGame(
+        list(range(n_players)),
+        [f"r{i}" for i in range(n_resources)],
+        lambda r, k: float(k),
+        lambda p, r: fixed.get((p, r), 0.0),
+    )
+
+
+class TestPlayStackelberg:
+    def test_coordinated_players_stay_pinned(self):
+        game = make_game()
+        prescribed = {0: "r0", 1: "r1"}
+        outcome = play_stackelberg(game, prescribed, coordinated=[0, 1])
+        assert outcome.profile[0] == "r0"
+        assert outcome.profile[1] == "r1"
+
+    def test_selfish_reach_equilibrium(self):
+        game = make_game(n_players=6, n_resources=3)
+        prescribed = {0: "r0", 1: "r1"}
+        outcome = play_stackelberg(game, prescribed, coordinated=[0, 1])
+        assert outcome.is_equilibrium
+
+    def test_cost_split_sums_to_social(self):
+        game = make_game(n_players=5, n_resources=2)
+        outcome = play_stackelberg(game, {0: "r0"}, coordinated=[0])
+        assert outcome.social_cost == pytest.approx(
+            outcome.coordinated_cost + outcome.selfish_cost
+        )
+        assert outcome.social_cost == pytest.approx(game.social_cost(outcome.profile))
+
+    def test_missing_prescription_rejected(self):
+        game = make_game()
+        with pytest.raises(ConfigurationError):
+            play_stackelberg(game, {}, coordinated=[0])
+
+    def test_explicit_initial_selfish(self):
+        game = make_game(n_players=3, n_resources=2)
+        outcome = play_stackelberg(
+            game,
+            {0: "r0"},
+            coordinated=[0],
+            initial_selfish={1: "r0", 2: "r0"},
+        )
+        assert outcome.is_equilibrium
+
+    def test_incomplete_initial_selfish_rejected(self):
+        game = make_game(n_players=3)
+        with pytest.raises(ConfigurationError):
+            play_stackelberg(game, {0: "r0"}, coordinated=[0], initial_selfish={1: "r0"})
+
+    def test_no_coordination_is_pure_game(self):
+        game = make_game(n_players=4, n_resources=2)
+        outcome = play_stackelberg(game, {}, coordinated=[])
+        assert outcome.coordinated_cost == 0.0
+        assert outcome.is_equilibrium
+
+    def test_selfish_property(self):
+        game = make_game(n_players=3)
+        outcome = play_stackelberg(game, {0: "r0"}, coordinated=[0])
+        assert outcome.selfish == {1, 2}

@@ -1,0 +1,73 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro.core import appro, jo_offload_cache, lcf, offload_cache, optimal_caching
+from repro.core.bounds import bounds_for_market
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+from repro.network.zoo import as1755_mec_network
+from repro.testbed.emulator import Testbed
+
+
+class TestSimulationPipeline:
+    def test_all_algorithms_produce_valid_assignments(self):
+        network = random_mec_network(120, rng=1)
+        market = generate_market(network, n_providers=60, rng=2)
+        for runner in (
+            lambda m: lcf(m, xi=0.7, allow_remote=True).assignment,
+            lambda m: appro(m, allow_remote=True),
+            jo_offload_cache,
+            offload_cache,
+        ):
+            assignment = runner(market)
+            assignment.check_capacities()
+            assert assignment.social_cost > 0
+            covered = len(assignment.placement) + len(assignment.rejected)
+            assert covered == market.num_providers
+
+    def test_reusing_a_market_across_algorithms_is_safe(self):
+        """Algorithms must not leave capacity reservations or stale state
+        behind — running them in any order gives identical costs."""
+        network = random_mec_network(80, rng=3)
+        market = generate_market(network, n_providers=30, rng=4)
+        first = jo_offload_cache(market).social_cost
+        lcf(market, xi=0.5, allow_remote=True)
+        offload_cache(market)
+        again = jo_offload_cache(market).social_cost
+        assert first == pytest.approx(again)
+
+    def test_bounds_computable_for_generated_markets(self):
+        network = random_mec_network(60, rng=5)
+        market = generate_market(network, n_providers=20, rng=6)
+        bounds = bounds_for_market(market, xi=0.7)
+        assert bounds["appro_ratio_bound"] > 1.0
+
+    def test_optimal_pipeline_on_tiny_instance(self):
+        network = random_mec_network(25, rng=7)
+        market = generate_market(network, n_providers=5, rng=8)
+        optimum = optimal_caching(market)
+        heuristic = appro(market)
+        assert optimum.social_cost <= heuristic.social_cost + 1e-9
+
+
+class TestTestbedPipeline:
+    def test_full_testbed_cycle(self):
+        testbed = Testbed(rng=11)
+        market = generate_market(testbed.network, n_providers=12, rng=12)
+        testbed.register_algorithm(
+            "LCF", lambda m: lcf(m, xi=0.7, allow_remote=True).assignment
+        )
+        testbed.register_algorithm("Jo", jo_offload_cache)
+        lcf_run = testbed.run("LCF", market)
+        jo_run = testbed.run("Jo", market)
+        assert lcf_run.social_cost > 0 and jo_run.social_cost > 0
+        assert lcf_run.flow_metrics["makespan"] > 0
+        # the controller timed both apps.
+        assert set(testbed.controller.app_runtimes) == {"LCF", "Jo"}
+
+    def test_as1755_market_generation(self):
+        network = as1755_mec_network(rng=13)
+        market = generate_market(network, n_providers=20, rng=14)
+        assert market.num_providers == 20
+        appro(market, allow_remote=True).check_capacities()

@@ -1,0 +1,160 @@
+"""Paper-shape integration tests.
+
+These assert the qualitative results the paper's figures show, at a reduced
+but statistically meaningful scale (the benchmark harness replays them at
+full scale). Each test names the figure it guards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import jo_offload_cache, lcf, offload_cache
+from repro.market.workload import WorkloadParams, generate_market
+from repro.network.generators import random_mec_network
+from repro.network.zoo import as1755_mec_network
+
+SEEDS = range(4)
+N_PROVIDERS = 60
+SIZE = 150
+
+
+def markets(size=SIZE, n=N_PROVIDERS, workload=None):
+    for seed in SEEDS:
+        network = random_mec_network(size, rng=seed)
+        yield generate_market(network, n, params=workload, rng=seed + 100)
+
+
+class TestFig2Ordering:
+    def test_lcf_beats_jo_beats_off(self):
+        """Fig. 2(a): LCF < JoOffloadCache < OffloadCache at 1-xi = 0.3."""
+        lcf_c, jo_c, off_c = [], [], []
+        for market in markets():
+            lcf_c.append(lcf(market, xi=0.7, allow_remote=True).assignment.social_cost)
+            jo_c.append(jo_offload_cache(market).social_cost)
+            off_c.append(offload_cache(market).social_cost)
+        assert np.mean(lcf_c) < np.mean(jo_c) < np.mean(off_c)
+
+    def test_cost_decreases_with_network_size(self):
+        """Fig. 2(a): more cloudlets (larger networks) reduce the social
+        cost for a fixed population."""
+        small = [
+            lcf(m, xi=0.7, allow_remote=True).assignment.social_cost
+            for m in markets(size=80)
+        ]
+        large = [
+            lcf(m, xi=0.7, allow_remote=True).assignment.social_cost
+            for m in markets(size=250)
+        ]
+        assert np.mean(large) < np.mean(small)
+
+    def test_lcf_slowest_baselines_fast(self):
+        """Fig. 2(d): LCF pays for its LP; the greedy baselines are fast."""
+        market = next(iter(markets()))
+        lcf_rt = lcf(market, xi=0.7, allow_remote=True).assignment.runtime_s
+        jo_rt = jo_offload_cache(market).runtime_s
+        assert lcf_rt > jo_rt
+
+
+class TestFig3Trend:
+    def test_social_cost_increases_with_selfishness(self):
+        """Fig. 3(a): the posted-price market degrades as 1-xi grows."""
+        low, high = [], []
+        for market in markets():
+            low.append(lcf(market, xi=1.0, allow_remote=True).assignment.social_cost)
+            high.append(lcf(market, xi=0.0, allow_remote=True).assignment.social_cost)
+        assert np.mean(low) < np.mean(high)
+
+    def test_cost_split_moves_with_xi(self):
+        """Fig. 3(b)(c): the selfish share of the social cost grows with
+        1-xi, pinned by the degenerate endpoints."""
+        selfish_hi, selfish_lo = [], []
+        for market in markets():
+            mostly_coordinated = lcf(market, xi=0.8, allow_remote=True).assignment
+            mostly_selfish = lcf(market, xi=0.2, allow_remote=True).assignment
+            selfish_hi.append(mostly_selfish.selfish_cost)
+            selfish_lo.append(mostly_coordinated.selfish_cost)
+            # endpoint identities of the split
+            all_coord = lcf(market, xi=1.0, allow_remote=True).assignment
+            assert all_coord.selfish_cost == pytest.approx(0.0)
+            assert all_coord.coordinated_cost == pytest.approx(all_coord.social_cost)
+        assert np.mean(selfish_hi) > np.mean(selfish_lo)
+
+
+class TestFig5Testbed:
+    def test_lcf_wins_on_as1755(self):
+        """Fig. 5(a): LCF's social cost is lowest on the testbed overlay."""
+        lcf_c, jo_c, off_c = [], [], []
+        for seed in SEEDS:
+            network = as1755_mec_network(rng=seed)
+            market = generate_market(network, 40, rng=seed + 100)
+            lcf_c.append(lcf(market, xi=0.7, allow_remote=True).assignment.social_cost)
+            jo_c.append(jo_offload_cache(market).social_cost)
+            off_c.append(offload_cache(market).social_cost)
+        assert np.mean(lcf_c) < np.mean(jo_c)
+        assert np.mean(lcf_c) < np.mean(off_c)
+
+
+class TestFig6Parameters:
+    def test_cost_grows_with_request_population(self):
+        """Fig. 6(c): more caching requests, higher total cost."""
+        few = [
+            lcf(m, xi=0.7, allow_remote=True).assignment.social_cost
+            for m in markets(n=20)
+        ]
+        many = [
+            lcf(m, xi=0.7, allow_remote=True).assignment.social_cost
+            for m in markets(n=80)
+        ]
+        assert np.mean(many) > np.mean(few)
+
+    def test_cost_grows_with_update_volume(self):
+        """Fig. 6(d): larger service data volumes (hence update traffic)
+        cost more."""
+        small = WorkloadParams(data_volume_gb_range=(1.0, 1.0))
+        big = WorkloadParams(data_volume_gb_range=(5.0, 5.0))
+        cost_small = [
+            lcf(m, xi=0.7, allow_remote=True).assignment.social_cost
+            for m in markets(workload=small)
+        ]
+        cost_big = [
+            lcf(m, xi=0.7, allow_remote=True).assignment.social_cost
+            for m in markets(workload=big)
+        ]
+        assert np.mean(cost_big) > np.mean(cost_small)
+
+
+class TestFig7Demands:
+    """Fig. 7: growing a_max/b_max shrinks n_i (Eq. 7) until services are
+    forced into the remote cloud and the cost climbs. The effect binds when
+    total demand approaches the cloudlet capacities, so these tests run on
+    the AS1755 testbed network (9 cloudlets) at the binding end of the
+    paper sweep, on paired seeds."""
+
+    def _testbed_markets(self, workload):
+        for seed in range(3):
+            network = as1755_mec_network(rng=seed)
+            yield generate_market(network, 40, params=workload, rng=seed + 100)
+
+    def _mean_cost_and_rejections(self, workload):
+        costs, rejections = [], []
+        for market in self._testbed_markets(workload):
+            assignment = lcf(market, xi=0.7, allow_remote=True).assignment
+            costs.append(assignment.social_cost)
+            rejections.append(len(assignment.rejected))
+        return np.mean(costs), np.mean(rejections)
+
+    def test_cost_grows_with_amax(self):
+        base_cost, base_rej = self._mean_cost_and_rejections(WorkloadParams())
+        scaled_cost, scaled_rej = self._mean_cost_and_rejections(
+            WorkloadParams().scaled(compute_scale=5.0)
+        )
+        assert scaled_rej > base_rej
+        assert scaled_cost > base_cost
+
+    def test_cost_grows_with_bmax(self):
+        base_cost, base_rej = self._mean_cost_and_rejections(WorkloadParams())
+        scaled_cost, scaled_rej = self._mean_cost_and_rejections(
+            WorkloadParams().scaled(bandwidth_scale=8.0)
+        )
+        assert scaled_rej > base_rej
+        assert scaled_cost > base_cost

@@ -1,0 +1,184 @@
+"""Tests for repro.market.costs — the Eq. (1)–(6) cost model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.market.costs import (
+    CostModel,
+    LinearCongestion,
+    MM1Congestion,
+    QuadraticCongestion,
+)
+from repro.market.pricing import Pricing
+
+from tests.conftest import build_line_network, build_provider
+
+
+@pytest.fixture
+def model(line_network):
+    return CostModel(line_network, pricing=Pricing(transmit_per_gb=0.1,
+                                                   process_per_gb=0.2,
+                                                   hop_surcharge=0.25))
+
+
+class TestCongestionFunctions:
+    def test_linear_is_identity(self):
+        g = LinearCongestion()
+        assert g(0) == 0.0
+        assert g(7) == 7.0
+
+    def test_quadratic(self):
+        g = QuadraticCongestion(scale=2.0)
+        assert g(4) == pytest.approx(8.0)
+
+    def test_quadratic_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            QuadraticCongestion(scale=0.0)
+
+    def test_mm1_grows_then_saturates(self):
+        g = MM1Congestion(capacity=8)
+        assert g(1) < g(4) < g(7)
+        assert g(8) > 1e5  # saturation penalty
+
+    def test_mm1_rejects_tiny_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MM1Congestion(capacity=1)
+
+    @pytest.mark.parametrize(
+        "fn", [LinearCongestion(), QuadraticCongestion(), MM1Congestion(capacity=128)]
+    )
+    def test_monotone(self, fn):
+        fn.validate_monotone(up_to=64)
+
+    @pytest.mark.parametrize(
+        "fn", [LinearCongestion(), QuadraticCongestion(), MM1Congestion()]
+    )
+    def test_negative_occupancy_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(-1)
+
+
+class TestCostComponents:
+    def test_instantiation_cost(self, model):
+        p = build_provider(0, traffic_gb=2.0, instantiation_cost=0.1)
+        # 0.1 base + 2.0 GB * 0.2 $/GB processing
+        assert model.instantiation_cost(p) == pytest.approx(0.5)
+
+    def test_access_cost_uses_user_to_cloudlet_hops(self, model, line_network):
+        p = build_provider(0, user_node=1, traffic_gb=2.0)
+        cl2 = line_network.cloudlet_at(2)  # 1 hop from node 1
+        cl4 = line_network.cloudlet_at(4)  # 3 hops from node 1
+        near = model.access_cost(p, cl2)
+        far = model.access_cost(p, cl4)
+        assert near == pytest.approx(2.0 * 0.1 * (1 + 0.25 * 1))
+        assert far == pytest.approx(2.0 * 0.1 * (1 + 0.25 * 3))
+        assert far > near
+
+    def test_update_cost_grows_with_distance(self, model, line_network):
+        p = build_provider(0, home_dc=0, data_volume_gb=2.0, sync_frequency=10.0)
+        near = model.update_cost(p, line_network.cloudlet_at(2))
+        far = model.update_cost(p, line_network.cloudlet_at(4))
+        assert far > near
+
+    def test_update_cost_exact(self, model, line_network):
+        p = build_provider(0, home_dc=0, data_volume_gb=2.0, sync_frequency=5.0)
+        cl = line_network.cloudlet_at(2)  # 2 hops from the DC
+        vol = 0.1 * 2.0 * 5.0
+        expected = cl.bdw_unit_cost * vol + 0.1 * vol * (1 + 0.25 * 2)
+        assert model.update_cost(p, cl) == pytest.approx(expected)
+
+    def test_congestion_cost_linear_in_occupancy(self, model, line_network):
+        cl = line_network.cloudlet_at(2)
+        assert model.congestion_cost(cl, 3) == pytest.approx((cl.alpha + cl.beta) * 3)
+
+    def test_cost_requires_occupancy_at_least_one(self, model, line_network):
+        p = build_provider(0)
+        with pytest.raises(ValueError):
+            model.cost(p, line_network.cloudlet_at(2), 0)
+
+    def test_cost_is_congestion_plus_fixed(self, model, line_network):
+        p = build_provider(0)
+        cl = line_network.cloudlet_at(2)
+        assert model.cost(p, cl, 4) == pytest.approx(
+            model.congestion_cost(cl, 4) + model.fixed_cost(p, cl)
+        )
+
+    def test_gap_cost_is_eq9(self, model, line_network):
+        p = build_provider(0)
+        cl = line_network.cloudlet_at(2)
+        assert model.gap_cost(p, cl) == pytest.approx(
+            cl.alpha + cl.beta + model.fixed_cost(p, cl)
+        )
+
+    def test_fixed_cost_memoised(self, model, line_network):
+        p = build_provider(0)
+        cl = line_network.cloudlet_at(2)
+        first = model.fixed_cost(p, cl)
+        assert model.fixed_cost(p, cl) == first
+        assert (0, 2) in model._fixed_cache
+
+    def test_remote_cost_carries_premium(self, model, line_network):
+        p = build_provider(0, home_dc=0, user_node=1, traffic_gb=2.0)
+        remote = model.remote_cost(p)
+        dc = line_network.data_center_at(0)
+        expected = (
+            p.service.instantiation_cost
+            + 2.0 * dc.processing_unit_cost
+            + model.remote_premium * 0.1 * 2.0 * (1 + 0.25 * 1)
+        )
+        assert remote == pytest.approx(expected)
+
+    def test_remote_generally_beats_no_option_near_cache(self, model, line_network):
+        # For a user 1 hop from a cloudlet and 1 hop from the DC, remote's
+        # premium makes caching cheaper at low occupancy.
+        p = build_provider(0, home_dc=0, user_node=1, traffic_gb=3.0)
+        cached = model.cost(p, line_network.cloudlet_at(2), 1)
+        assert cached < model.remote_cost(p)
+
+
+class TestAggregates:
+    def test_occupancy(self, model):
+        placement = {0: 2, 1: 2, 2: 4}
+        assert model.occupancy(placement) == {2: 2, 4: 1}
+
+    def test_provider_cost_uses_full_occupancy(self, model, line_network):
+        p0 = build_provider(0)
+        p1 = build_provider(1)
+        placement = {0: 2, 1: 2}
+        expected = model.cost(p0, line_network.cloudlet_at(2), 2)
+        assert model.provider_cost(p0, placement) == pytest.approx(expected)
+
+    def test_provider_cost_unplaced_raises(self, model):
+        p = build_provider(0)
+        with pytest.raises(ConfigurationError):
+            model.provider_cost(p, {})
+
+    def test_social_cost_sums_players(self, model):
+        providers = {i: build_provider(i) for i in range(3)}
+        placement = {0: 2, 1: 2, 2: 4}
+        total = model.social_cost(providers, placement)
+        parts = sum(model.provider_cost(providers[i], placement) for i in range(3))
+        assert total == pytest.approx(parts)
+
+    def test_social_cost_increases_with_crowding(self, model):
+        providers = {i: build_provider(i) for i in range(2)}
+        spread = model.social_cost(providers, {0: 2, 1: 4})
+        packed_costs = model.social_cost(providers, {0: 2, 1: 2})
+        # Packing raises congestion; whether it wins overall depends on
+        # fixed costs — here provider 1's fixed cost at CL4 exceeds CL2's,
+        # so only assert congestion parts behave.
+        occ_spread = model.occupancy({0: 2, 1: 4})
+        occ_packed = model.occupancy({0: 2, 1: 2})
+        assert occ_packed[2] == 2 and occ_spread[2] == 1
+        assert packed_costs != spread
+
+
+class TestRemotePremiumConfig:
+    def test_negative_premium_rejected(self, line_network):
+        with pytest.raises(ConfigurationError):
+            CostModel(line_network, remote_premium=-1.0)
+
+    def test_custom_congestion_function(self, line_network):
+        model = CostModel(line_network, congestion=QuadraticCongestion(scale=1.0))
+        cl = line_network.cloudlet_at(2)
+        assert model.congestion_cost(cl, 3) == pytest.approx((cl.alpha + cl.beta) * 9.0)

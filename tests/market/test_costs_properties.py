@@ -1,0 +1,112 @@
+"""Property-based tests for the cost model (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.market.costs import (
+    CostModel,
+    LinearCongestion,
+    MM1Congestion,
+    QuadraticCongestion,
+)
+from repro.market.pricing import Pricing
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+
+COMMON = dict(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def markets(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_nodes = draw(st.integers(25, 70))
+    n_providers = draw(st.integers(2, 12))
+    network = random_mec_network(n_nodes, rng=seed)
+    return generate_market(network, n_providers, rng=seed + 1)
+
+
+class TestCostModelProperties:
+    @given(market=markets(), occupancies=st.lists(st.integers(1, 30), min_size=2, max_size=2))
+    @settings(**COMMON)
+    def test_cost_nondecreasing_in_occupancy(self, market, occupancies):
+        lo, hi = sorted(occupancies)
+        model = market.cost_model
+        provider = market.providers[0]
+        for cloudlet in market.network.cloudlets:
+            assert model.cost(provider, cloudlet, hi) >= (
+                model.cost(provider, cloudlet, lo) - 1e-12
+            )
+
+    @given(market=markets())
+    @settings(**COMMON)
+    def test_fixed_cost_decomposition(self, market):
+        model = market.cost_model
+        for provider in market.providers[:3]:
+            for cloudlet in market.network.cloudlets[:3]:
+                fixed = model.fixed_cost(provider, cloudlet)
+                parts = (
+                    model.instantiation_cost(provider)
+                    + model.access_cost(provider, cloudlet)
+                    + model.update_cost(provider, cloudlet)
+                )
+                assert fixed == pytest.approx(parts)
+                assert model.gap_cost(provider, cloudlet) == pytest.approx(
+                    cloudlet.alpha + cloudlet.beta + fixed
+                )
+
+    @given(market=markets())
+    @settings(**COMMON)
+    def test_social_cost_equals_sum_of_player_costs(self, market):
+        model = market.cost_model
+        cloudlets = market.network.cloudlets
+        rng = np.random.default_rng(0)
+        placement = {
+            p.provider_id: cloudlets[int(rng.integers(0, len(cloudlets)))].node_id
+            for p in market.providers
+        }
+        total = model.social_cost(market.providers_by_id(), placement)
+        parts = sum(
+            model.provider_cost(p, placement) for p in market.providers
+        )
+        assert total == pytest.approx(parts)
+
+    @given(market=markets())
+    @settings(**COMMON)
+    def test_remote_cost_scales_with_premium(self, market):
+        provider = market.providers[0]
+        base_model = CostModel(
+            market.network, pricing=market.cost_model.pricing, remote_premium=1.0
+        )
+        high_model = CostModel(
+            market.network, pricing=market.cost_model.pricing, remote_premium=10.0
+        )
+        assert high_model.remote_cost(provider) >= base_model.remote_cost(provider)
+
+    @given(market=markets())
+    @settings(**COMMON)
+    def test_all_costs_positive_and_finite(self, market):
+        model = market.cost_model
+        for provider in market.providers[:4]:
+            remote = model.remote_cost(provider)
+            assert np.isfinite(remote) and remote > 0
+            for cloudlet in market.network.cloudlets[:4]:
+                cost = model.cost(provider, cloudlet, 1)
+                assert np.isfinite(cost) and cost > 0
+
+
+class TestCongestionFunctionProperties:
+    @given(
+        occupancy=st.integers(0, 60),
+        fn_index=st.integers(0, 2),
+    )
+    @settings(**COMMON)
+    def test_nonnegative_and_monotone(self, occupancy, fn_index):
+        fn = [LinearCongestion(), QuadraticCongestion(), MM1Congestion(capacity=128)][fn_index]
+        assert fn(occupancy) >= 0
+        assert fn(occupancy + 1) >= fn(occupancy) - 1e-12

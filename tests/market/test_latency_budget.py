@@ -1,0 +1,99 @@
+"""Tests for the hard latency-budget constraint."""
+
+import math
+
+import pytest
+
+from repro.core import appro, jo_offload_cache, lcf, offload_cache
+from repro.exceptions import InfeasibleError
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+from repro.market.qos import latency_report
+from repro.market.workload import generate_providers
+from repro.network.generators import random_mec_network
+
+from tests.conftest import build_line_network, build_provider
+
+
+def budget_market(budget_ms, n_providers=2):
+    net = build_line_network()  # delays: 1 ms per hop on the line
+    providers = [build_provider(i, user_node=1) for i in range(n_providers)]
+    return ServiceMarket(
+        net, providers, pricing=Pricing(), latency_budget_ms=budget_ms
+    )
+
+
+class TestBudgetSemantics:
+    def test_violating_cloudlet_forbidden(self):
+        # user at node 1: CL2 is 1 ms, CL4 is 3 ms away.
+        market = budget_market(budget_ms=2.0)
+        model = market.cost_model
+        provider = market.providers[0]
+        near = market.network.cloudlet_at(2)
+        far = market.network.cloudlet_at(4)
+        assert math.isfinite(model.fixed_cost(provider, near))
+        assert math.isinf(model.fixed_cost(provider, far))
+
+    def test_no_budget_allows_everything(self):
+        market = budget_market(budget_ms=None)
+        model = market.cost_model
+        for cl in market.network.cloudlets:
+            assert math.isfinite(model.fixed_cost(market.providers[0], cl))
+
+    def test_access_delay_is_cluster_weighted(self):
+        market = budget_market(budget_ms=None)
+        model = market.cost_model
+        provider = market.providers[0]
+        provider.service.user_clusters = ((1, 0.5), (3, 0.5))
+        model._fixed_cache.clear()
+        cl = market.network.cloudlet_at(2)
+        net = market.network
+        expected = 0.5 * net.path_delay(1, 2) + 0.5 * net.path_delay(3, 2)
+        assert model.access_delay_ms(provider, cl) == pytest.approx(expected)
+
+
+class TestBudgetedAlgorithms:
+    @pytest.fixture(scope="class")
+    def tight_market(self):
+        network = random_mec_network(100, rng=1)
+        providers = generate_providers(network, 30, rng=2)
+        return ServiceMarket(
+            network, providers, pricing=Pricing(), latency_budget_ms=4.0
+        )
+
+    def test_all_algorithms_respect_the_budget(self, tight_market):
+        model = tight_market.cost_model
+        runners = [
+            lambda m: lcf(m, xi=0.7, allow_remote=True).assignment,
+            lambda m: appro(m, allow_remote=True),
+            jo_offload_cache,
+            offload_cache,
+        ]
+        for runner in runners:
+            assignment = runner(tight_market)
+            for pid, node in assignment.placement.items():
+                provider = tight_market.provider(pid)
+                cloudlet = tight_market.network.cloudlet_at(node)
+                assert model.access_delay_ms(provider, cloudlet) <= 4.0 + 1e-9
+
+    def test_budget_costs_money(self):
+        network = random_mec_network(100, rng=3)
+        providers_a = generate_providers(network, 30, rng=4)
+        providers_b = generate_providers(network, 30, rng=4)
+        free = ServiceMarket(network, providers_a, pricing=Pricing())
+        tight = ServiceMarket(
+            network, providers_b, pricing=Pricing(), latency_budget_ms=4.0
+        )
+        free_cost = appro(free, allow_remote=True).social_cost
+        tight_cost = appro(tight, allow_remote=True).social_cost
+        assert tight_cost >= free_cost - 1e-9
+
+    def test_impossible_budget_without_remote_is_infeasible(self):
+        market = budget_market(budget_ms=0.1)
+        with pytest.raises(InfeasibleError):
+            appro(market, allow_remote=False)
+
+    def test_impossible_budget_with_remote_goes_remote(self):
+        market = budget_market(budget_ms=0.1)
+        assignment = appro(market, allow_remote=True)
+        assert len(assignment.rejected) == market.num_providers

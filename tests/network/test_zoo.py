@@ -1,0 +1,50 @@
+"""Tests for the AS1755 topology substitute."""
+
+import networkx as nx
+
+from repro.network.zoo import AS1755_EDGES, AS1755_NODES, as1755, as1755_mec_network
+
+
+class TestAS1755Graph:
+    def test_published_counts(self):
+        g = as1755()
+        assert g.number_of_nodes() == AS1755_NODES == 87
+        assert g.number_of_edges() == AS1755_EDGES == 161
+
+    def test_connected_and_min_degree_two(self):
+        g = as1755()
+        assert nx.is_connected(g)
+        assert min(d for _, d in g.degree) >= 2
+
+    def test_deterministic(self):
+        assert sorted(as1755().edges) == sorted(as1755().edges)
+
+    def test_returns_copy(self):
+        g = as1755()
+        g.remove_node(0)
+        assert as1755().number_of_nodes() == AS1755_NODES
+
+    def test_isp_like_diameter(self):
+        # A continental backbone should have a single-digit hop diameter.
+        g = as1755()
+        assert nx.diameter(g) <= 9
+
+
+class TestAS1755Network:
+    def test_dressing(self):
+        net = as1755_mec_network(rng=1)
+        assert net.num_nodes == 87
+        assert net.num_links == 161
+        assert len(net.data_centers) == 5
+        assert len(net.cloudlets) == max(1, round(0.1 * 87))
+        net.validate()
+
+    def test_topology_fixed_but_capacities_seeded(self):
+        a = as1755_mec_network(rng=1)
+        b = as1755_mec_network(rng=2)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+        caps_a = [c.compute_capacity for c in a.cloudlets]
+        caps_b = [c.compute_capacity for c in b.cloudlets]
+        assert caps_a != caps_b or [c.node_id for c in a.cloudlets] != [
+            c.node_id for c in b.cloudlets
+        ]

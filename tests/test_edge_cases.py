@@ -1,0 +1,164 @@
+"""Assorted edge-case and regression tests across modules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import appro, lcf, market_game
+from repro.core.assignment import CachingAssignment
+from repro.core.virtual_cloudlets import VirtualCloudletSplit
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.game.best_response import best_response_dynamics
+from repro.market.market import ServiceMarket
+from repro.market.pricing import Pricing
+from repro.market.workload import WorkloadParams, generate_market
+from repro.network.generators import random_mec_network
+
+from tests.conftest import build_line_network, build_provider
+
+
+class TestSingleProviderMarket:
+    """The smallest possible market exercises every boundary at once."""
+
+    @pytest.fixture
+    def market(self):
+        net = build_line_network()
+        return ServiceMarket(net, [build_provider(0)], pricing=Pricing())
+
+    def test_appro_places_the_single_provider_optimally(self, market):
+        result = appro(market)
+        assert len(result.placement) == 1
+        node = result.placement[0]
+        model = market.cost_model
+        best = min(
+            market.network.cloudlets,
+            key=lambda cl: model.cost(market.providers[0], cl, 1),
+        )
+        assert node == best.node_id
+
+    def test_lcf_all_fractions_agree(self, market):
+        costs = {
+            xi: lcf(market, xi=xi).assignment.social_cost
+            for xi in (0.0, 0.5, 1.0)
+        }
+        # one provider: coordination cannot change anything.
+        assert len({round(c, 9) for c in costs.values()}) == 1
+
+    def test_game_with_single_player(self, market):
+        game = market_game(market)
+        start = {0: game.resources[0]}
+        result = best_response_dynamics(game, start)
+        assert result.converged
+
+
+class TestIdenticalProviders:
+    """Symmetric players must spread evenly under every mechanism."""
+
+    @pytest.fixture
+    def market(self):
+        net = build_line_network(n_cloudlets=2, compute=50.0, bandwidth=5000.0)
+        providers = [build_provider(i, user_node=3) for i in range(8)]
+        # user_node=3 is equidistant (1 hop) from both cloudlets.
+        return ServiceMarket(net, providers, pricing=Pricing())
+
+    def test_appro_marginal_balances(self, market):
+        result = appro(market)
+        occupancy = result.occupancy()
+        # Perfect symmetry up to fixed-cost differences between the two
+        # cloudlets (update paths differ): allow 5/3 but not 8/0.
+        assert max(occupancy.values()) <= 6
+
+    def test_full_information_equilibrium_balances(self, market):
+        result = lcf(market, xi=0.0, information="full")
+        occupancy = result.assignment.occupancy()
+        assert max(occupancy.values()) - min(occupancy.values()) <= 2
+
+
+class TestDegenerateWorkloads:
+    def test_uniform_demands_make_ratio_one(self):
+        """a_max == a_min: n'_max reduces to max(cap/a, cap/b) exactly."""
+        net = build_line_network()
+        providers = [
+            build_provider(i, requests=10, compute_per_request=0.1,
+                           bandwidth_per_request=1.0)
+            for i in range(3)
+        ]
+        market = ServiceMarket(net, providers, pricing=Pricing())
+        split = VirtualCloudletSplit(market)
+        assert split.a_max == split.a_min
+        assert split.b_max == split.b_min
+
+    def test_workload_with_equal_range_bounds(self):
+        network = random_mec_network(40, rng=1)
+        params = WorkloadParams(
+            requests_range=(100, 100),
+            data_volume_gb_range=(2.0, 2.0),
+        )
+        market = generate_market(network, 5, rng=2, params=params)
+        for p in market.providers:
+            assert p.service.requests == 100
+            assert p.service.data_volume_gb == 2.0
+
+    def test_zero_traffic_service(self):
+        """A service with no request payload still caches (update costs
+        only)."""
+        net = build_line_network()
+        provider = build_provider(0, traffic_gb=0.0)
+        market = ServiceMarket(net, [provider], pricing=Pricing())
+        result = appro(market)
+        assert len(result.placement) == 1
+        assert result.social_cost > 0  # congestion + update remain
+
+
+class TestAssignmentEdge:
+    def test_all_rejected_assignment(self):
+        net = build_line_network()
+        providers = [build_provider(i) for i in range(2)]
+        market = ServiceMarket(net, providers, pricing=Pricing())
+        assignment = CachingAssignment(
+            market, placement={}, rejected=frozenset({0, 1})
+        )
+        model = market.cost_model
+        expected = sum(model.remote_cost(p) for p in market.providers)
+        assert assignment.social_cost == pytest.approx(expected)
+        assert assignment.rejection_rate == 1.0
+        assignment.check_capacities()  # vacuously fine
+
+    def test_occupancy_of_empty_placement(self):
+        net = build_line_network()
+        market = ServiceMarket(net, [build_provider(0)], pricing=Pricing())
+        assignment = CachingAssignment(
+            market, placement={}, rejected=frozenset({0})
+        )
+        assert assignment.occupancy() == {}
+
+
+class TestNumericalRobustness:
+    def test_tiny_costs_do_not_break_lp(self):
+        net = build_line_network()
+        providers = [
+            build_provider(i, traffic_gb=1e-6, data_volume_gb=1e-6,
+                           instantiation_cost=0.0)
+            for i in range(3)
+        ]
+        market = ServiceMarket(net, providers, pricing=Pricing())
+        result = appro(market)
+        assert math.isfinite(result.social_cost)
+
+    def test_huge_congestion_coefficients(self):
+        net = build_line_network(alpha=1e6, beta=1e6)
+        providers = [build_provider(i) for i in range(4)]
+        market = ServiceMarket(net, providers, pricing=Pricing())
+        result = appro(market, allow_remote=True)
+        # with ruinous congestion the optimum caches at most one service
+        # per cloudlet and sends the rest remote.
+        occupancy = result.occupancy()
+        assert all(k == 1 for k in occupancy.values())
+
+    def test_many_providers_one_cloudlet(self):
+        net = build_line_network(n_cloudlets=1, compute=100.0, bandwidth=10000.0)
+        providers = [build_provider(i) for i in range(25)]
+        market = ServiceMarket(net, providers, pricing=Pricing())
+        result = lcf(market, xi=0.5, allow_remote=True)
+        result.assignment.check_capacities()

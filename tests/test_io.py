@@ -1,0 +1,144 @@
+"""Tests for JSON serialisation of networks, markets and assignments."""
+
+import json
+
+import pytest
+
+from repro.core import appro, lcf
+from repro.exceptions import ConfigurationError
+from repro.io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    load_assignment,
+    load_market,
+    market_from_dict,
+    market_to_dict,
+    network_from_dict,
+    network_to_dict,
+    save_assignment,
+    save_market,
+)
+from repro.market.costs import MM1Congestion, QuadraticCongestion
+from repro.market.workload import WorkloadParams, generate_market
+from repro.network.generators import random_mec_network
+
+
+@pytest.fixture(scope="module")
+def market():
+    network = random_mec_network(60, rng=1)
+    return generate_market(network, 12, rng=2)
+
+
+class TestNetworkRoundTrip:
+    def test_structure_preserved(self, market):
+        data = network_to_dict(market.network)
+        clone = network_from_dict(data)
+        assert clone.num_nodes == market.network.num_nodes
+        assert clone.num_links == market.network.num_links
+        assert [c.node_id for c in clone.cloudlets] == [
+            c.node_id for c in market.network.cloudlets
+        ]
+        assert [d.node_id for d in clone.data_centers] == [
+            d.node_id for d in market.network.data_centers
+        ]
+
+    def test_capacities_and_prices_preserved(self, market):
+        clone = network_from_dict(network_to_dict(market.network))
+        for a, b in zip(market.network.cloudlets, clone.cloudlets):
+            assert a.compute_capacity == b.compute_capacity
+            assert a.bandwidth_capacity == b.bandwidth_capacity
+            assert a.alpha == b.alpha and a.beta == b.beta
+            assert a.bdw_unit_cost == b.bdw_unit_cost
+
+    def test_routing_identical(self, market):
+        clone = network_from_dict(network_to_dict(market.network))
+        nodes = sorted(market.network.graph.nodes)[:5]
+        for u in nodes:
+            for v in nodes:
+                assert market.network.path_delay(u, v) == pytest.approx(
+                    clone.path_delay(u, v)
+                )
+
+
+class TestMarketRoundTrip:
+    def test_costs_bit_identical(self, market):
+        clone = market_from_dict(market_to_dict(market))
+        assert clone.num_providers == market.num_providers
+        for p, q in zip(market.providers, clone.providers):
+            for cl_a, cl_b in zip(
+                market.network.cloudlets, clone.network.cloudlets
+            ):
+                assert market.cost_model.cost(p, cl_a, 3) == pytest.approx(
+                    clone.cost_model.cost(q, cl_b, 3)
+                )
+            assert market.cost_model.remote_cost(p) == pytest.approx(
+                clone.cost_model.remote_cost(q)
+            )
+
+    def test_algorithms_agree_on_clone(self, market):
+        clone = market_from_dict(market_to_dict(market))
+        original = appro(market, allow_remote=True)
+        cloned = appro(clone, allow_remote=True)
+        assert original.placement == cloned.placement
+        assert original.social_cost == pytest.approx(cloned.social_cost)
+
+    def test_congestion_models_round_trip(self):
+        network = random_mec_network(40, rng=3)
+        for model in (QuadraticCongestion(scale=4.0), MM1Congestion(capacity=32)):
+            market = generate_market(network, 5, rng=4, congestion=model)
+            clone = market_from_dict(market_to_dict(market))
+            assert type(clone.cost_model.congestion) is type(model)
+
+    def test_user_clusters_round_trip(self):
+        network = random_mec_network(40, rng=5)
+        params = WorkloadParams(user_clusters_range=(2, 3))
+        market = generate_market(network, 6, rng=6, params=params)
+        clone = market_from_dict(market_to_dict(market))
+        for p, q in zip(market.providers, clone.providers):
+            assert p.service.clusters == q.service.clusters
+
+    def test_coordination_flags_round_trip(self, market):
+        market.set_coordinated([0, 3])
+        clone = market_from_dict(market_to_dict(market))
+        assert [p.provider_id for p in clone.coordinated] == [0, 3]
+
+    def test_version_checked(self, market):
+        data = market_to_dict(market)
+        data["version"] = 99
+        with pytest.raises(ConfigurationError):
+            market_from_dict(data)
+
+    def test_json_serialisable(self, market):
+        json.dumps(market_to_dict(market))  # must not raise
+
+
+class TestAssignmentRoundTrip:
+    def test_round_trip(self, market):
+        assignment = lcf(market, xi=0.7, allow_remote=True).assignment
+        data = assignment_to_dict(assignment)
+        clone = assignment_from_dict(data, market)
+        assert clone.placement == assignment.placement
+        assert clone.rejected == assignment.rejected
+        assert clone.social_cost == pytest.approx(assignment.social_cost)
+
+    def test_version_checked(self, market):
+        assignment = appro(market, allow_remote=True)
+        data = assignment_to_dict(assignment)
+        data["version"] = 0
+        with pytest.raises(ConfigurationError):
+            assignment_from_dict(data, market)
+
+
+class TestFileHelpers:
+    def test_save_load_market(self, market, tmp_path):
+        path = tmp_path / "market.json"
+        save_market(market, path)
+        clone = load_market(path)
+        assert clone.num_providers == market.num_providers
+
+    def test_save_load_assignment(self, market, tmp_path):
+        assignment = appro(market, allow_remote=True)
+        path = tmp_path / "assignment.json"
+        save_assignment(assignment, path)
+        clone = load_assignment(path, market)
+        assert clone.placement == assignment.placement

@@ -1,0 +1,80 @@
+"""Tests for the Ryu-like controller."""
+
+import networkx as nx
+import pytest
+
+from repro.core.baselines import jo_offload_cache
+from repro.exceptions import ConfigurationError
+from repro.market.workload import generate_market
+from repro.network.zoo import as1755_mec_network
+from repro.testbed.controller import RyuController
+from repro.testbed.ovs import OverlayNetwork
+from repro.testbed.switch import default_underlay
+from repro.testbed.vm import Server
+
+
+@pytest.fixture(scope="module")
+def rig():
+    network = as1755_mec_network(rng=1)
+    overlay = OverlayNetwork(
+        network.graph, default_underlay(), [Server(server_id=i) for i in range(5)]
+    )
+    controller = RyuController(overlay)
+    market = generate_market(network, n_providers=10, rng=2)
+    return controller, market
+
+
+class TestRegistry:
+    def test_register_and_list(self, rig):
+        controller, _ = rig
+        controller.register_app("jo", jo_offload_cache)
+        assert "jo" in controller.apps
+
+    def test_double_registration_rejected(self, rig):
+        controller, _ = rig
+        controller.register_app("dup", jo_offload_cache)
+        with pytest.raises(ConfigurationError):
+            controller.register_app("dup", jo_offload_cache)
+
+    def test_unknown_app_rejected(self, rig):
+        controller, market = rig
+        with pytest.raises(ConfigurationError):
+            controller.run_app("ghost", market)
+
+
+class TestRunApp:
+    def test_runs_and_times(self, rig):
+        controller, market = rig
+        controller.register_app("jo2", jo_offload_cache)
+        assignment = controller.run_app("jo2", market)
+        assert controller.app_runtimes["jo2"] > 0
+        assert len(assignment.placement) + len(assignment.rejected) == 10
+
+    def test_installs_access_and_update_paths(self, rig):
+        controller, market = rig
+        controller.register_app("jo3", jo_offload_cache)
+        assignment = controller.run_app("jo3", market)
+        purposes = {}
+        for path in controller.installed:
+            purposes.setdefault(path.provider_id, set()).add(path.purpose)
+        for pid in assignment.placement:
+            assert purposes[pid] == {"access", "update"}
+        for pid in assignment.rejected:
+            assert purposes[pid] == {"access"}
+
+    def test_installed_paths_are_real_walks(self, rig):
+        controller, market = rig
+        controller.register_app("jo4", jo_offload_cache)
+        controller.run_app("jo4", market)
+        g = controller.overlay.graph
+        for path in controller.installed:
+            nodes = path.overlay_nodes
+            for u, v in zip(nodes, nodes[1:]):
+                assert g.has_edge(u, v)
+
+    def test_discovered_topology(self, rig):
+        controller, _ = rig
+        topo = controller.discovered_topology()
+        assert topo["bridges"] == 87
+        assert topo["tunnels"] == 161
+        assert topo["servers"] == 5

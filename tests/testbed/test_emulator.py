@@ -1,0 +1,81 @@
+"""Tests for the Testbed facade."""
+
+import pytest
+
+from repro.core.baselines import jo_offload_cache, offload_cache
+from repro.core.lcf import lcf
+from repro.exceptions import ConfigurationError
+from repro.market.workload import generate_market
+from repro.testbed.emulator import Testbed
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    tb = Testbed(rng=3)
+    tb.register_algorithm("Jo", jo_offload_cache)
+    tb.register_algorithm("Off", offload_cache)
+    tb.register_algorithm(
+        "LCF", lambda m: lcf(m, xi=0.7, allow_remote=True).assignment
+    )
+    return tb
+
+
+@pytest.fixture(scope="module")
+def market(testbed):
+    return generate_market(testbed.network, n_providers=15, rng=5)
+
+
+class TestTestbed:
+    def test_builds_as1755_by_default(self, testbed):
+        assert testbed.network.num_nodes == 87
+        assert len(testbed.switches) == 5
+        assert len(testbed.servers) == 5
+
+    def test_run_produces_metrics(self, testbed, market):
+        run = testbed.run("Jo", market)
+        assert run.social_cost == pytest.approx(run.assignment.social_cost)
+        assert run.runtime_s > 0
+        assert run.flow_metrics["total_gb"] > 0
+        assert run.makespan_s > 0
+
+    def test_vm_per_cached_instance(self, testbed, market):
+        run = testbed.run("Jo", market)
+        assert len(testbed.vm_manager.vms) == len(run.assignment.placement)
+
+    def test_reruns_reset_vms(self, testbed, market):
+        testbed.run("Jo", market)
+        first = len(testbed.vm_manager.vms)
+        testbed.run("Jo", market)
+        assert len(testbed.vm_manager.vms) == first
+
+    def test_foreign_market_rejected(self, testbed):
+        other = Testbed(rng=9)
+        foreign = generate_market(other.network, n_providers=5, rng=1)
+        with pytest.raises(ConfigurationError):
+            testbed.run("Jo", foreign)
+
+    def test_lcf_runs_on_testbed(self, testbed, market):
+        run = testbed.run("LCF", market)
+        assert run.algorithm == "LCF"
+        run.assignment.check_capacities()
+
+    def test_flow_volume_accounts_traffic_and_updates(self, testbed, market):
+        run = testbed.run("Jo", market)
+        expected = 0.0
+        for pid, node in run.assignment.placement.items():
+            svc = market.provider(pid).service
+            if svc.user_node != node:
+                expected += svc.request_traffic_gb
+            if node != svc.home_dc:
+                expected += svc.update_volume_gb
+        for pid in run.assignment.rejected:
+            svc = market.provider(pid).service
+            if svc.user_node != svc.home_dc:
+                expected += svc.request_traffic_gb
+        assert run.flow_metrics["total_gb"] == pytest.approx(expected)
+
+    def test_emulation_is_deterministic(self, testbed, market):
+        a = testbed.run("Jo", market)
+        b = testbed.run("Jo", market)
+        assert a.flow_metrics["makespan"] == pytest.approx(b.flow_metrics["makespan"])
+        assert a.assignment.placement == b.assignment.placement

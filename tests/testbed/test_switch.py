@@ -1,0 +1,100 @@
+"""Tests for the hardware-switch models."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, EmulationError
+from repro.testbed.switch import (
+    SWITCH_CATALOG,
+    HardwareSwitch,
+    default_underlay,
+)
+
+
+class TestCatalog:
+    def test_five_vendors(self):
+        assert len(SWITCH_CATALOG) == 5
+        vendors = {m.vendor for m in SWITCH_CATALOG.values()}
+        assert vendors == {"Huawei", "H3C", "Ruijie", "Cisco", "Centec"}
+
+    def test_sane_numbers(self):
+        for model in SWITCH_CATALOG.values():
+            assert model.ports > 0
+            assert model.port_speed_mbps > 0
+            assert model.switching_latency_us > 0
+            assert model.backplane_gbps > 0
+
+
+class TestHardwareSwitch:
+    def make(self) -> HardwareSwitch:
+        return HardwareSwitch(0, SWITCH_CATALOG["cisco"])
+
+    def test_connect_uses_free_ports(self):
+        sw = self.make()
+        p0 = sw.connect(peer_id=1)
+        p1 = sw.connect(peer_id=2)
+        assert p0 != p1
+        assert sw.peer_on(p0) == 1
+        assert sw.free_ports == sw.model.ports - 2
+
+    def test_port_exhaustion(self):
+        sw = self.make()
+        for i in range(sw.model.ports):
+            sw.connect(peer_id=100 + i)
+        with pytest.raises(EmulationError):
+            sw.connect(peer_id=999)
+
+    def test_disconnect_clears_routes(self):
+        sw = self.make()
+        port = sw.connect(peer_id=1)
+        sw.install_route(destination=7, port=port)
+        sw.disconnect(port)
+        with pytest.raises(EmulationError):
+            sw.next_hop(7)
+
+    def test_install_route_requires_live_port(self):
+        sw = self.make()
+        with pytest.raises(EmulationError):
+            sw.install_route(destination=7, port=0)
+
+    def test_next_hop(self):
+        sw = self.make()
+        port = sw.connect(peer_id=3)
+        sw.install_route(destination=9, port=port)
+        assert sw.next_hop(9) == 3
+
+    def test_unknown_destination(self):
+        with pytest.raises(EmulationError):
+            self.make().next_hop(4)
+
+    def test_bad_port_index(self):
+        with pytest.raises(ConfigurationError):
+            self.make().peer_on(999)
+
+
+class TestDefaultUnderlay:
+    def test_five_switches_each_reaching_two_peers(self):
+        switches = default_underlay()
+        assert len(switches) == 5
+        for sw in switches:
+            peers = {
+                sw.peer_on(p)
+                for p in range(sw.model.ports)
+                if sw.peer_on(p) is not None
+            }
+            assert len(peers) >= 2  # the paper's survivability requirement
+
+    def test_wiring_is_symmetric(self):
+        switches = default_underlay()
+        links = set()
+        for sw in switches:
+            for p in range(sw.model.ports):
+                peer = sw.peer_on(p)
+                if peer is not None:
+                    links.add(frozenset((sw.switch_id, peer)))
+        for link in links:
+            a, b = sorted(link)
+            peers_of_b = {
+                switches[b].peer_on(p)
+                for p in range(switches[b].model.ports)
+            }
+            assert a in peers_of_b

@@ -1,0 +1,71 @@
+"""Tests for the testbed telemetry counters."""
+
+import pytest
+
+from repro.core.baselines import jo_offload_cache
+from repro.exceptions import ConfigurationError
+from repro.market.workload import generate_market
+from repro.testbed.emulator import Testbed
+from repro.testbed.flows import FlowSimulator
+
+
+@pytest.fixture(scope="module")
+def run():
+    testbed = Testbed(rng=3)
+    testbed.register_algorithm("Jo", jo_offload_cache)
+    market = generate_market(testbed.network, 15, rng=5)
+    return testbed.run("Jo", market)
+
+
+class TestResourceVolumes:
+    def test_counters_match_flow_attribution(self):
+        sim = FlowSimulator({"a": 100.0, "b": 100.0})
+        sim.add_flow(0, 1, 1.0, ["a"])
+        sim.add_flow(0, 1, 2.0, ["a", "b"])
+        volumes = sim.resource_volumes()
+        assert volumes["a"] == pytest.approx(3.0)
+        assert volumes["b"] == pytest.approx(2.0)
+
+    def test_duplicate_resources_counted_once(self):
+        sim = FlowSimulator({"a": 100.0})
+        sim.add_flow(0, 1, 1.0, ["a", "a"])
+        assert sim.resource_volumes()["a"] == pytest.approx(1.0)
+
+    def test_untouched_resources_report_zero(self):
+        sim = FlowSimulator({"a": 100.0, "idle": 50.0})
+        sim.add_flow(0, 1, 1.0, ["a"])
+        assert sim.resource_volumes()["idle"] == 0.0
+
+
+class TestTestbedTelemetry:
+    def test_telemetry_present(self, run):
+        assert run.telemetry
+        layers = {key[0] for key in run.telemetry}
+        assert "overlay" in layers
+
+    def test_overlay_volume_at_least_flow_volume(self, run):
+        """Every flow crosses at least one overlay link unless endpoints
+        are adjacent-free, so overlay bytes >= injected bytes is the usual
+        case; it can never be less than the single busiest flow share."""
+        overlay_total = sum(
+            v for k, v in run.telemetry.items() if k[0] == "overlay"
+        )
+        assert overlay_total >= run.flow_metrics["total_gb"] * 0.5
+
+    def test_hottest_links_sorted(self, run):
+        rows = run.hottest_links(5, "overlay")
+        volumes = [v for _, v in rows]
+        assert volumes == sorted(volumes, reverse=True)
+        assert len(rows) <= 5
+
+    def test_hottest_links_endpoints_are_edges(self, run):
+        # overlay endpoints must be edges of the AS1755 graph; underlay
+        # endpoints must be switch pairs.
+        for (u, v), _vol in run.hottest_links(5, "overlay"):
+            assert run.assignment.market.network.graph.has_edge(u, v)
+        for (a, b), _vol in run.hottest_links(5, "underlay"):
+            assert 0 <= a < 5 and 0 <= b < 5
+
+    def test_unknown_layer_rejected(self, run):
+        with pytest.raises(ConfigurationError):
+            run.hottest_links(3, "astral")

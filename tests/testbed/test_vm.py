@@ -1,0 +1,79 @@
+"""Tests for server/VM provisioning."""
+
+import pytest
+
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.testbed.vm import Server, VirtualMachine, VMManager
+
+
+class TestServer:
+    def test_allocate_release(self):
+        s = Server(server_id=0)
+        s.allocate(2.0, 4.0)
+        assert s.cores_used == 2.0
+        s.release(2.0, 4.0)
+        assert s.cores_used == 0.0
+
+    def test_over_allocation_raises(self):
+        s = Server(server_id=0, cores=2)
+        with pytest.raises(CapacityError):
+            s.allocate(3.0, 1.0)
+
+    def test_memory_limit(self):
+        s = Server(server_id=0, memory_gb=4.0)
+        with pytest.raises(CapacityError):
+            s.allocate(1.0, 5.0)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Server(server_id=0, cores=0)
+
+
+class TestVMManager:
+    def test_provision_least_loaded(self):
+        servers = [Server(server_id=i) for i in range(2)]
+        mgr = VMManager(servers)
+        vm1 = mgr.provision(cores=1.0)
+        vm2 = mgr.provision(cores=1.0)
+        assert {vm1.server.server_id, vm2.server.server_id} == {0, 1}
+
+    def test_destroy_releases(self):
+        mgr = VMManager([Server(server_id=0)])
+        vm = mgr.provision(cores=2.0, memory_gb=2.0)
+        assert mgr.servers[0].cores_used == 2.0
+        mgr.destroy(vm.vm_id)
+        assert mgr.servers[0].cores_used == 0.0
+
+    def test_destroy_unknown_raises(self):
+        mgr = VMManager([Server(server_id=0)])
+        with pytest.raises(ConfigurationError):
+            mgr.destroy(42)
+
+    def test_exhaustion_raises(self):
+        mgr = VMManager([Server(server_id=0, cores=1)])
+        mgr.provision(cores=1.0, memory_gb=1.0)
+        with pytest.raises(CapacityError):
+            mgr.provision(cores=1.0, memory_gb=1.0)
+
+    def test_destroy_all(self):
+        mgr = VMManager([Server(server_id=0)])
+        for _ in range(3):
+            mgr.provision(cores=0.5)
+        mgr.destroy_all()
+        assert mgr.vms == []
+        assert mgr.servers[0].cores_used == 0.0
+
+    def test_utilization(self):
+        mgr = VMManager([Server(server_id=0, cores=4, memory_gb=8.0)])
+        mgr.provision(cores=2.0, memory_gb=2.0)
+        util = mgr.utilization()
+        assert util["cores"] == pytest.approx(0.5)
+        assert util["memory"] == pytest.approx(0.25)
+
+    def test_needs_servers(self):
+        with pytest.raises(ConfigurationError):
+            VMManager([])
+
+    def test_vm_spec_validated(self):
+        with pytest.raises(ConfigurationError):
+            VirtualMachine(vm_id=0, server=Server(server_id=0), cores=0.0)

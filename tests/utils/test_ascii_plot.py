@@ -1,0 +1,61 @@
+"""Tests for the ASCII charting helpers."""
+
+import pytest
+
+from repro.utils.ascii_plot import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        out = sparkline([1, 2, 3])
+        assert len(out) == 3
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_order_reflected(self):
+        up = sparkline([0, 10])
+        down = sparkline([10, 0])
+        assert up == down[::-1]
+
+
+class TestLineChart:
+    def test_contains_legend_and_labels(self):
+        out = line_chart(
+            {"LCF": [1, 2, 3], "Jo": [3, 2, 1]},
+            x_values=[50, 100, 150],
+            title="demo",
+        )
+        assert "demo" in out
+        assert "*=LCF" in out and "o=Jo" in out
+        assert "50" in out and "150" in out
+        assert "3" in out and "1" in out  # y labels
+
+    def test_marker_positions_extremes(self):
+        out = line_chart({"a": [0, 10]}, height=5, width=10)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # max value on the top row, min value on the bottom row.
+        assert "*" in lines[0]
+        assert "*" in lines[-1]
+
+    def test_flat_series_renders(self):
+        out = line_chart({"a": [2, 2, 2]})
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1], "b": [1, 2]})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, height=1)
+
+    def test_single_point(self):
+        out = line_chart({"a": [5.0]})
+        assert "*" in out

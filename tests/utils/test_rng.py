@@ -1,0 +1,74 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn, uniform, uniform_int
+
+
+class TestAsRng:
+    def test_none_gives_default_seeded_generator(self):
+        a = as_rng(None)
+        b = as_rng(None)
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(5).integers(0, 1 << 30) == as_rng(5).integers(0, 1 << 30)
+
+    def test_different_seeds_differ(self):
+        draws_a = as_rng(1).integers(0, 1 << 30, size=8)
+        draws_b = as_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        children = spawn(as_rng(1), 3)
+        assert len(children) == 3
+        draws = [c.integers(0, 1 << 30) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_zero(self):
+        assert spawn(as_rng(1), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(as_rng(1), -1)
+
+    def test_spawn_is_deterministic(self):
+        a = [c.integers(0, 1 << 30) for c in spawn(as_rng(9), 4)]
+        b = [c.integers(0, 1 << 30) for c in spawn(as_rng(9), 4)]
+        assert a == b
+
+
+class TestUniform:
+    def test_within_bounds(self):
+        rng = as_rng(0)
+        for _ in range(100):
+            v = uniform(rng, 2.0, 3.0)
+            assert 2.0 <= v <= 3.0
+
+    def test_degenerate_interval(self):
+        assert uniform(as_rng(0), 5.0, 5.0) == 5.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            uniform(as_rng(0), 3.0, 2.0)
+
+
+class TestUniformInt:
+    def test_inclusive_bounds(self):
+        rng = as_rng(0)
+        draws = {uniform_int(rng, 1, 3) for _ in range(200)}
+        assert draws == {1, 2, 3}
+
+    def test_single_value(self):
+        assert uniform_int(as_rng(0), 7, 7) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            uniform_int(as_rng(0), 5, 4)

@@ -1,0 +1,68 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import Table, format_series
+
+
+class TestTable:
+    def test_render_contains_headers_and_cells(self):
+        t = Table(["x", "y"])
+        t.add_row([1, 2.5])
+        out = t.render()
+        assert "x" in out and "y" in out
+        assert "1" in out and "2.5" in out
+
+    def test_title_is_first_line(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert t.render(title="hello").splitlines()[0] == "hello"
+
+    def test_float_formatting(self):
+        t = Table(["v"], float_format="{:.2f}")
+        t.add_row([3.14159])
+        assert "3.14" in t.render()
+        assert "3.14159" not in t.render()
+
+    def test_row_width_mismatch_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_rows_returns_copies(self):
+        t = Table(["a"])
+        t.add_row([1])
+        rows = t.rows
+        rows[0][0] = "mutated"
+        assert t.rows[0][0] == "1"
+
+    def test_bool_not_formatted_as_float(self):
+        t = Table(["flag"])
+        t.add_row([True])
+        assert "True" in t.render()
+
+    def test_alignment_is_stable(self):
+        t = Table(["name", "value"])
+        t.add_row(["long-name-here", 1])
+        t.add_row(["x", 100])
+        lines = t.render().splitlines()
+        # all data lines align the second column at the same offset
+        assert lines[2].index("1") == lines[3].index("100")
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("LCF", [50, 100], [1.0, 2.0])
+        assert out.startswith("LCF:")
+        assert "50=1" in out and "100=2" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1.0, 2.0])
+
+    def test_empty_series(self):
+        assert format_series("e", [], []) == "e: "
