@@ -40,13 +40,22 @@ def pytest_addoption(parser):
         default=False,
         help="run the benchmarks at the paper's full Section IV.A scale",
     )
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker processes (0 = one per CPU; default serial); "
+        "results are identical at any setting",
+    )
 
 
 @pytest.fixture(scope="session")
 def config(request) -> ExperimentConfig:
-    if request.config.getoption("--paper-scale"):
-        return PAPER
-    return BENCH
+    base = PAPER if request.config.getoption("--paper-scale") else BENCH
+    workers = request.config.getoption("--workers")
+    if workers is not None:
+        base = base.with_(workers=workers)
+    return base
 
 
 @pytest.fixture

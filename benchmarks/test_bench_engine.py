@@ -1,0 +1,136 @@
+"""Engine and parallel-harness benchmarks (writes ``BENCH_engine.json``).
+
+Times the two levers that speed figure regeneration up:
+
+* the **incremental best-response engine** (compiled cost tables,
+  delta-maintained loads/occupancy) against the naive reference loops, on
+  a best-response-heavy game where the engine is the hot path;
+* the **parallel sweep harness** against a serial run of the same seeded
+  Fig. 2-style grid.
+
+Correctness is asserted unconditionally: both engines must produce the
+identical equilibrium, and the parallel sweep must be bit-identical to
+the serial one. Wall-clock assertions are gated on what the host can
+honestly deliver — the engine speedup is single-core and always
+asserted; the 4-worker sweep speedup additionally needs >= 4 CPUs.
+
+Each test folds its timings into ``benchmarks/BENCH_engine.json`` so the
+numbers survive the run (and partial ``-k`` selections merge instead of
+clobbering).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.bridge import market_game
+from repro.experiments.figures import fig2_network_size
+from repro.game.best_response import best_response_dynamics, greedy_feasible_profile
+from repro.market.workload import generate_market
+from repro.network.generators import random_mec_network
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+#: Comparable (non-wall-clock) fields of AlgorithmMetrics.
+_METRIC_FIELDS = ("social_cost", "coordinated_cost", "selfish_cost", "rejected", "samples")
+
+
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data["cpu_count"] = os.cpu_count()
+    data[section] = payload
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_engine_vs_naive(emit):
+    """Naive vs incremental best-response on a BR-heavy market: identical
+    equilibria, >= 2x faster (measured ~4-6x single-core)."""
+    network = random_mec_network(150, rng=1)
+    market = generate_market(network, n_providers=120, rng=2)
+    game = market_game(market)
+    start = greedy_feasible_profile(game)
+
+    outcomes = {}
+    timings = {}
+    for engine in ("naive", "incremental"):
+        result = best_response_dynamics(game, dict(start), engine=engine)
+        outcomes[engine] = result
+        timings[engine] = _best_of(
+            lambda e=engine: best_response_dynamics(game, dict(start), engine=e),
+            repeats=5,
+        )
+
+    naive, incremental = outcomes["naive"], outcomes["incremental"]
+    assert incremental.profile == naive.profile
+    assert incremental.moves == naive.moves
+    assert incremental.rounds == naive.rounds
+    assert incremental.converged and naive.converged
+
+    speedup = timings["naive"] / timings["incremental"]
+    _record(
+        "engine",
+        {
+            "naive_s": timings["naive"],
+            "incremental_s": timings["incremental"],
+            "speedup": speedup,
+            "moves": naive.moves,
+        },
+    )
+    emit(
+        f"[engine] best-response 120 players: naive {timings['naive']*1e3:.1f} ms, "
+        f"incremental {timings['incremental']*1e3:.1f} ms -> {speedup:.1f}x"
+    )
+    assert speedup >= 2.0
+
+
+def test_bench_parallel_sweep(config, emit):
+    """Serial vs 4-worker Fig. 2-style sweep: bit-identical metrics; the
+    pool must win >= 2x when the host actually has >= 4 CPUs."""
+    serial_cfg = config.with_(workers=1)
+    parallel_cfg = config.with_(workers=4)
+
+    t0 = time.perf_counter()
+    serial = fig2_network_size(serial_cfg)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = fig2_network_size(parallel_cfg)
+    parallel_s = time.perf_counter() - t0
+
+    assert serial.x_values == parallel.x_values
+    for point_s, point_p in zip(serial.points, parallel.points):
+        assert set(point_s) == set(point_p)
+        for alg in point_s:
+            for field in _METRIC_FIELDS:
+                assert getattr(point_s[alg], field) == getattr(point_p[alg], field), (
+                    f"{alg}.{field} differs between serial and 4-worker runs"
+                )
+
+    speedup = serial_s / parallel_s
+    _record(
+        "parallel_sweep",
+        {
+            "serial_s": serial_s,
+            "parallel4_s": parallel_s,
+            "speedup": speedup,
+            "grid_tasks": len(serial.x_values) * config.repetitions,
+        },
+    )
+    emit(
+        f"[sweep] fig2 grid: serial {serial_s:.2f} s, 4 workers {parallel_s:.2f} s "
+        f"-> {speedup:.2f}x (cpus={os.cpu_count()})"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0

@@ -4,14 +4,19 @@ Usage::
 
     python -m repro fig2 --scale quick
     python -m repro fig3 --scale paper --metrics social_cost runtime_s
+    python -m repro fig2 --workers 4
     python -m repro fig6 --csv out/
     python -m repro poa
     python -m repro all --scale quick
 
 ``--scale`` picks the experiment configuration: ``quick`` (seconds),
 ``bench`` (the benchmark harness scale, ~a minute) or ``paper`` (the full
-Section IV.A scale). ``--csv DIR`` additionally writes each figure's rows
-as CSV files for external plotting.
+Section IV.A scale). ``--workers N`` fans each sweep's (x, repetition)
+grid over ``N`` worker processes (``0`` = one per CPU) with bit-identical
+results; ``--engine`` switches the best-response engine between the
+compiled incremental implementation and the naive reference loops.
+``--csv DIR`` additionally writes each figure's rows as CSV files for
+external plotting.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro import __version__
+from repro.exceptions import ConfigurationError
 from repro.experiments.figures import (
     ablation_congestion_models,
     ablation_gap_solvers,
@@ -131,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--chart", action="store_true",
             help="also draw an ASCII chart of the social-cost series",
         )
+        p.add_argument(
+            "--workers", type=int, default=0, metavar="N",
+            help="sweep worker processes: 0 = one per CPU (default), "
+            "1 = serial, N = that many (results identical at any value)",
+        )
+        p.add_argument(
+            "--engine", choices=("incremental", "naive"), default="incremental",
+            help="best-response engine (default: incremental)",
+        )
 
     poa = sub.add_parser("poa", help="empirical bounds study (A1)")
     poa.add_argument("--providers", type=int, default=8)
@@ -153,7 +168,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{key:<{width}}  {value:.4g}")
         return 0
 
-    config = _SCALES[args.scale]
+    try:
+        config = _SCALES[args.scale].with_(workers=args.workers, engine=args.engine)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.csv is not None:
         args.csv.mkdir(parents=True, exist_ok=True)
 

@@ -28,6 +28,7 @@ from repro.gap.instance import GAPSolution
 from repro.gap.shmoys_tardos import shmoys_tardos
 from repro.gap.exact import exact_gap
 from repro.market.market import ServiceMarket
+from repro.utils.validation import CAPACITY_EPS
 
 _GAP_SOLVERS: Dict[str, Callable] = {
     "shmoys_tardos": shmoys_tardos,
@@ -51,8 +52,8 @@ def _fits(market: ServiceMarket, node: int, load: List[float], pid: int) -> bool
     cl = market.network.cloudlet_at(node)
     p = market.provider(pid)
     return (
-        load[0] + p.compute_demand <= cl.compute_capacity + 1e-9
-        and load[1] + p.bandwidth_demand <= cl.bandwidth_capacity + 1e-9
+        load[0] + p.compute_demand <= cl.compute_capacity + CAPACITY_EPS
+        and load[1] + p.bandwidth_demand <= cl.bandwidth_capacity + CAPACITY_EPS
     )
 
 
@@ -78,8 +79,8 @@ def _repair_capacities(
         )
         k = 0
         while (
-            loads[node][0] > cl.compute_capacity + 1e-9
-            or loads[node][1] > cl.bandwidth_capacity + 1e-9
+            loads[node][0] > cl.compute_capacity + CAPACITY_EPS
+            or loads[node][1] > cl.bandwidth_capacity + CAPACITY_EPS
         ) and k < len(members):
             pid = members[k]
             k += 1

@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
 
 from repro.exceptions import CapacityError, ConfigurationError
 from repro.market.market import ServiceMarket
+from repro.utils.validation import CAPACITY_EPS
 
 
 @dataclass
@@ -116,11 +117,11 @@ class CachingAssignment:
             loads[node] = [cpu + provider.compute_demand, bw + provider.bandwidth_demand]
         for node, (cpu, bw) in loads.items():
             cl = self.market.network.cloudlet_at(node)
-            if cpu > cl.compute_capacity + 1e-9:
+            if cpu > cl.compute_capacity + CAPACITY_EPS:
                 raise CapacityError(
                     f"{cl.name}: compute load {cpu:.3f} > capacity {cl.compute_capacity}"
                 )
-            if bw > cl.bandwidth_capacity + 1e-9:
+            if bw > cl.bandwidth_capacity + CAPACITY_EPS:
                 raise CapacityError(
                     f"{cl.name}: bandwidth load {bw:.3f} > capacity {cl.bandwidth_capacity}"
                 )

@@ -35,11 +35,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+import numpy as np
+
 from repro.core.appro import appro
 from repro.core.assignment import CachingAssignment, Stopwatch
 from repro.core.bridge import market_game
 from repro.exceptions import ConfigurationError, InfeasibleError
-from repro.game.best_response import best_response_dynamics
+from repro.game.best_response import ENGINES, best_response_dynamics
 from repro.game.equilibrium import is_nash_equilibrium
 from repro.market.market import ServiceMarket
 from repro.utils.rng import RandomSource, as_rng
@@ -106,12 +108,18 @@ def lcf(
     allow_remote: bool = False,
     slot_pricing: str = "marginal",
     information: str = "posted_price",
+    engine: str = "incremental",
 ) -> LCFResult:
     """Run Algorithm 2 with coordination fraction ``xi`` (so ``1 - xi`` of
     the providers behave selfishly, the x-axis of Fig. 3/6a).
 
     ``information`` selects the selfish players' information model (see the
     module docstring): ``"posted_price"`` or ``"full"``.
+
+    ``engine`` selects the game engine driving the selfish phase:
+    ``"incremental"`` (compiled cost tables, vectorised entry scans and
+    delta-maintained best-response state) or ``"naive"`` (the reference
+    per-resource Python loops). Both produce identical placements.
 
     Marks the market's providers as coordinated/selfish accordingly, so the
     returned assignment's :attr:`coordinated_cost` / :attr:`selfish_cost`
@@ -122,6 +130,8 @@ def lcf(
         raise ConfigurationError(
             f"information must be 'posted_price' or 'full', got {information!r}"
         )
+    if engine not in ENGINES:
+        raise ConfigurationError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
     with Stopwatch() as watch:
         zeta = appro(
@@ -158,35 +168,55 @@ def lcf(
         # "full" it sees the live occupancy it would join.
         rejected: Set[int] = set(pinned_remote)
         game_all = market_game(market)
-        occ: Dict[int, int] = game_all.occupancy(profile)
-        loads = game_all.loads(profile)
         placed_selfish: List[int] = []
         posted = information == "posted_price"
-        for pid in selfish_ids:
-            best_node = None
-            # With the remote option open, "not to cache" competes with
-            # every cloudlet at the provider's remote-serving cost.
-            best_cost = (
-                market.cost_model.remote_cost(market.provider(pid))
-                if allow_remote
-                else float("inf")
-            )
-            for node in game_all.resources:
-                if not game_all.move_is_feasible(pid, node, profile, loads):
+        # With the remote option open, "not to cache" competes with every
+        # cloudlet at the provider's remote-serving cost.
+        entry_threshold = (
+            (lambda pid: market.cost_model.remote_cost(market.provider(pid)))
+            if allow_remote
+            else (lambda pid: float("inf"))
+        )
+
+        if engine == "incremental":
+            compiled = game_all.compile()
+            occ_vec = compiled.occupancy_vector(profile)
+            load_mat = compiled.load_matrix(profile)
+            for pid in selfish_ids:
+                pi = compiled.player_index[pid]
+                costs = compiled.entry_costs(pi, occ_vec, load_mat, posted=posted)
+                j = int(np.argmin(costs))
+                if not costs[j] < entry_threshold(pid):
+                    rejected.add(pid)
                     continue
-                evaluated_occ = 1 if posted else occ.get(node, 0) + 1
-                c = game_all.cost(pid, node, evaluated_occ)
-                if c < best_cost:
-                    best_cost = c
-                    best_node = node
-            if best_node is None:
-                rejected.add(pid)
-                continue
-            profile[pid] = best_node
-            occ[best_node] = occ.get(best_node, 0) + 1
-            d = game_all.demand_of(pid, best_node)
-            loads[best_node] = loads.get(best_node, d * 0.0) + d
-            placed_selfish.append(pid)
+                node = compiled.resources[j]
+                profile[pid] = node
+                occ_vec[j] += 1
+                if load_mat is not None:
+                    load_mat[j] += compiled.demand[pi, j]
+                placed_selfish.append(pid)
+        else:
+            occ: Dict[int, int] = game_all.occupancy(profile)
+            loads = game_all.loads(profile)
+            for pid in selfish_ids:
+                best_node = None
+                best_cost = entry_threshold(pid)
+                for node in game_all.resources:
+                    if not game_all.move_is_feasible(pid, node, profile, loads):
+                        continue
+                    evaluated_occ = 1 if posted else occ.get(node, 0) + 1
+                    c = game_all.cost(pid, node, evaluated_occ)
+                    if c < best_cost:
+                        best_cost = c
+                        best_node = node
+                if best_node is None:
+                    rejected.add(pid)
+                    continue
+                profile[pid] = best_node
+                occ[best_node] = occ.get(best_node, 0) + 1
+                d = game_all.demand_of(pid, best_node)
+                loads[best_node] = loads.get(best_node, d * 0.0) + d
+                placed_selfish.append(pid)
 
         game = market_game(market, players=list(profile))
         if posted:
@@ -194,11 +224,14 @@ def lcf(
             # evaluated cost depends on others), so the profile is already
             # a stable outcome; only capacity-driven compromises deviate
             # from each player's unconstrained optimum.
-            result = best_response_dynamics(game, profile, movable=[], max_rounds=1)
+            result = best_response_dynamics(
+                game, profile, movable=[], max_rounds=1, engine=engine
+            )
             equilibrium = True
         else:
             result = best_response_dynamics(
-                game, profile, movable=placed_selfish, max_rounds=max_rounds
+                game, profile, movable=placed_selfish, max_rounds=max_rounds,
+                engine=engine,
             )
             equilibrium = is_nash_equilibrium(
                 game, result.profile, movable=placed_selfish

@@ -10,9 +10,17 @@ benchmark harness prints.
 from repro.experiments.settings import ExperimentConfig, PAPER, QUICK
 from repro.experiments.harness import (
     AlgorithmMetrics,
+    AssignmentRecord,
     SweepResult,
     evaluate_algorithms,
+    legacy_point_seed,
     sweep,
+)
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    map_tasks,
+    resolve_workers,
+    sweep_task_seed,
 )
 from repro.experiments.figures import (
     fig2_network_size,
@@ -35,9 +43,15 @@ __all__ = [
     "PAPER",
     "QUICK",
     "AlgorithmMetrics",
+    "AssignmentRecord",
+    "ParallelSweepRunner",
     "SweepResult",
     "evaluate_algorithms",
+    "legacy_point_seed",
+    "map_tasks",
+    "resolve_workers",
     "sweep",
+    "sweep_task_seed",
     "fig2_network_size",
     "fig3_selfish_fraction",
     "fig5_testbed",

@@ -6,10 +6,18 @@ the AS1755 overlay, exactly as the paper splits them. Every driver returns
 :class:`~repro.experiments.harness.SweepResult` objects that
 :func:`repro.experiments.report.render_sweep` prints as the rows the figures
 plot.
+
+Every market/algorithm builder here is a module-level function bound with
+``functools.partial`` — never a closure — so the sweep grids can cross the
+process-pool boundary when ``config.workers`` enables parallel execution
+(results are identical at any worker count; see
+:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,18 +33,47 @@ from repro.core.virtual_cloudlets import VirtualCloudletSplit
 from repro.experiments.harness import (
     AlgorithmMetrics,
     AlgorithmTable,
+    AssignmentRecord,
     SweepResult,
     default_algorithms,
     evaluate_algorithms,
     sweep,
 )
+from repro.experiments.parallel import map_tasks
 from repro.experiments.settings import ExperimentConfig, PAPER
 from repro.game.poa import worst_equilibrium_cost
 from repro.market.costs import LinearCongestion, MM1Congestion, QuadraticCongestion
 from repro.market.market import ServiceMarket
 from repro.market.workload import WorkloadParams, generate_market
 from repro.network.generators import random_mec_network
-from repro.testbed.emulator import Testbed, TestbedRun
+from repro.testbed.emulator import Testbed
+
+
+# --------------------------------------------------------------------- #
+# Picklable sweep builders (bound with functools.partial per driver)
+# --------------------------------------------------------------------- #
+def _sized_market(config: ExperimentConfig, size: object, seed: int) -> ServiceMarket:
+    """``make_market`` for sweeps whose x-axis is the network size."""
+    network = random_mec_network(int(size), rng=seed)
+    return generate_market(
+        network, config.n_providers, params=config.workload, rng=seed + 1
+    )
+
+
+def _fixed_size_market(config: ExperimentConfig, _x: object, seed: int) -> ServiceMarket:
+    """``make_market`` for sweeps at the fixed default network size."""
+    network = random_mec_network(config.default_size, rng=seed)
+    return generate_market(
+        network, config.n_providers, params=config.workload, rng=seed + 1
+    )
+
+
+def _fixed_xi_algorithms(config: ExperimentConfig, _x: object) -> AlgorithmTable:
+    return default_algorithms(config.one_minus_xi, config.allow_remote, config.engine)
+
+
+def _swept_xi_algorithms(config: ExperimentConfig, x: object) -> AlgorithmTable:
+    return default_algorithms(float(x), config.allow_remote, config.engine)
 
 
 # --------------------------------------------------------------------- #
@@ -45,47 +82,120 @@ from repro.testbed.emulator import Testbed, TestbedRun
 def fig2_network_size(config: ExperimentConfig = PAPER) -> SweepResult:
     """Fig. 2: the three algorithms across network sizes 50–400
     (|N| = 100 providers, 1 - xi = 0.3)."""
-
-    def make_market(size: object, seed: int) -> ServiceMarket:
-        network = random_mec_network(int(size), rng=seed)
-        return generate_market(
-            network, config.n_providers, params=config.workload, rng=seed + 1
-        )
-
     return sweep(
         name="fig2",
         x_label="network size",
         x_values=list(config.network_sizes),
-        make_market=make_market,
-        make_algorithms=lambda _x: default_algorithms(
-            config.one_minus_xi, config.allow_remote
-        ),
+        make_market=partial(_sized_market, config),
+        make_algorithms=partial(_fixed_xi_algorithms, config),
         repetitions=config.repetitions,
+        workers=config.workers,
     )
 
 
 def fig3_selfish_fraction(config: ExperimentConfig = PAPER) -> SweepResult:
     """Fig. 3: the impact of ``1 - xi`` at network size 250."""
-
-    def make_market(_x: object, seed: int) -> ServiceMarket:
-        network = random_mec_network(config.default_size, rng=seed)
-        return generate_market(
-            network, config.n_providers, params=config.workload, rng=seed + 1
-        )
-
     return sweep(
         name="fig3",
         x_label="1 - xi",
         x_values=list(config.xi_sweep),
-        make_market=make_market,
-        make_algorithms=lambda x: default_algorithms(float(x), config.allow_remote),
+        make_market=partial(_fixed_size_market, config),
+        make_algorithms=partial(_swept_xi_algorithms, config),
         repetitions=config.repetitions,
+        workers=config.workers,
     )
 
 
 # --------------------------------------------------------------------- #
 # Testbed figures
 # --------------------------------------------------------------------- #
+def _provider_count_params(
+    config: ExperimentConfig, x: object
+) -> Tuple[int, WorkloadParams]:
+    return int(x), config.workload
+
+
+def _fixed_provider_params(
+    config: ExperimentConfig, _x: object
+) -> Tuple[int, WorkloadParams]:
+    return config.testbed_providers, config.workload
+
+
+def _volume_params(config: ExperimentConfig, x: object) -> Tuple[int, WorkloadParams]:
+    gb = float(x)
+    workload = config.workload.__class__(
+        **{
+            **config.workload.__dict__,
+            "data_volume_gb_range": (gb, gb),
+        }
+    )
+    return config.testbed_providers, workload
+
+
+def _compute_scale_params(
+    config: ExperimentConfig, x: object
+) -> Tuple[int, WorkloadParams]:
+    return config.testbed_providers, config.workload.scaled(compute_scale=float(x))
+
+
+def _bandwidth_scale_params(
+    config: ExperimentConfig, x: object
+) -> Tuple[int, WorkloadParams]:
+    return config.testbed_providers, config.workload.scaled(bandwidth_scale=float(x))
+
+
+def _as_float(x: object) -> float:
+    return float(x)
+
+
+@dataclass(frozen=True)
+class _TestbedTask:
+    """One (sweep point, repetition) cell of a testbed experiment
+    (picklable, like :class:`repro.experiments.parallel.PointTask`)."""
+
+    x_index: int
+    rep: int
+    x: object
+    seed: int
+    config: ExperimentConfig
+    market_params: Callable[[object], Tuple[int, WorkloadParams]]
+    one_minus_xi_of: Optional[Callable[[object], float]]
+
+
+def _run_testbed_task(
+    task: _TestbedTask,
+) -> Dict[str, Tuple[AssignmentRecord, float, Dict[str, float]]]:
+    """Build the task's seeded testbed + market and run every algorithm.
+
+    Ships back ``(record, controller_runtime_s, flow_metrics)`` per
+    algorithm — the slim summary both serial and parallel sweeps aggregate.
+    """
+    testbed = Testbed(rng=task.seed)
+    n_providers, workload = task.market_params(task.x)
+    market = generate_market(
+        testbed.network, n_providers, params=workload, rng=task.seed + 1
+    )
+    omx = (
+        task.one_minus_xi_of(task.x)
+        if task.one_minus_xi_of is not None
+        else task.config.one_minus_xi
+    )
+    algorithms = default_algorithms(
+        omx, task.config.allow_remote, task.config.engine
+    )
+    for alg_name, alg in algorithms.items():
+        testbed.register_algorithm(alg_name, alg)
+    out: Dict[str, Tuple[AssignmentRecord, float, Dict[str, float]]] = {}
+    for alg_name in algorithms:
+        run = testbed.run(alg_name, market)
+        out[alg_name] = (
+            AssignmentRecord.from_assignment(run.assignment),
+            float(run.runtime_s),
+            dict(run.flow_metrics),
+        )
+    return out
+
+
 def _testbed_sweep(
     name: str,
     x_label: str,
@@ -94,44 +204,50 @@ def _testbed_sweep(
     market_params: Callable[[object], Tuple[int, WorkloadParams]],
     one_minus_xi_of: Optional[Callable[[object], float]] = None,
 ) -> SweepResult:
-    """Shared loop of the Fig. 5–7 testbed experiments.
+    """Shared grid of the Fig. 5–7 testbed experiments.
 
     ``market_params(x)`` maps a sweep value to ``(n_providers, workload)``;
     ``one_minus_xi_of(x)`` optionally makes the selfish fraction the x-axis.
+    The ``(x, repetition)`` grid runs through :func:`map_tasks`, so
+    ``config.workers`` parallelises it with identical results.
     """
+    tasks = [
+        _TestbedTask(
+            x_index=xi_idx,
+            rep=rep,
+            x=x,
+            # Paired seeds across sweep points (common random numbers).
+            seed=config.point_seed(0, rep),
+            config=config,
+            market_params=market_params,
+            one_minus_xi_of=one_minus_xi_of,
+        )
+        for xi_idx, x in enumerate(x_values)
+        for rep in range(config.repetitions)
+    ]
+    results = map_tasks(_run_testbed_task, tasks, workers=config.workers)
+
     points: List[Dict[str, AlgorithmMetrics]] = []
     flow_rows: List[Dict[str, Dict[str, float]]] = []
-    for xi_idx, x in enumerate(x_values):
-        runs: Dict[str, List[TestbedRun]] = {}
-        for rep in range(config.repetitions):
-            # Paired seeds across sweep points (common random numbers).
-            seed = config.point_seed(0, rep)
-            testbed = Testbed(rng=seed)
-            n_providers, workload = market_params(x)
-            market = generate_market(
-                testbed.network, n_providers, params=workload, rng=seed + 1
-            )
-            omx = (
-                one_minus_xi_of(x) if one_minus_xi_of is not None
-                else config.one_minus_xi
-            )
-            algorithms = default_algorithms(omx, config.allow_remote)
-            for alg_name, alg in algorithms.items():
-                testbed.register_algorithm(alg_name, alg)
-            for alg_name in algorithms:
-                runs.setdefault(alg_name, []).append(testbed.run(alg_name, market))
+    for xi_idx in range(len(x_values)):
+        collected: Dict[
+            str, List[Tuple[AssignmentRecord, float, Dict[str, float]]]
+        ] = {}
+        for task, result in zip(tasks, results):
+            if task.x_index != xi_idx:
+                continue
+            for alg_name, entry in result.items():
+                collected.setdefault(alg_name, []).append(entry)
         point: Dict[str, AlgorithmMetrics] = {}
         flows: Dict[str, Dict[str, float]] = {}
-        for alg_name, alg_runs in runs.items():
-            metrics = AlgorithmMetrics.from_assignments(
-                [r.assignment for r in alg_runs]
-            )
+        for alg_name, entries in collected.items():
+            metrics = AlgorithmMetrics.from_records([e[0] for e in entries])
             # The controller's wall clock is the testbed's runtime metric.
-            metrics.runtime_s = float(np.mean([r.runtime_s for r in alg_runs]))
+            metrics.runtime_s = float(np.mean([e[1] for e in entries]))
             point[alg_name] = metrics
             flows[alg_name] = {
-                key: float(np.mean([r.flow_metrics[key] for r in alg_runs]))
-                for key in alg_runs[0].flow_metrics
+                key: float(np.mean([e[2][key] for e in entries]))
+                for key in entries[0][2]
             }
         points.append(point)
         flow_rows.append(flows)
@@ -152,7 +268,7 @@ def fig5_testbed(config: ExperimentConfig = PAPER) -> SweepResult:
         x_label="providers",
         x_values=list(config.provider_sweep),
         config=config,
-        market_params=lambda x: (int(x), config.workload),
+        market_params=partial(_provider_count_params, config),
     )
 
 
@@ -170,33 +286,22 @@ def fig6_testbed_parameters(config: ExperimentConfig = PAPER) -> Dict[str, Sweep
         x_label="1 - xi",
         x_values=list(config.xi_sweep),
         config=config,
-        market_params=lambda _x: (config.testbed_providers, config.workload),
-        one_minus_xi_of=lambda x: float(x),
+        market_params=partial(_fixed_provider_params, config),
+        one_minus_xi_of=_as_float,
     )
     fig_c = _testbed_sweep(
         name="fig6c",
         x_label="requests (providers)",
         x_values=list(config.provider_sweep),
         config=config,
-        market_params=lambda x: (int(x), config.workload),
+        market_params=partial(_provider_count_params, config),
     )
-
-    def volume_params(x: object) -> Tuple[int, WorkloadParams]:
-        gb = float(x)
-        workload = config.workload.__class__(
-            **{
-                **config.workload.__dict__,
-                "data_volume_gb_range": (gb, gb),
-            }
-        )
-        return config.testbed_providers, workload
-
     fig_d = _testbed_sweep(
         name="fig6d",
         x_label="update data volume (GB)",
         x_values=list(config.data_volume_sweep),
         config=config,
-        market_params=volume_params,
+        market_params=partial(_volume_params, config),
     )
     return {"a": fig_a, "c": fig_c, "d": fig_d}
 
@@ -207,26 +312,19 @@ def fig7_max_demands(config: ExperimentConfig = PAPER) -> Dict[str, SweepResult]
     Scaling the maximum demands shrinks every ``n_i`` (Eq. 7), so the
     approximation has fewer virtual cloudlets to work with and rejects more
     services — the cost grows, verifying Lemma 2's sensitivity."""
-
-    def compute_params(x: object) -> Tuple[int, WorkloadParams]:
-        return config.testbed_providers, config.workload.scaled(compute_scale=float(x))
-
-    def bandwidth_params(x: object) -> Tuple[int, WorkloadParams]:
-        return config.testbed_providers, config.workload.scaled(bandwidth_scale=float(x))
-
     fig_a = _testbed_sweep(
         name="fig7a",
         x_label="a_max scale",
         x_values=list(config.demand_scale_sweep),
         config=config,
-        market_params=compute_params,
+        market_params=partial(_compute_scale_params, config),
     )
     fig_b = _testbed_sweep(
         name="fig7b",
         x_label="b_max scale",
         x_values=list(config.bandwidth_scale_sweep),
         config=config,
-        market_params=bandwidth_params,
+        market_params=partial(_bandwidth_scale_params, config),
     )
     return {"a": fig_a, "b": fig_b}
 
@@ -234,43 +332,43 @@ def fig7_max_demands(config: ExperimentConfig = PAPER) -> Dict[str, SweepResult]
 # --------------------------------------------------------------------- #
 # Ablations (DESIGN.md A1–A4)
 # --------------------------------------------------------------------- #
-def ablation_selection_strategies(config: ExperimentConfig = PAPER) -> SweepResult:
-    """A2: LCF's Largest-Cost-First selection vs smallest-cost vs random."""
+_SELECTION_STRATEGIES = {
+    "LCF(largest)": "largest_cost",
+    "LCF(smallest)": "smallest_cost",
+    "LCF(random)": "random",
+}
 
-    strategies = {
-        "LCF(largest)": "largest_cost",
-        "LCF(smallest)": "smallest_cost",
-        "LCF(random)": "random",
+
+def _run_lcf_selection(
+    config: ExperimentConfig, strategy: str, one_minus_xi: float, market: ServiceMarket
+) -> CachingAssignment:
+    return lcf(
+        market,
+        xi=1.0 - one_minus_xi,
+        selection=strategy,
+        allow_remote=config.allow_remote,
+        rng=config.seed,
+        engine=config.engine,
+    ).assignment
+
+
+def _selection_algorithms(config: ExperimentConfig, x: object) -> AlgorithmTable:
+    return {
+        name: partial(_run_lcf_selection, config, strategy, float(x))
+        for name, strategy in _SELECTION_STRATEGIES.items()
     }
 
-    def make_market(_x: object, seed: int) -> ServiceMarket:
-        network = random_mec_network(config.default_size, rng=seed)
-        return generate_market(
-            network, config.n_providers, params=config.workload, rng=seed + 1
-        )
 
-    def make_algorithms(x: object) -> AlgorithmTable:
-        def runner(strategy: str):
-            def run(market: ServiceMarket) -> CachingAssignment:
-                return lcf(
-                    market,
-                    xi=1.0 - float(x),
-                    selection=strategy,
-                    allow_remote=config.allow_remote,
-                    rng=config.seed,
-                ).assignment
-
-            return run
-
-        return {name: runner(strategy) for name, strategy in strategies.items()}
-
+def ablation_selection_strategies(config: ExperimentConfig = PAPER) -> SweepResult:
+    """A2: LCF's Largest-Cost-First selection vs smallest-cost vs random."""
     return sweep(
         name="ablation-selection",
         x_label="1 - xi",
         x_values=[0.3, 0.5, 0.7],
-        make_market=make_market,
-        make_algorithms=make_algorithms,
+        make_market=partial(_fixed_size_market, config),
+        make_algorithms=partial(_selection_algorithms, config),
         repetitions=config.repetitions,
+        workers=config.workers,
     )
 
 
@@ -298,7 +396,9 @@ def ablation_congestion_models(config: ExperimentConfig = PAPER) -> SweepResult:
         for rep in range(config.repetitions):
             seed = config.point_seed(list(models).index(model_name), rep)
             market = make_market_for(model_name, seed)
-            algorithms = default_algorithms(config.one_minus_xi, config.allow_remote)
+            algorithms = default_algorithms(
+                config.one_minus_xi, config.allow_remote, config.engine
+            )
             for alg, assignment in evaluate_algorithms(market, algorithms).items():
                 collected.setdefault(alg, []).append(assignment)
         points.append(
@@ -315,32 +415,29 @@ def ablation_congestion_models(config: ExperimentConfig = PAPER) -> SweepResult:
     )
 
 
+def _run_appro_solver(
+    config: ExperimentConfig, gap_solver: str, market: ServiceMarket
+) -> CachingAssignment:
+    return appro(market, gap_solver=gap_solver, allow_remote=config.allow_remote)
+
+
+def _gap_algorithms(config: ExperimentConfig, _x: object) -> AlgorithmTable:
+    return {
+        "Appro(shmoys_tardos)": partial(_run_appro_solver, config, "shmoys_tardos"),
+        "Appro(greedy)": partial(_run_appro_solver, config, "greedy"),
+    }
+
+
 def ablation_gap_solvers(config: ExperimentConfig = PAPER) -> SweepResult:
     """A4: the GAP engine inside Appro — Shmoys–Tardos vs greedy."""
-
-    def make_market(_x: object, seed: int) -> ServiceMarket:
-        network = random_mec_network(config.default_size, rng=seed)
-        return generate_market(
-            network, config.n_providers, params=config.workload, rng=seed + 1
-        )
-
-    def make_algorithms(_x: object) -> AlgorithmTable:
-        return {
-            "Appro(shmoys_tardos)": lambda m: appro(
-                m, gap_solver="shmoys_tardos", allow_remote=config.allow_remote
-            ),
-            "Appro(greedy)": lambda m: appro(
-                m, gap_solver="greedy", allow_remote=config.allow_remote
-            ),
-        }
-
     return sweep(
         name="ablation-gap",
         x_label="variant",
         x_values=["default"],
-        make_market=make_market,
-        make_algorithms=make_algorithms,
+        make_market=partial(_fixed_size_market, config),
+        make_algorithms=partial(_gap_algorithms, config),
         repetitions=config.repetitions,
+        workers=config.workers,
     )
 
 
@@ -361,7 +458,9 @@ def ablation_topologies(config: ExperimentConfig = PAPER) -> SweepResult:
             market = generate_market(
                 network, config.n_providers, params=config.workload, rng=seed + 1
             )
-            algorithms = default_algorithms(config.one_minus_xi, config.allow_remote)
+            algorithms = default_algorithms(
+                config.one_minus_xi, config.allow_remote, config.engine
+            )
             for alg, assignment in evaluate_algorithms(market, algorithms).items():
                 collected.setdefault(alg, []).append(assignment)
         points.append(

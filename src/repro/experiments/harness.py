@@ -4,11 +4,18 @@ A figure is a *sweep*: for each x-axis value, build ``repetitions``
 independent (network, market) environments, run every algorithm on each, and
 average the four metrics the paper plots — social cost, selfish-provider
 cost, coordinated-provider cost, and running time.
+
+Sweeps can fan their ``(x-value, repetition)`` grid out over a process pool
+(see :mod:`repro.experiments.parallel`); every aggregate goes through the
+same per-task :class:`AssignmentRecord` extraction in both modes, so serial
+and parallel runs of the same seeded sweep produce bit-identical metrics
+(wall-clock ``runtime_s`` aside).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,6 +28,32 @@ from repro.market.market import ServiceMarket
 
 #: An algorithm entry: name -> callable(market) -> CachingAssignment.
 AlgorithmTable = Mapping[str, Callable[[ServiceMarket], CachingAssignment]]
+
+
+@dataclass(frozen=True)
+class AssignmentRecord:
+    """The slim, picklable summary of one algorithm run on one market.
+
+    Worker processes ship these back instead of full
+    :class:`CachingAssignment` objects (which drag the whole market and
+    network graph across the process boundary).
+    """
+
+    social_cost: float
+    coordinated_cost: float
+    selfish_cost: float
+    runtime_s: float
+    rejected: int
+
+    @classmethod
+    def from_assignment(cls, a: CachingAssignment) -> "AssignmentRecord":
+        return cls(
+            social_cost=float(a.social_cost),
+            coordinated_cost=float(a.coordinated_cost),
+            selfish_cost=float(a.selfish_cost),
+            runtime_s=float(a.runtime_s),
+            rejected=len(a.rejected),
+        )
 
 
 @dataclass
@@ -38,13 +71,19 @@ class AlgorithmMetrics:
     def from_assignments(cls, assignments: Sequence[CachingAssignment]) -> "AlgorithmMetrics":
         if not assignments:
             raise ReproError("no assignments to aggregate")
+        return cls.from_records([AssignmentRecord.from_assignment(a) for a in assignments])
+
+    @classmethod
+    def from_records(cls, records: Sequence[AssignmentRecord]) -> "AlgorithmMetrics":
+        if not records:
+            raise ReproError("no assignments to aggregate")
         return cls(
-            social_cost=float(np.mean([a.social_cost for a in assignments])),
-            coordinated_cost=float(np.mean([a.coordinated_cost for a in assignments])),
-            selfish_cost=float(np.mean([a.selfish_cost for a in assignments])),
-            runtime_s=float(np.mean([a.runtime_s for a in assignments])),
-            rejected=float(np.mean([len(a.rejected) for a in assignments])),
-            samples=len(assignments),
+            social_cost=float(np.mean([r.social_cost for r in records])),
+            coordinated_cost=float(np.mean([r.coordinated_cost for r in records])),
+            selfish_cost=float(np.mean([r.selfish_cost for r in records])),
+            runtime_s=float(np.mean([r.runtime_s for r in records])),
+            rejected=float(np.mean([r.rejected for r in records])),
+            samples=len(records),
         )
 
 
@@ -73,23 +112,29 @@ class SweepResult:
         return [getattr(point[algorithm], metric) for point in self.points]
 
 
+def _run_lcf(
+    one_minus_xi: float, allow_remote: bool, engine: str, market: ServiceMarket
+) -> CachingAssignment:
+    return lcf(
+        market, xi=1.0 - one_minus_xi, allow_remote=allow_remote, engine=engine
+    ).assignment
+
+
 def default_algorithms(
-    one_minus_xi: float, allow_remote: bool
+    one_minus_xi: float, allow_remote: bool, engine: str = "incremental"
 ) -> AlgorithmTable:
     """The three algorithms of every paper figure.
 
     LCF runs first at each point so its coordinated/selfish designation is
     in place when the baselines' cost splits are read (the paper plots the
     same provider partition for all algorithms).
+
+    Every entry is a picklable callable (module-level function or
+    ``functools.partial`` thereof), so the table can cross a process-pool
+    boundary for parallel sweeps.
     """
-
-    def run_lcf(market: ServiceMarket) -> CachingAssignment:
-        return lcf(
-            market, xi=1.0 - one_minus_xi, allow_remote=allow_remote
-        ).assignment
-
     return {
-        "LCF": run_lcf,
+        "LCF": partial(_run_lcf, one_minus_xi, allow_remote, engine),
         "JoOffloadCache": jo_offload_cache,
         "OffloadCache": offload_cache,
     }
@@ -103,6 +148,16 @@ def evaluate_algorithms(
     return {name: run(market) for name, run in algorithms.items()}
 
 
+def legacy_point_seed(x_index: int, rep: int) -> int:
+    """The seed scheme of the original serial harness.
+
+    Paired seeds: repetition ``k`` draws the same environment at every
+    sweep point, so curves are compared on common random numbers and
+    monotone trends are not drowned by cross-point sampling noise.
+    """
+    return 7_919 * rep + 13
+
+
 def sweep(
     name: str,
     x_label: str,
@@ -110,6 +165,8 @@ def sweep(
     make_market: Callable[[object, int], ServiceMarket],
     make_algorithms: Callable[[object], AlgorithmTable],
     repetitions: int,
+    workers: Optional[int] = None,
+    seed_fn: Optional[Callable[[int, int], int]] = None,
 ) -> SweepResult:
     """Run a full sweep.
 
@@ -117,38 +174,42 @@ def sweep(
     ----------
     make_market:
         ``(x_value, seed) -> ServiceMarket`` builder; the harness supplies a
-        distinct seed per (point, repetition).
+        distinct seed per (point, repetition). Must be picklable (a
+        module-level function or ``functools.partial``) when ``workers``
+        enables the process pool.
     make_algorithms:
         ``x_value -> AlgorithmTable``; lets drivers bind x-dependent
-        parameters (e.g. xi in Fig. 3).
+        parameters (e.g. xi in Fig. 3). Same picklability rule.
+    workers:
+        ``None`` or ``1`` runs in-process (the default); ``N > 1`` fans the
+        ``(x, repetition)`` grid over a ``ProcessPoolExecutor`` with ``N``
+        workers; ``0`` means ``os.cpu_count()``. Results are bit-identical
+        to the serial run because seeding is per-task, not per-loop.
+    seed_fn:
+        ``(x_index, rep) -> seed`` override; defaults to
+        :func:`legacy_point_seed` (common random numbers across points).
     """
-    points: List[Dict[str, AlgorithmMetrics]] = []
-    for xi, x in enumerate(x_values):
-        collected: Dict[str, List[CachingAssignment]] = {}
-        algorithms = make_algorithms(x)
-        for rep in range(repetitions):
-            # Paired seeds: repetition k draws the same environment at
-            # every sweep point, so curves are compared on common random
-            # numbers and monotone trends are not drowned by cross-point
-            # sampling noise.
-            seed = 7_919 * rep + 13
-            market = make_market(x, seed)
-            for alg_name, assignment in evaluate_algorithms(market, algorithms).items():
-                collected.setdefault(alg_name, []).append(assignment)
-        points.append(
-            {
-                alg: AlgorithmMetrics.from_assignments(assignments)
-                for alg, assignments in collected.items()
-            }
-        )
-    return SweepResult(name=name, x_label=x_label, x_values=list(x_values), points=points)
+    from repro.experiments.parallel import ParallelSweepRunner
+
+    runner = ParallelSweepRunner(workers=workers)
+    return runner.run(
+        name=name,
+        x_label=x_label,
+        x_values=x_values,
+        make_market=make_market,
+        make_algorithms=make_algorithms,
+        repetitions=repetitions,
+        seed_fn=seed_fn if seed_fn is not None else legacy_point_seed,
+    )
 
 
 __all__ = [
     "AlgorithmTable",
     "AlgorithmMetrics",
+    "AssignmentRecord",
     "SweepResult",
     "default_algorithms",
     "evaluate_algorithms",
+    "legacy_point_seed",
     "sweep",
 ]

@@ -1,0 +1,208 @@
+"""Parallel execution of sweep grids.
+
+A figure sweep is an embarrassingly parallel grid: every ``(x-value,
+repetition)`` cell builds its own seeded environment and runs every
+algorithm on it. :class:`ParallelSweepRunner` fans that grid over a
+``concurrent.futures.ProcessPoolExecutor`` while keeping the results
+bit-identical to a serial run:
+
+* **Per-task seeding.** Each cell's seed is a pure function of
+  ``(x_index, repetition)`` — never of execution order — either the legacy
+  affine scheme (:func:`repro.experiments.harness.legacy_point_seed`) or
+  the collision-resistant :func:`sweep_task_seed`, which derives the seed
+  from ``numpy.random.SeedSequence(base_seed, spawn_key=(x_index, rep))``
+  (the same mixing ``SeedSequence.spawn`` uses for child streams).
+* **Shared task body.** Serial mode runs the exact same task function in a
+  plain loop, so the only difference between modes is *where* the work
+  happens.
+* **Deterministic aggregation.** Results are reduced in ``(x_index, rep)``
+  order regardless of completion order, and workers return slim
+  :class:`~repro.experiments.harness.AssignmentRecord` summaries whose
+  floats are extracted identically in both modes.
+
+Builders crossing the pool boundary must be picklable — module-level
+functions or ``functools.partial`` over them (closures and lambdas are
+not). The runner checks this up front and raises a
+:class:`~repro.exceptions.ConfigurationError` naming the offending object
+instead of dying inside the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.harness import (
+    AlgorithmMetrics,
+    AlgorithmTable,
+    AssignmentRecord,
+    SweepResult,
+    legacy_point_seed,
+)
+from repro.market.market import ServiceMarket
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def sweep_task_seed(base_seed: int, x_index: int, rep: int, paired: bool = True) -> int:
+    """A deterministic, order-independent seed for one sweep task.
+
+    Mixes ``(base_seed, x_index, rep)`` through
+    ``numpy.random.SeedSequence`` (the entropy-hashing backbone of
+    ``SeedSequence.spawn``), so distinct tasks get statistically
+    independent streams no matter which worker runs them first.
+
+    ``paired=True`` (the default) drops ``x_index`` from the key: every
+    sweep point then replays repetition ``rep`` on the same environment —
+    the common-random-numbers pairing the figure drivers rely on for
+    smooth curves.
+    """
+    spawn_key = (rep,) if paired else (x_index, rep)
+    ss = np.random.SeedSequence(base_seed, spawn_key=spawn_key)
+    return int(ss.generate_state(1, dtype=np.uint32)[0])
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``--workers`` value: ``None``/``1`` → serial, ``0`` →
+    ``os.cpu_count()``, ``N > 1`` → that many processes."""
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _check_picklable(obj: object, role: str) -> None:
+    try:
+        pickle.dumps(obj)
+    except Exception as exc:
+        raise ConfigurationError(
+            f"{role} {obj!r} is not picklable and cannot cross the process-pool "
+            f"boundary; use a module-level function or functools.partial "
+            f"(or run with workers=1): {exc}"
+        ) from None
+
+
+def map_tasks(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    workers: Optional[int] = None,
+) -> List[R]:
+    """Apply ``fn`` to every task, serially or over a process pool.
+
+    Results come back in task order in both modes. The pool is only spun
+    up when it can help (more than one worker *and* more than one task).
+    """
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    _check_picklable(fn, "task function")
+    if tasks:
+        _check_picklable(tasks[0], "task")
+    n_workers = min(n_workers, len(tasks))
+    chunksize = max(1, len(tasks) // (4 * n_workers))
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, tasks, chunksize=chunksize))
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One cell of the sweep grid (picklable)."""
+
+    x_index: int
+    rep: int
+    x: object
+    seed: int
+    make_market: Callable[[object, int], ServiceMarket]
+    make_algorithms: Callable[[object], AlgorithmTable]
+
+
+def run_point_task(task: PointTask) -> Dict[str, AssignmentRecord]:
+    """Build the task's seeded market and run every algorithm on it.
+
+    This is the single task body both serial and parallel sweeps execute;
+    algorithms run in table order (LCF first — its coordinated/selfish
+    marking must be in place before the baselines' cost splits are read).
+    """
+    market = task.make_market(task.x, task.seed)
+    algorithms = task.make_algorithms(task.x)
+    records: Dict[str, AssignmentRecord] = {}
+    for name, run in algorithms.items():
+        records[name] = AssignmentRecord.from_assignment(run(market))
+    return records
+
+
+@dataclass
+class ParallelSweepRunner:
+    """Runs sweep grids serially or over a process pool.
+
+    ``workers=None``/``1`` → serial in-process execution; ``workers=0`` →
+    one process per CPU; ``workers=N`` → ``N`` processes. Identical
+    metrics either way.
+    """
+
+    workers: Optional[int] = None
+
+    def run(
+        self,
+        name: str,
+        x_label: str,
+        x_values: Sequence[object],
+        make_market: Callable[[object, int], ServiceMarket],
+        make_algorithms: Callable[[object], AlgorithmTable],
+        repetitions: int,
+        seed_fn: Optional[Callable[[int, int], int]] = None,
+    ) -> SweepResult:
+        if repetitions < 1:
+            raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+        seed_of = seed_fn if seed_fn is not None else legacy_point_seed
+        tasks = [
+            PointTask(
+                x_index=xi,
+                rep=rep,
+                x=x,
+                seed=seed_of(xi, rep),
+                make_market=make_market,
+                make_algorithms=make_algorithms,
+            )
+            for xi, x in enumerate(x_values)
+            for rep in range(repetitions)
+        ]
+        results = map_tasks(run_point_task, tasks, workers=self.workers)
+
+        points: List[Dict[str, AlgorithmMetrics]] = []
+        for xi in range(len(x_values)):
+            collected: Dict[str, List[AssignmentRecord]] = {}
+            for task, records in zip(tasks, results):
+                if task.x_index != xi:
+                    continue
+                for alg, record in records.items():
+                    collected.setdefault(alg, []).append(record)
+            points.append(
+                {
+                    alg: AlgorithmMetrics.from_records(records)
+                    for alg, records in collected.items()
+                }
+            )
+        return SweepResult(
+            name=name, x_label=x_label, x_values=list(x_values), points=points
+        )
+
+
+__all__ = [
+    "ParallelSweepRunner",
+    "PointTask",
+    "map_tasks",
+    "resolve_workers",
+    "run_point_task",
+    "sweep_task_seed",
+]

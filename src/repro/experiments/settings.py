@@ -10,9 +10,10 @@ harness; both run the same code paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.game.best_response import ENGINES
 from repro.market.workload import WorkloadParams
 
 
@@ -55,6 +56,13 @@ class ExperimentConfig:
     #: than compute on the testbed (VMs ship 10-100 Mbps each), so the
     #: sweep reaches further before Eq. (7) binds.
     bandwidth_scale_sweep: Tuple[float, ...] = (1.0, 2.0, 4.0, 6.0, 8.0)
+    #: Game engine driving LCF's selfish phase: ``"incremental"`` (compiled
+    #: tables + per-move deltas) or ``"naive"`` (the reference loops).
+    engine: str = "incremental"
+    #: Sweep parallelism: ``None``/``1`` serial, ``0`` one process per CPU,
+    #: ``N > 1`` that many worker processes. Results are identical at any
+    #: setting (per-task seeding).
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -63,6 +71,12 @@ class ExperimentConfig:
             raise ConfigurationError("n_providers must be >= 1")
         if not all(0.0 <= x <= 1.0 for x in self.xi_sweep):
             raise ConfigurationError("xi_sweep values must lie in [0, 1]")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise ConfigurationError("workers must be None or >= 0")
 
     def with_(self, **kwargs) -> "ExperimentConfig":
         """A modified copy (dataclasses.replace wrapper)."""

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, 
 import numpy as np
 
 from repro.exceptions import CapacityError, ConfigurationError
+from repro.utils.validation import CAPACITY_EPS
 
 #: A pure strategy profile: player id -> resource id.
 Profile = Dict[Hashable, Hashable]
@@ -177,7 +178,7 @@ class SingletonCongestionGame:
         if current == resource:
             load = load - self.demand_of(player, resource)
         new_load = load + self.demand_of(player, resource)
-        return bool(np.all(new_load <= self.capacity_of(resource) + 1e-9))
+        return bool(np.all(new_load <= self.capacity_of(resource) + CAPACITY_EPS))
 
     def validate_profile(self, profile: Mapping[Hashable, Hashable]) -> None:
         """Check completeness and capacity feasibility of a profile."""
@@ -190,10 +191,25 @@ class SingletonCongestionGame:
         if self._demand is not None:
             for r, load in self.loads(profile).items():
                 cap = self.capacity_of(r)
-                if np.any(load > cap + 1e-9):
+                if np.any(load > cap + CAPACITY_EPS):
                     raise CapacityError(
                         f"resource {r!r} overloaded: load {load} > capacity {cap}"
                     )
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def compile(self) -> "CompiledGame":
+        """Precompute the game's cost/demand/capacity tables.
+
+        The returned :class:`~repro.game.engine.CompiledGame` backs the
+        incremental best-response engine: all ``fixed_cost`` /
+        ``shared_cost`` / ``demand`` / ``capacity`` evaluations are done
+        once up front and later queries are vectorised array lookups.
+        """
+        from repro.game.engine import CompiledGame
+
+        return CompiledGame(self)
 
 
 __all__ = ["Profile", "SingletonCongestionGame"]

@@ -1,0 +1,244 @@
+"""The incremental best-response engine.
+
+The naive dynamics in :mod:`repro.game.best_response` re-evaluate the
+player-facing cost function resource by resource on every scan and recompute
+the Rosenthal potential from scratch once per round.  Both are Python-level
+loops over callables, which dominates the wall clock of every
+equilibrium-seeking path (LCF's ``information="full"`` mode, the PoA study,
+the convergence experiments).
+
+:class:`CompiledGame` evaluates the game's cost structure exactly once —
+fixed costs, shared congestion costs at every occupancy, demands and
+capacities all become numpy tables — and :func:`incremental_best_response`
+runs the same round-robin dynamics on top of array state:
+
+* per-resource occupancy and load vectors are maintained by applying the
+  mover's delta (instead of re-aggregating the profile),
+* the Rosenthal potential is maintained by a per-move accumulator
+  (``Phi`` changes by exactly the mover's cost improvement — the exact
+  potential property),
+* each best-response scan is one vectorised ``argmin`` over the compiled
+  cost row, with the same first-minimum tie-breaking as the naive scan.
+
+The engine is move-for-move equivalent to the naive implementation: same
+visiting order, same strict-improvement threshold, same tie-breaking, same
+capacity tolerance.  ``tests/game/test_engine_equivalence.py`` pins this
+down differentially on randomized markets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import InfeasibleError
+from repro.game.congestion import Profile, SingletonCongestionGame
+from repro.utils.validation import CAPACITY_EPS
+
+#: Minimum strict cost improvement for a move (mirrors best_response.py).
+IMPROVEMENT_EPS = 1e-9
+
+
+class CompiledGame:
+    """Dense-array view of a :class:`SingletonCongestionGame`.
+
+    Tables
+    ------
+    ``fixed``
+        ``(n_players, n_resources)`` — ``fixed_cost(p, r)``.
+    ``shared``
+        ``(n_resources, n_players + 1)`` — ``shared_cost(r, k)`` in column
+        ``k`` (column 0 is unused and zero; occupancy never exceeds the
+        player count in a singleton game).
+    ``demand``
+        ``(n_players, n_resources, dims)`` for capacitated games, else
+        ``None``.
+    ``capacity``
+        ``(n_resources, dims)`` for capacitated games, else ``None``.
+
+    All entries are produced by the exact same ``float(...)`` evaluations
+    the naive engine performs, so compiled cost comparisons are bit-equal
+    to the naive ones.
+    """
+
+    def __init__(self, game: SingletonCongestionGame) -> None:
+        self.game = game
+        self.players: List[Hashable] = list(game.players)
+        self.resources: List[Hashable] = list(game.resources)
+        self.player_index: Dict[Hashable, int] = {
+            p: i for i, p in enumerate(self.players)
+        }
+        self.resource_index: Dict[Hashable, int] = {
+            r: j for j, r in enumerate(self.resources)
+        }
+        n, m = len(self.players), len(self.resources)
+
+        self.fixed = np.empty((n, m), dtype=float)
+        for i, p in enumerate(self.players):
+            for j, r in enumerate(self.resources):
+                self.fixed[i, j] = game.fixed_cost(p, r)
+
+        self.shared = np.zeros((m, n + 1), dtype=float)
+        for j, r in enumerate(self.resources):
+            for k in range(1, n + 1):
+                self.shared[j, k] = game.shared_cost(r, k)
+
+        if game.capacitated:
+            self.capacity = np.stack(
+                [game.capacity_of(r) for r in self.resources]
+            ).astype(float)
+            dims = self.capacity.shape[1]
+            self.demand = np.empty((n, m, dims), dtype=float)
+            for i, p in enumerate(self.players):
+                for j, r in enumerate(self.resources):
+                    self.demand[i, j] = game.demand_of(p, r)
+        else:
+            self.capacity = None
+            self.demand = None
+
+    # ------------------------------------------------------------------ #
+    # State construction
+    # ------------------------------------------------------------------ #
+    @property
+    def n_players(self) -> int:
+        return len(self.players)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.resources)
+
+    def occupancy_vector(self, profile: Mapping[Hashable, Hashable]) -> np.ndarray:
+        """Integer occupancy per resource index."""
+        occ = np.zeros(self.n_resources, dtype=np.int64)
+        for r in profile.values():
+            occ[self.resource_index[r]] += 1
+        return occ
+
+    def load_matrix(self, profile: Mapping[Hashable, Hashable]) -> Optional[np.ndarray]:
+        """Per-resource load vectors, accumulated in profile order (the
+        same addition order as ``game.loads``, so values are bit-equal)."""
+        if self.demand is None:
+            return None
+        loads = np.zeros_like(self.capacity)
+        for p, r in profile.items():
+            loads[self.resource_index[r]] += self.demand[
+                self.player_index[p], self.resource_index[r]
+            ]
+        return loads
+
+    # ------------------------------------------------------------------ #
+    # Vectorised queries
+    # ------------------------------------------------------------------ #
+    def feasible_mask(self, player_idx: int, loads: Optional[np.ndarray]) -> np.ndarray:
+        """Which resources admit the player's demand on top of ``loads``.
+
+        Matches ``game.move_is_feasible`` for resources the player does not
+        currently occupy (the best-response scan never queries the current
+        one). Uncapacitated games admit everything.
+        """
+        if self.demand is None:
+            return np.ones(self.n_resources, dtype=bool)
+        new_load = loads + self.demand[player_idx]
+        return np.all(new_load <= self.capacity + CAPACITY_EPS, axis=1)
+
+    def entry_costs(
+        self,
+        player_idx: int,
+        occ: np.ndarray,
+        loads: Optional[np.ndarray],
+        posted: bool = False,
+    ) -> np.ndarray:
+        """Cost of joining each resource (infeasible ones are ``+inf``).
+
+        ``posted=True`` evaluates the congestion term at its face value of
+        one occupant (the posted-price information model); otherwise the
+        player faces the live occupancy plus itself.
+        """
+        if posted:
+            shared = self.shared[:, 1]
+        else:
+            kcol = np.minimum(occ + 1, self.n_players)
+            shared = self.shared[np.arange(self.n_resources), kcol]
+        costs = shared + self.fixed[player_idx]
+        costs[~self.feasible_mask(player_idx, loads)] = np.inf
+        return costs
+
+
+def incremental_best_response(
+    game: SingletonCongestionGame,
+    initial_profile: Mapping[Hashable, Hashable],
+    movable: Optional[Iterable[Hashable]] = None,
+    max_rounds: int = 1000,
+    compiled: Optional[CompiledGame] = None,
+    record_moves: bool = False,
+) -> Tuple[Profile, bool, int, int, List[float], List[Tuple[Hashable, Hashable, Hashable, float]]]:
+    """Round-robin best-response dynamics on compiled tables.
+
+    Returns ``(profile, converged, rounds, moves, potential_trace,
+    move_log)`` with the same semantics as the naive engine; the potential
+    trace is maintained by the per-move accumulator. ``move_log`` holds
+    ``(player, old_resource, new_resource, cost_delta)`` tuples when
+    ``record_moves`` is set (each ``cost_delta`` is the mover's strict
+    improvement, i.e. the exact potential decrease of that move).
+    """
+    game.validate_profile(initial_profile)
+    profile: Profile = dict(initial_profile)
+    movable_set = set(movable) if movable is not None else set(game.players)
+    unknown = movable_set - set(game.players)
+    if unknown:
+        raise InfeasibleError(f"movable contains unknown players {sorted(unknown, key=str)}")
+    move_order = [p for p in game.players if p in movable_set]
+
+    phi = game.potential(profile)
+    trace = [phi]
+    moves = 0
+    rounds = 0
+    converged = not move_order
+    move_log: List[Tuple[Hashable, Hashable, Hashable, float]] = []
+
+    if move_order:
+        c = compiled if compiled is not None else CompiledGame(game)
+        occ = c.occupancy_vector(profile)
+        loads = c.load_matrix(profile)
+        strat = {p: c.resource_index[profile[p]] for p in move_order}
+        mover_idx = [c.player_index[p] for p in move_order]
+    else:
+        c = None
+
+    for rounds in range(1, max_rounds + 1):
+        improved = False
+        for p, pi in zip(move_order, mover_idx) if move_order else ():
+            cur = strat[p]
+            current_cost = c.shared[cur, occ[cur]] + c.fixed[pi, cur]
+            costs = c.entry_costs(pi, occ, loads)
+            costs[cur] = np.inf
+            j = int(np.argmin(costs))
+            best = costs[j]
+            if not best < current_cost - IMPROVEMENT_EPS:
+                continue
+            # Apply the move delta. The mover's new cost is exactly the
+            # selected entry cost, so the exact-potential property gives
+            # the accumulator update for free.
+            occ[cur] -= 1
+            occ[j] += 1
+            if loads is not None:
+                loads[cur] -= c.demand[pi, cur]
+                loads[j] += c.demand[pi, j]
+            strat[p] = j
+            profile[p] = c.resources[j]
+            delta = float(best - current_cost)
+            phi += delta
+            if record_moves:
+                move_log.append((p, c.resources[cur], c.resources[j], delta))
+            moves += 1
+            improved = True
+        trace.append(phi)
+        if not improved:
+            converged = True
+            break
+
+    return profile, converged, rounds, moves, trace, move_log
+
+
+__all__ = ["CompiledGame", "IMPROVEMENT_EPS", "incremental_best_response"]

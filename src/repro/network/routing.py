@@ -1,10 +1,14 @@
-"""Shortest-path routing with cached all-pairs distances.
+"""Shortest-path routing with lazily computed per-source distance rows.
 
 The cost model turns network distance into bandwidth cost (a cached instance
 must synchronise updates back to its home data center, Section II.C), so
-distance queries are on the hot path of every algorithm. We precompute
-delay-weighted shortest paths once per topology with Dijkstra and memoise the
-actual node sequences on demand.
+distance queries are on the hot path of every algorithm. An eager all-pairs
+computation is wasted work, though: the queried sources are almost entirely
+cloudlet and data-center nodes — roughly 15% of a GT-ITM-style topology —
+so we run single-source Dijkstra/BFS on demand and cache each completed row.
+Undirected graphs additionally answer ``(u, v)`` from a cached row of either
+endpoint (distances are symmetric), which keeps the row set small when the
+query pattern is many-sources-to-few-destinations.
 """
 
 from __future__ import annotations
@@ -17,39 +21,78 @@ from repro.exceptions import TopologyError
 
 
 class RoutingTable:
-    """All-pairs shortest paths over a delay-weighted graph.
+    """Shortest-path oracle over a delay-weighted graph.
 
-    Distances (sum of ``weight`` = link delay) and hop counts are computed
-    eagerly; explicit paths are computed lazily and cached.
+    Per-source distance rows (sum of ``weight`` = link delay) and hop-count
+    rows (unweighted BFS) are computed lazily on first use and memoised;
+    explicit paths are memoised per pair. Query results are identical to an
+    eager all-pairs computation — laziness only changes when the Dijkstra
+    runs happen.
     """
 
     def __init__(self, graph: nx.Graph) -> None:
         if graph.number_of_nodes() == 0:
             raise TopologyError("cannot build a routing table for an empty graph")
         self._graph = graph
-        # dict-of-dict: delay[u][v]
-        self._delay: Dict[int, Dict[int, float]] = dict(
-            nx.all_pairs_dijkstra_path_length(graph, weight="weight")
-        )
-        self._hops: Dict[int, Dict[int, int]] = {
-            u: {v: L for v, L in lengths.items()}
-            for u, lengths in nx.all_pairs_shortest_path_length(graph)
-        }
+        self._symmetric = not graph.is_directed()
+        self._delay_rows: Dict[int, Dict[int, float]] = {}
+        self._hop_rows: Dict[int, Dict[int, int]] = {}
         self._path_cache: Dict[Tuple[int, int], List[int]] = {}
 
+    # ------------------------------------------------------------------ #
+    # Row computation
+    # ------------------------------------------------------------------ #
+    def _delay_row(self, u: int) -> Dict[int, float]:
+        row = self._delay_rows.get(u)
+        if row is None:
+            if u not in self._graph:
+                raise TopologyError(f"unknown node {u}")
+            row = dict(
+                nx.single_source_dijkstra_path_length(self._graph, u, weight="weight")
+            )
+            self._delay_rows[u] = row
+        return row
+
+    def _hop_row(self, u: int) -> Dict[int, int]:
+        row = self._hop_rows.get(u)
+        if row is None:
+            if u not in self._graph:
+                raise TopologyError(f"unknown node {u}")
+            row = dict(nx.single_source_shortest_path_length(self._graph, u))
+            self._hop_rows[u] = row
+        return row
+
+    def _lookup(self, rows, compute_row, u: int, v: int):
+        """Answer ``(u, v)`` from a cached row of ``u`` or — on undirected
+        graphs — of ``v``; otherwise compute the row for ``v`` (the
+        destination side is the small node set under the cost model's
+        query pattern: cloudlets and data centers)."""
+        row = rows.get(u)
+        if row is not None:
+            return row.get(v)
+        if self._symmetric:
+            row = rows.get(v)
+            if row is None:
+                row = compute_row(v)
+            return row.get(u) if u in self._graph else None
+        return compute_row(u).get(v)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
     def path_delay(self, u: int, v: int) -> float:
         """Total delay (ms) along the min-delay path; 0 when ``u == v``."""
-        try:
-            return self._delay[u][v]
-        except KeyError:
-            raise TopologyError(f"no path between {u} and {v}") from None
+        d = self._lookup(self._delay_rows, self._delay_row, u, v)
+        if d is None:
+            raise TopologyError(f"no path between {u} and {v}")
+        return d
 
     def hop_count(self, u: int, v: int) -> int:
         """Hop count of the unweighted shortest path; 0 when ``u == v``."""
-        try:
-            return self._hops[u][v]
-        except KeyError:
-            raise TopologyError(f"no path between {u} and {v}") from None
+        h = self._lookup(self._hop_rows, self._hop_row, u, v)
+        if h is None:
+            raise TopologyError(f"no path between {u} and {v}")
+        return h
 
     def shortest_path(self, u: int, v: int) -> List[int]:
         """Node sequence of the min-delay path ``u → v`` (inclusive)."""
@@ -66,11 +109,11 @@ class RoutingTable:
 
     def eccentricity(self, u: int) -> float:
         """Max delay from ``u`` to any reachable node."""
-        return max(self._delay[u].values())
+        return max(self._delay_row(u).values())
 
     def diameter(self) -> float:
         """Max delay between any node pair (delay-weighted diameter)."""
-        return max(self.eccentricity(u) for u in self._delay)
+        return max(self.eccentricity(u) for u in self._graph.nodes)
 
 
 __all__ = ["RoutingTable"]

@@ -11,6 +11,13 @@ import math
 
 from repro.exceptions import ConfigurationError
 
+#: The library-wide float slack for capacity-feasibility comparisons.
+#: Every check of the form ``load + demand <= capacity`` uses this same
+#: tolerance (game feasibility, greedy placement, the Appro repair pass,
+#: assignment validation), so a demand that exactly equals the residual
+#: capacity is feasible everywhere or nowhere — never only in some layers.
+CAPACITY_EPS = 1e-9
+
 
 def check_positive(value: float, name: str) -> float:
     """Require ``value > 0`` (and finite); return it for chaining."""
@@ -48,6 +55,7 @@ def check_int_at_least(value: int, minimum: int, name: str) -> int:
 
 
 __all__ = [
+    "CAPACITY_EPS",
     "check_positive",
     "check_non_negative",
     "check_fraction",

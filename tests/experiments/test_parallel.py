@@ -1,0 +1,93 @@
+"""Unit tests for the parallel sweep machinery (seeding, workers, tasks)."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.harness import legacy_point_seed
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    map_tasks,
+    resolve_workers,
+    sweep_task_seed,
+)
+
+
+class TestSeeds:
+    def test_legacy_seed_is_paired_across_points(self):
+        # Same repetition -> same seed at every sweep point.
+        assert legacy_point_seed(0, 2) == legacy_point_seed(5, 2)
+        assert legacy_point_seed(0, 1) != legacy_point_seed(0, 2)
+
+    def test_sweep_task_seed_deterministic(self):
+        assert sweep_task_seed(42, 3, 1) == sweep_task_seed(42, 3, 1)
+        assert sweep_task_seed(42, 3, 1, paired=False) == sweep_task_seed(
+            42, 3, 1, paired=False
+        )
+
+    def test_sweep_task_seed_paired_ignores_x(self):
+        assert sweep_task_seed(42, 0, 1) == sweep_task_seed(42, 9, 1)
+
+    def test_sweep_task_seed_unpaired_distinguishes_x(self):
+        assert sweep_task_seed(42, 0, 1, paired=False) != sweep_task_seed(
+            42, 9, 1, paired=False
+        )
+
+    def test_sweep_task_seed_depends_on_everything_else(self):
+        base = sweep_task_seed(42, 0, 1)
+        assert base != sweep_task_seed(43, 0, 1)
+        assert base != sweep_task_seed(42, 0, 2)
+
+
+class TestResolveWorkers:
+    def test_none_and_one_are_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-1)
+
+
+def _square(x):
+    return x * x
+
+
+class TestMapTasks:
+    def test_serial_order(self):
+        assert map_tasks(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_order_preserved(self):
+        assert map_tasks(_square, list(range(8)), workers=2) == [
+            x * x for x in range(8)
+        ]
+
+    def test_single_task_stays_in_process(self):
+        # No pool for a one-element grid, even with workers > 1 — a
+        # closure would be fine here precisely because nothing is pickled.
+        assert map_tasks(lambda x: x + 1, [41], workers=4) == [42]
+
+    def test_unpicklable_function_rejected(self):
+        with pytest.raises(ConfigurationError, match="picklable"):
+            map_tasks(lambda x: x, [1, 2], workers=2)
+
+
+class TestRunnerValidation:
+    def test_zero_repetitions_rejected(self):
+        runner = ParallelSweepRunner()
+        with pytest.raises(ConfigurationError):
+            runner.run(
+                name="bad",
+                x_label="x",
+                x_values=[1],
+                make_market=_square,
+                make_algorithms=_square,
+                repetitions=0,
+            )
