@@ -1,0 +1,31 @@
+"""Path shim: lets ``python -m reprolint`` run from the repository root.
+
+The implementation lives in ``tools/reprolint`` (kept out of ``src`` so the
+linter is never importable from library code).  This stub only repoints the
+package ``__path__`` at the real sources; every submodule — including
+``reprolint.__main__`` — then resolves from ``tools/reprolint``.
+
+Equivalent invocation without the shim: ``PYTHONPATH=tools python -m
+reprolint src tests``.
+"""
+
+import os
+
+__path__ = [
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "tools", "reprolint")
+]
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import lint_file, lint_paths, lint_source
+from reprolint.rules import ALL_RULES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "__version__",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

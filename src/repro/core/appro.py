@@ -24,13 +24,14 @@ from typing import Callable, Dict, List, Set, Tuple
 from repro.core.assignment import CachingAssignment, Stopwatch
 from repro.core.virtual_cloudlets import VirtualCloudletSplit
 from repro.gap.greedy import greedy_gap
-from repro.gap.instance import GAPSolution
+from repro.gap.instance import GAPInstance, GAPSolution
 from repro.gap.shmoys_tardos import shmoys_tardos
 from repro.gap.exact import exact_gap
 from repro.market.market import ServiceMarket
+from repro.utils.contracts import invariant_capacity_feasible
 from repro.utils.validation import CAPACITY_EPS
 
-_GAP_SOLVERS: Dict[str, Callable] = {
+_GAP_SOLVERS: Dict[str, Callable[[GAPInstance], GAPSolution]] = {
     "shmoys_tardos": shmoys_tardos,
     "greedy": greedy_gap,
     "exact": exact_gap,
@@ -57,6 +58,7 @@ def _fits(market: ServiceMarket, node: int, load: List[float], pid: int) -> bool
     )
 
 
+@invariant_capacity_feasible()
 def _repair_capacities(
     market: ServiceMarket, placement: Dict[int, int]
 ) -> Tuple[Dict[int, int], Set[int], int]:

@@ -25,16 +25,17 @@ stays remote) only when no cloudlet fits it.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.assignment import CachingAssignment, Stopwatch
 from repro.market.market import ServiceMarket
+from repro.market.service import ServiceProvider
 from repro.network.elements import Cloudlet
 
 
 def _sequential_admission(
     market: ServiceMarket,
-    preference_cost,
+    preference_cost: Callable[[ServiceProvider, Cloudlet, int], float],
 ) -> Tuple[Dict[int, int], Set[int]]:
     """Admit providers in id order; each takes its cheapest feasible cloudlet
     under ``preference_cost(provider, cloudlet, occupancy_if_joining)``."""
@@ -79,7 +80,7 @@ def jo_offload_cache(market: ServiceMarket) -> CachingAssignment:
     """The ``JoOffloadCache`` baseline (see module docstring)."""
     model = market.cost_model
 
-    def myopic_cost(provider, cloudlet: Cloudlet, occupancy: int) -> float:
+    def myopic_cost(provider: ServiceProvider, cloudlet: Cloudlet, occupancy: int) -> float:
         # Joint offloading + caching under static prices: the provider sees
         # the published per-unit congestion prices (occupancy 1, i.e.
         # itself) but not the other providers' simultaneous choices, and
@@ -107,7 +108,7 @@ def offload_cache(market: ServiceMarket) -> CachingAssignment:
 
     network = market.network
 
-    def offload_only_cost(provider, cloudlet: Cloudlet, occupancy: int) -> float:
+    def offload_only_cost(provider: ServiceProvider, cloudlet: Cloudlet, occupancy: int) -> float:
         # Pure offloading optimum: minimum end-to-end delay from the users
         # to the cloudlet; caching (prices, congestion, updates) is decided
         # "later" by simply instantiating where the requests went.

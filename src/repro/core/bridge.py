@@ -8,13 +8,17 @@ capacities are the two-dimensional (compute, bandwidth) cloudlet limits.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.game.congestion import SingletonCongestionGame
 from repro.market.market import ServiceMarket
 
 
-def market_game(market: ServiceMarket, players=None) -> SingletonCongestionGame:
+def market_game(
+    market: ServiceMarket, players: Optional[Sequence[int]] = None
+) -> SingletonCongestionGame:
     """Construct the service-caching congestion game for a market.
 
     ``players`` restricts the game to a subset of provider ids (used when

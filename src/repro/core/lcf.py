@@ -70,7 +70,7 @@ def select_coordinated_lcf(
         )
     eligible = sorted(set(reference.placement) | set(reference.rejected))
     budget = max(0, min(budget, len(eligible)))
-    if budget == 0:
+    if budget == 0:  # reprolint: ok[R2] budget is an integer count of coordinated services
         return []
     if strategy == "random":
         rng = as_rng(rng)

@@ -25,6 +25,10 @@ from repro.market.market import ServiceMarket
 
 _MAX_PROVIDERS = 14
 
+#: Slack subtracted from the incumbent before pruning a branch: keeps
+#: float-accumulation noise from discarding placements that tie the optimum.
+_PRUNE_EPS = 1e-12
+
 
 def optimal_caching(market: ServiceMarket, max_providers: int = _MAX_PROVIDERS) -> CachingAssignment:
     """The socially optimal placement by exhaustive branch-and-bound.
@@ -98,7 +102,7 @@ def optimal_caching(market: ServiceMarket, max_providers: int = _MAX_PROVIDERS) 
 
     def dfs(j: int) -> None:
         nonlocal best_cost, best_assign
-        if partial_cost() + suffix[j] >= best_cost - 1e-12:
+        if partial_cost() + suffix[j] >= best_cost - _PRUNE_EPS:
             return
         if j == n:
             cost = placement_cost(counts, assign)

@@ -24,6 +24,7 @@ from repro.core.assignment import CachingAssignment
 from repro.core.lcf import lcf
 from repro.exceptions import ConfigurationError
 from repro.market.market import ServiceMarket
+from repro.network.elements import Cloudlet
 
 _POLICIES = ("failover", "replan")
 
@@ -56,7 +57,7 @@ class FailureInjector:
     def __init__(self, market: ServiceMarket) -> None:
         self.market = market
 
-    def _surviving_cloudlets(self, failed: Set[int]):
+    def _surviving_cloudlets(self, failed: Set[int]) -> List[Cloudlet]:
         return [
             cl for cl in self.market.network.cloudlets if cl.node_id not in failed
         ]

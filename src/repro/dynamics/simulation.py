@@ -20,7 +20,7 @@ quantify it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -95,7 +95,7 @@ class DynamicMarketSimulation:
         pricing: Optional[Pricing] = None,
         congestion: Optional[CongestionFunction] = None,
         migration_setup_cost: float = 0.1,
-        trace=None,
+        trace: Optional[Callable[[int], float]] = None,
     ) -> None:
         if policy not in _POLICIES:
             raise ConfigurationError(

@@ -33,6 +33,13 @@ class ConvergenceError(ReproError):
     within its iteration budget."""
 
 
+class InvariantViolation(ReproError):
+    """A debug-mode runtime contract failed: an algorithm produced a state
+    that breaks one of the paper's invariants (capacity feasibility,
+    Rosenthal potential descent).  Only raised when the
+    ``REPRO_DEBUG_INVARIANTS=1`` environment flag is set."""
+
+
 class TopologyError(ReproError):
     """A topology generator or network query received invalid parameters."""
 

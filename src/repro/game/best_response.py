@@ -28,6 +28,10 @@ import numpy as np
 from repro.exceptions import ConfigurationError, ConvergenceError, InfeasibleError
 from repro.game.congestion import Profile, SingletonCongestionGame
 from repro.game.engine import CompiledGame, incremental_best_response
+from repro.utils.contracts import (
+    invariant_capacity_feasible,
+    invariant_potential_descends,
+)
 
 _IMPROVEMENT_EPS = 1e-9
 
@@ -123,6 +127,8 @@ def _best_feasible_response(
     return best_r
 
 
+@invariant_capacity_feasible()
+@invariant_potential_descends()
 def best_response_dynamics(
     game: SingletonCongestionGame,
     initial_profile: Mapping[Hashable, Hashable],

@@ -16,7 +16,7 @@ differ in *which* equilibrium is selected.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Mapping, Optional, Set
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set
 
 import numpy as np
 
@@ -30,8 +30,8 @@ def _first_improving_response(
     game: SingletonCongestionGame,
     player: Hashable,
     profile: Profile,
-    loads,
-    occ,
+    loads: Dict[Hashable, np.ndarray],
+    occ: Dict[Hashable, int],
 ) -> Optional[Hashable]:
     """The first feasible resource strictly cheaper than the current one
     (deterministic resource order)."""
@@ -53,8 +53,8 @@ def _best_response(
     game: SingletonCongestionGame,
     player: Hashable,
     profile: Profile,
-    loads,
-    occ,
+    loads: Dict[Hashable, np.ndarray],
+    occ: Dict[Hashable, int],
 ) -> Optional[Hashable]:
     current = profile[player]
     best_cost = game.cost(player, current, occ[current]) - _IMPROVEMENT_EPS

@@ -34,6 +34,12 @@ import numpy as np
 
 from repro.exceptions import InfeasibleError
 from repro.game.congestion import Profile, SingletonCongestionGame
+from repro.utils.contracts import (
+    check_potential_accumulator,
+    invariant_capacity_feasible,
+    invariant_potential_descends,
+    invariants_active,
+)
 from repro.utils.validation import CAPACITY_EPS
 
 #: Minimum strict cost improvement for a move (mirrors best_response.py).
@@ -165,6 +171,8 @@ class CompiledGame:
         return costs
 
 
+@invariant_capacity_feasible()
+@invariant_potential_descends()
 def incremental_best_response(
     game: SingletonCongestionGame,
     initial_profile: Mapping[Hashable, Hashable],
@@ -238,6 +246,10 @@ def incremental_best_response(
             converged = True
             break
 
+    if invariants_active():
+        # The delta updates are exact by the potential property; verify the
+        # accumulator against a from-scratch Rosenthal recomputation.
+        check_potential_accumulator(game, profile, phi)
     return profile, converged, rounds, moves, trace, move_log
 
 

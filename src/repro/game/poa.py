@@ -19,6 +19,7 @@ from repro.game.best_response import best_response_dynamics, greedy_feasible_pro
 from repro.game.congestion import Profile, SingletonCongestionGame
 from repro.game.equilibrium import is_nash_equilibrium
 from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_positive
 
 _ENUM_LIMIT = 2_000_000
 
@@ -106,8 +107,7 @@ def empirical_poa(
     movable: Optional[List[Hashable]] = None,
 ) -> float:
     """Worst-NE social cost divided by the given optimal social cost."""
-    if optimal_cost <= 0:
-        raise ConfigurationError(f"optimal_cost must be positive, got {optimal_cost}")
+    check_positive(optimal_cost, "optimal_cost")
     worst, _ = worst_equilibrium_cost(
         game, exact=exact, trials=trials, rng=rng, movable=movable
     )

@@ -15,8 +15,13 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.gap.instance import GAPInstance, GAPSolution
+from repro.utils.validation import CAPACITY_EPS
 
 _MAX_ITEMS = 20
+
+#: Slack subtracted from the incumbent before pruning a branch: keeps
+#: float-accumulation noise from discarding assignments that tie the optimum.
+_PRUNE_EPS = 1e-12
 
 
 def exact_gap(instance: GAPInstance, max_items: int = _MAX_ITEMS) -> GAPSolution:
@@ -60,7 +65,7 @@ def exact_gap(instance: GAPInstance, max_items: int = _MAX_ITEMS) -> GAPSolution
 
     def dfs(pos: int, cost_so_far: float) -> None:
         nonlocal best_cost, best_assignment
-        if cost_so_far + suffix_bound[pos] >= best_cost - 1e-12:
+        if cost_so_far + suffix_bound[pos] >= best_cost - _PRUNE_EPS:
             return
         if pos == n:
             best_cost = cost_so_far
@@ -73,7 +78,7 @@ def exact_gap(instance: GAPInstance, max_items: int = _MAX_ITEMS) -> GAPSolution
         )
         for i in bins:
             w = instance.weights[j, i]
-            if w <= remaining[i] + 1e-12:
+            if w <= remaining[i] + CAPACITY_EPS:
                 assignment[j] = i
                 remaining[i] -= w
                 dfs(pos + 1, cost_so_far + instance.costs[j, i])

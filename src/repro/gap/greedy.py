@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.exceptions import InfeasibleError
 from repro.gap.instance import GAPInstance, GAPSolution
+from repro.utils.validation import CAPACITY_EPS
 
 
 def greedy_gap(instance: GAPInstance) -> GAPSolution:
@@ -33,7 +34,7 @@ def greedy_gap(instance: GAPInstance) -> GAPSolution:
                 i
                 for i in range(instance.n_bins)
                 if np.isfinite(instance.costs[j, i])
-                and instance.weights[j, i] <= remaining_cap[i] + 1e-12
+                and instance.weights[j, i] <= remaining_cap[i] + CAPACITY_EPS
             ]
             if not feasible:
                 raise InfeasibleError(f"greedy could not place item {j}")

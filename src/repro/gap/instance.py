@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.utils.validation import CAPACITY_EPS
 
 
 class GAPInstance:
@@ -51,11 +52,11 @@ class GAPInstance:
                 f"capacities must have one entry per bin ({costs.shape[1]}), "
                 f"got shape {capacities.shape}"
             )
-        if costs.shape[0] == 0 or costs.shape[1] == 0:
+        if costs.shape[0] == 0 or costs.shape[1] == 0:  # reprolint: ok[R2] array shapes are exact ints
             raise ConfigurationError("instance needs at least one item and one bin")
         if np.any(weights < 0) or np.any(np.isnan(weights)):
             raise ConfigurationError("weights must be non-negative numbers")
-        if np.any(capacities <= 0):
+        if np.any(capacities <= 0):  # reprolint: ok[R2] sign guard, not a feasibility test
             raise ConfigurationError("capacities must be positive")
         if np.any(np.isnan(costs)):
             raise ConfigurationError("costs must not contain NaN")
@@ -76,7 +77,7 @@ class GAPInstance:
         """Whether (item, bin) is assignable: finite cost and weight fits."""
         return bool(
             np.isfinite(self.costs[item, bin_])
-            and self.weights[item, bin_] <= self.capacities[bin_] + 1e-12
+            and self.weights[item, bin_] <= self.capacities[bin_] + CAPACITY_EPS
         )
 
     def allowed_bins(self, item: int) -> List[int]:
@@ -131,7 +132,7 @@ class GAPSolution:
         <= 2 is the Shmoys–Tardos guarantee when all weights fit alone."""
         return float(np.max(self.bin_loads() / self.instance.capacities))
 
-    def is_feasible(self, slack: float = 1e-9) -> bool:
+    def is_feasible(self, slack: float = CAPACITY_EPS) -> bool:
         """Strict feasibility: every bin within its capacity."""
         return bool(np.all(self.bin_loads() <= self.instance.capacities + slack))
 

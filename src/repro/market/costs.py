@@ -96,7 +96,7 @@ class MM1Congestion(CongestionFunction):
     def __call__(self, occupancy: int) -> float:
         if occupancy < 0:
             raise ValueError(f"occupancy must be >= 0, got {occupancy}")
-        if occupancy >= self.capacity:
+        if occupancy >= self.capacity:  # reprolint: ok[R2] integer occupants vs integer M/M/1 slots
             return self.saturation_penalty + occupancy
         return occupancy / (1.0 - occupancy / self.capacity)
 

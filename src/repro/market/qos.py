@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.assignment import CachingAssignment
 from repro.exceptions import ConfigurationError
-from repro.utils.validation import check_non_negative, check_positive
+from repro.utils.validation import CAPACITY_EPS, check_non_negative, check_positive
 
 #: Default motion-to-photon style budget, ms (interactive AR/VR).
 DEFAULT_BUDGET_MS = 50.0
@@ -54,7 +54,7 @@ class ProviderLatency:
 
     @property
     def within_budget(self) -> bool:
-        return self.total_ms <= self.budget_ms + 1e-9
+        return self.total_ms <= self.budget_ms + CAPACITY_EPS
 
 
 @dataclass

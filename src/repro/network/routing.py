@@ -13,9 +13,12 @@ query pattern is many-sources-to-few-destinations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
 import networkx as nx
+
+#: Row value type: delay rows hold floats, hop rows hold ints.
+_V = TypeVar("_V", float, int)
 
 from repro.exceptions import TopologyError
 
@@ -62,7 +65,13 @@ class RoutingTable:
             self._hop_rows[u] = row
         return row
 
-    def _lookup(self, rows, compute_row, u: int, v: int):
+    def _lookup(
+        self,
+        rows: Dict[int, Dict[int, _V]],
+        compute_row: Callable[[int], Dict[int, _V]],
+        u: int,
+        v: int,
+    ) -> Optional[_V]:
         """Answer ``(u, v)`` from a cached row of ``u`` or — on undirected
         graphs — of ``v``; otherwise compute the row for ``v`` (the
         destination side is the small node set under the cost model's

@@ -15,10 +15,9 @@ connectivity and path lengths, which this graph reproduces at the right scale.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import networkx as nx
-import numpy as np
 
 from repro.network.generators import mec_network_from_graph
 from repro.network.topology import MECNetwork
@@ -36,7 +35,7 @@ _SEED = 1755  # fixed: the graph must be identical across runs
 
 def _build_as1755() -> nx.Graph:
     assert sum(_POP_SIZES) == AS1755_NODES
-    rng = np.random.default_rng(_SEED)
+    rng = as_rng(_SEED)
     g = nx.Graph()
 
     pops: List[List[int]] = []
@@ -78,7 +77,7 @@ def _build_as1755() -> nx.Graph:
     return g
 
 
-_AS1755_CACHE: nx.Graph = None
+_AS1755_CACHE: Optional[nx.Graph] = None
 
 
 def as1755() -> nx.Graph:

@@ -46,13 +46,15 @@ class TestbedRun:
     vm_utilization: Dict[str, float]
     #: Byte counters: GB carried per overlay link / underlay cable, keyed
     #: by the same resource ids the flow simulator uses.
-    telemetry: Dict[object, float] = field(default_factory=dict)
+    telemetry: Dict[Hashable, float] = field(default_factory=dict)
 
     @property
     def makespan_s(self) -> float:
         return self.flow_metrics["makespan"]
 
-    def hottest_links(self, top: int = 5, layer: str = "overlay"):
+    def hottest_links(
+        self, top: int = 5, layer: str = "overlay"
+    ) -> List[Tuple[Tuple[Hashable, ...], float]]:
         """The ``top`` busiest links of a layer as ``(endpoints, GB)``.
 
         ``layer`` is ``"overlay"`` (VXLAN tunnels) or ``"underlay"``

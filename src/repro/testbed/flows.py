@@ -152,7 +152,8 @@ class FlowSimulator:
         """
         volumes: Dict[Hashable, float] = {r: 0.0 for r in self.capacities}
         for flow in self.flows:
-            for resource in set(flow.resources):
+            # dict.fromkeys dedups while keeping path order deterministic.
+            for resource in dict.fromkeys(flow.resources):
                 volumes[resource] = volumes.get(resource, 0.0) + flow.volume_gb
         return volumes
 

@@ -1,0 +1,215 @@
+"""Always-on runtime contracts for the paper's invariants.
+
+The test suite checks these properties statistically; this module turns
+them into *contracts* that fire on every call when the environment flag
+``REPRO_DEBUG_INVARIANTS=1`` is set:
+
+* **capacity feasibility** — no resource/cloudlet ends up loaded beyond its
+  capacity plus the shared ``CAPACITY_EPS`` slack (the Eq. 7 split and the
+  repair pass both promise this);
+* **potential descent** — best-response dynamics may never let the
+  Rosenthal potential rise between rounds (Lemma 3), and the incremental
+  engine's per-move accumulator must agree with a from-scratch
+  recomputation (the delta updates are exact, not approximate).
+
+With the flag unset (the default) the decorators cost one dict lookup per
+call, so they stay applied in production code paths.
+
+The checkers are duck-typed on purpose: a *game* subject exposes
+``capacitated``/``loads``/``capacity_of`` (:class:`SingletonCongestionGame`),
+a *market* subject exposes ``network``/``provider``
+(:class:`ServiceMarket`).  Keeping this module free of game/market imports
+avoids dependency cycles — contracts sit below every layer they guard.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Any, Callable, Mapping, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.exceptions import InvariantViolation
+from repro.utils.validation import CAPACITY_EPS
+
+#: Environment variable enabling the contracts.
+ENV_FLAG = "REPRO_DEBUG_INVARIANTS"
+
+#: Relative slack allowed for an apparent potential *increase* between
+#: trace samples: covers float error of from-scratch recomputation without
+#: masking a genuine ascent (every real improving move descends by at least
+#: the engines' 1e-9 improvement threshold).
+POTENTIAL_SLACK = 1e-7
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Extractor signature: ``(args, kwargs, result) -> value``.
+Extractor = Callable[[tuple, dict, Any], Any]
+
+
+def invariants_active() -> bool:
+    """Whether contract checking is switched on (checked per call, so tests
+    can flip the flag without re-importing)."""
+    return os.environ.get(ENV_FLAG, "") == "1"
+
+
+# --------------------------------------------------------------------- #
+# Checkers (callable directly; the decorators wrap these)
+# --------------------------------------------------------------------- #
+def check_profile_capacity(game: Any, profile: Mapping[Any, Any]) -> None:
+    """Every resource's load within capacity + ``CAPACITY_EPS`` (game form)."""
+    if not getattr(game, "capacitated", False):
+        return
+    loads = game.loads(profile)
+    for resource, load in loads.items():
+        capacity = np.asarray(game.capacity_of(resource), dtype=float)
+        excess = np.asarray(load, dtype=float) - capacity
+        if np.any(excess > CAPACITY_EPS):
+            raise InvariantViolation(
+                f"capacity invariant violated on resource {resource!r}: "
+                f"load {np.asarray(load).tolist()} exceeds capacity "
+                f"{capacity.tolist()} beyond CAPACITY_EPS={CAPACITY_EPS}"
+            )
+
+
+def check_placement_capacity(market: Any, placement: Mapping[int, int]) -> None:
+    """Every cloudlet's compute/bandwidth load within capacity (market form)."""
+    loads = {cl.node_id: [0.0, 0.0] for cl in market.network.cloudlets}
+    for pid, node in placement.items():
+        provider = market.provider(pid)
+        loads[node][0] += provider.compute_demand
+        loads[node][1] += provider.bandwidth_demand
+    for cl in market.network.cloudlets:
+        compute, bandwidth = loads[cl.node_id]
+        if (
+            compute > cl.compute_capacity + CAPACITY_EPS
+            or bandwidth > cl.bandwidth_capacity + CAPACITY_EPS
+        ):
+            raise InvariantViolation(
+                f"capacity invariant violated on cloudlet {cl.node_id}: "
+                f"load ({compute}, {bandwidth}) exceeds capacity "
+                f"({cl.compute_capacity}, {cl.bandwidth_capacity}) beyond "
+                f"CAPACITY_EPS={CAPACITY_EPS}"
+            )
+
+
+def check_capacity(subject: Any, profile: Mapping[Any, Any]) -> None:
+    """Dispatch on the subject's shape: game-style or market-style."""
+    if hasattr(subject, "capacitated") and hasattr(subject, "loads"):
+        check_profile_capacity(subject, profile)
+    elif hasattr(subject, "network") and hasattr(subject, "provider"):
+        check_placement_capacity(subject, profile)
+    else:
+        raise InvariantViolation(
+            f"cannot check capacity invariant: subject {type(subject).__name__} "
+            f"is neither a game (capacitated/loads) nor a market (network/provider)"
+        )
+
+
+def check_potential_descends(trace: Sequence[float]) -> None:
+    """The Rosenthal potential never rises between consecutive samples."""
+    for k in range(1, len(trace)):
+        prev, cur = trace[k - 1], trace[k]
+        if cur > prev + POTENTIAL_SLACK * max(1.0, abs(prev)):
+            raise InvariantViolation(
+                f"potential ascent between rounds {k - 1} and {k}: "
+                f"{prev!r} -> {cur!r} (exact-potential descent violated)"
+            )
+
+
+def check_potential_accumulator(game: Any, profile: Mapping[Any, Any], phi: float) -> None:
+    """The engine's delta-maintained potential matches a full recomputation."""
+    recomputed = game.potential(profile)
+    if abs(phi - recomputed) > POTENTIAL_SLACK * max(1.0, abs(recomputed)):
+        raise InvariantViolation(
+            f"potential accumulator drifted: maintained {phi!r}, "
+            f"recomputed {recomputed!r} — a per-move delta update is wrong"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Decorators
+# --------------------------------------------------------------------- #
+def _first_arg(args: tuple, kwargs: dict, result: Any) -> Any:
+    return args[0] if args else None
+
+
+def _profile_of(args: tuple, kwargs: dict, result: Any) -> Any:
+    if hasattr(result, "profile"):
+        return result.profile
+    if hasattr(result, "placement"):
+        return result.placement
+    if isinstance(result, tuple):
+        return result[0]
+    return result
+
+
+def _trace_of(args: tuple, kwargs: dict, result: Any) -> Any:
+    if hasattr(result, "potential_trace"):
+        return result.potential_trace
+    if isinstance(result, tuple):
+        return result[4]
+    return result
+
+
+def invariant_capacity_feasible(
+    get_subject: Extractor = _first_arg,
+    get_profile: Extractor = _profile_of,
+) -> Callable[[F], F]:
+    """Post-condition: the returned profile/placement is capacity-feasible.
+
+    ``get_subject`` extracts the game or market to check against (default:
+    first positional argument); ``get_profile`` extracts the profile from
+    the return value (default: ``.profile`` / ``.placement`` attribute, or
+    the first element of a tuple result).
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = fn(*args, **kwargs)
+            if invariants_active():
+                check_capacity(
+                    get_subject(args, kwargs, result),
+                    get_profile(args, kwargs, result),
+                )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def invariant_potential_descends(
+    get_trace: Extractor = _trace_of,
+) -> Callable[[F], F]:
+    """Post-condition: the returned potential trace is non-increasing."""
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = fn(*args, **kwargs)
+            if invariants_active():
+                trace = get_trace(args, kwargs, result)
+                if trace is not None:
+                    check_potential_descends(trace)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+__all__ = [
+    "ENV_FLAG",
+    "POTENTIAL_SLACK",
+    "check_capacity",
+    "check_placement_capacity",
+    "check_potential_accumulator",
+    "check_potential_descends",
+    "check_profile_capacity",
+    "invariant_capacity_feasible",
+    "invariant_potential_descends",
+    "invariants_active",
+]

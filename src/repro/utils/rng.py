@@ -8,14 +8,14 @@ which the test suite and the benchmark harness rely on.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Final, Union
 
 import numpy as np
 
 #: Anything accepted where randomness is needed.
 RandomSource = Union[int, np.random.Generator, None]
 
-_DEFAULT_SEED = 20200707  # ICDCS 2020 week; arbitrary but fixed.
+_DEFAULT_SEED: Final[int] = 20200707  # ICDCS 2020 week; arbitrary but fixed.
 
 
 def as_rng(source: RandomSource = None) -> np.random.Generator:
@@ -32,7 +32,7 @@ def as_rng(source: RandomSource = None) -> np.random.Generator:
     return np.random.default_rng(int(source))
 
 
-def spawn(rng: np.random.Generator, count: int) -> list:
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``.
 
     Used when an experiment fans out over repetitions that must not share a

@@ -8,6 +8,7 @@ message format, so API misuse surfaces as a library error rather than a bare
 from __future__ import annotations
 
 import math
+from typing import Final
 
 from repro.exceptions import ConfigurationError
 
@@ -16,7 +17,8 @@ from repro.exceptions import ConfigurationError
 #: tolerance (game feasibility, greedy placement, the Appro repair pass,
 #: assignment validation), so a demand that exactly equals the residual
 #: capacity is feasible everywhere or nowhere — never only in some layers.
-CAPACITY_EPS = 1e-9
+#: Enforced mechanically by reprolint rule R2 (see docs/static_analysis.md).
+CAPACITY_EPS: Final[float] = 1e-9
 
 
 def check_positive(value: float, name: str) -> float:

@@ -103,7 +103,7 @@ class TestGAPInstance:
         market = make_market()
         split = VirtualCloudletSplit(market, slot_pricing="marginal")
         inst = split.build_gap_instance()
-        for node in {vc.cloudlet_node for vc in split.virtual_cloudlets}:
+        for node in sorted({vc.cloudlet_node for vc in split.virtual_cloudlets}):
             slots = sorted(
                 (vc for vc in split.virtual_cloudlets if vc.cloudlet_node == node),
                 key=lambda vc: vc.slot,

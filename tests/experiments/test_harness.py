@@ -19,6 +19,10 @@ def make_market(size, seed):
     return generate_market(network, 10, rng=seed + 1)
 
 
+def make_jo_table(_x):
+    return {"Jo": jo_offload_cache}
+
+
 class TestAlgorithmMetrics:
     def test_aggregates_means(self, small_market):
         a = jo_offload_cache(small_market)
@@ -55,7 +59,7 @@ class TestSweep:
             x_label="size",
             x_values=[30, 40],
             make_market=make_market,
-            make_algorithms=lambda _x: {"Jo": jo_offload_cache},
+            make_algorithms=make_jo_table,
             repetitions=2,
         )
         assert result.x_values == [30, 40]
@@ -69,7 +73,7 @@ class TestSweep:
             x_label="size",
             x_values=[30, 40],
             make_market=make_market,
-            make_algorithms=lambda _x: {"Jo": jo_offload_cache},
+            make_algorithms=make_jo_table,
             repetitions=1,
         )
         series = result.series("Jo", "social_cost")

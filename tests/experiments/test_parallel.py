@@ -72,10 +72,12 @@ class TestMapTasks:
     def test_single_task_stays_in_process(self):
         # No pool for a one-element grid, even with workers > 1 — a
         # closure would be fine here precisely because nothing is pickled.
+        # reprolint: ok[R3] single-element grids stay in-process; nothing pickles
         assert map_tasks(lambda x: x + 1, [41], workers=4) == [42]
 
     def test_unpicklable_function_rejected(self):
         with pytest.raises(ConfigurationError, match="picklable"):
+            # reprolint: ok[R3] intentionally unpicklable: exercises the runner's guard
             map_tasks(lambda x: x, [1, 2], workers=2)
 
 

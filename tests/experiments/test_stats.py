@@ -1,6 +1,8 @@
 """Tests for the experiment statistics helpers."""
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 
 from repro.exceptions import ConfigurationError
@@ -24,7 +26,7 @@ class TestMeanCI:
         assert ci.n == 1
 
     def test_more_samples_narrow_the_interval(self):
-        rng = np.random.default_rng(1)
+        rng = as_rng(1)
         small = mean_ci(rng.normal(0, 1, size=5))
         big = mean_ci(rng.normal(0, 1, size=100))
         assert big.half_width < small.half_width
@@ -35,7 +37,7 @@ class TestMeanCI:
 
     def test_coverage_monte_carlo(self):
         """~95% of 95% CIs should cover the true mean."""
-        rng = np.random.default_rng(7)
+        rng = as_rng(7)
         covered = 0
         trials = 300
         for _ in range(trials):
@@ -77,7 +79,7 @@ class TestPairedComparison:
         assert cmp.sign_test_p == 1.0
 
     def test_noisy_tie_is_not_significant(self):
-        rng = np.random.default_rng(3)
+        rng = as_rng(3)
         a = rng.normal(10, 1, size=10)
         b = a + rng.normal(0, 2, size=10)
         cmp = paired_comparison(a, b)

@@ -1,6 +1,8 @@
 """Tests for better-response / random-order dynamics."""
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 
 from repro.exceptions import InfeasibleError
@@ -10,7 +12,7 @@ from repro.game.equilibrium import is_nash_equilibrium
 
 
 def make_game(n_players=6, n_resources=3, seed=1):
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     fixed = rng.uniform(0, 3, size=(n_players, n_resources))
     return SingletonCongestionGame(
         list(range(n_players)),

@@ -14,6 +14,8 @@ move counts, rounds and convergence flags must match exactly.
 """
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 
 from repro.core.bridge import market_game
@@ -77,7 +79,7 @@ def assert_same_dynamics(game, start, movable=None):
 
 class TestSyntheticGames:
     def test_fifty_random_games_agree(self):
-        rng = np.random.default_rng(20200707)
+        rng = as_rng(20200707)
         compared = 0
         attempts = 0
         while compared < 35 and attempts < 120:
@@ -92,7 +94,7 @@ class TestSyntheticGames:
         assert compared == 35
 
     def test_restricted_movable_sets_agree(self):
-        rng = np.random.default_rng(7)
+        rng = as_rng(7)
         for _ in range(8):
             game = random_game(rng)
             try:
@@ -104,7 +106,7 @@ class TestSyntheticGames:
             assert_same_dynamics(game, start, movable=movable)
 
     def test_unknown_engine_rejected(self):
-        game = random_game(np.random.default_rng(3))
+        game = random_game(as_rng(3))
         start = greedy_feasible_profile(game)
         with pytest.raises(ConfigurationError):
             best_response_dynamics(game, start, engine="turbo")
@@ -182,6 +184,7 @@ class TestParallelSweepIdentity:
                 name="bad",
                 x_label="x",
                 x_values=[0, 1],
+                # reprolint: ok[R3] intentionally unpicklable: asserts the helpful error
                 make_market=closure_market,
                 make_algorithms=_tiny_algorithms,
                 repetitions=2,

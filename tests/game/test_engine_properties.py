@@ -13,6 +13,8 @@ the game-theoretic contracts both engines must uphold on *every* run:
 """
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 
 from repro.exceptions import InfeasibleError
@@ -25,7 +27,7 @@ from tests.game.test_engine_equivalence import random_game
 
 def _converging_instances(seed, count):
     """Yield (game, start) pairs with a feasible greedy start."""
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     produced = 0
     attempts = 0
     while produced < count and attempts < 4 * count:
@@ -71,7 +73,7 @@ class TestPotentialInvariants:
             assert is_nash_equilibrium(game, result.profile)
 
     def test_capacities_never_violated(self, engine):
-        rng = np.random.default_rng(404)
+        rng = as_rng(404)
         checked = 0
         attempts = 0
         while checked < 10 and attempts < 60:

@@ -1,6 +1,8 @@
 """Property-based tests for the congestion-game framework."""
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -21,7 +23,7 @@ def games_and_profiles(draw, max_players=6, max_resources=4):
     n_players = draw(st.integers(2, max_players))
     n_resources = draw(st.integers(2, max_resources))
     seed = draw(st.integers(0, 2**31 - 1))
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     shared_coeff = rng.uniform(0.1, 2.0, size=n_resources)
     fixed = rng.uniform(0.0, 5.0, size=(n_players, n_resources))
     resources = list(range(n_resources))

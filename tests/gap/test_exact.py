@@ -3,6 +3,8 @@
 import itertools
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 
 from repro.exceptions import ConfigurationError, InfeasibleError
@@ -23,7 +25,7 @@ def brute_force(inst: GAPInstance) -> float:
 class TestExactGAP:
     def test_matches_brute_force(self):
         for seed in range(6):
-            rng = np.random.default_rng(seed)
+            rng = as_rng(seed)
             inst = GAPInstance(
                 costs=rng.uniform(1, 10, size=(5, 3)),
                 weights=rng.uniform(0.3, 1.0, size=(5, 3)),

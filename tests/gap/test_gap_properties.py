@@ -1,6 +1,8 @@
 """Property-based tests (hypothesis) for the GAP solver suite."""
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -19,7 +21,7 @@ def gap_instances(draw, max_items=7, max_bins=4):
     n_items = draw(st.integers(1, max_items))
     n_bins = draw(st.integers(1, max_bins))
     seed = draw(st.integers(0, 2**31 - 1))
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     cap = float(draw(st.floats(1.0, 4.0)))
     costs = rng.uniform(0.5, 10.0, size=(n_items, n_bins))
     weights = rng.uniform(0.1, cap, size=(n_items, n_bins))

@@ -1,6 +1,8 @@
 """Tests for the greedy GAP heuristic."""
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 
 from repro.exceptions import InfeasibleError
@@ -10,7 +12,7 @@ from repro.gap.instance import GAPInstance
 
 class TestGreedyGAP:
     def test_assigns_all_items(self):
-        rng = np.random.default_rng(1)
+        rng = as_rng(1)
         inst = GAPInstance(
             costs=rng.uniform(1, 10, size=(6, 3)),
             weights=rng.uniform(0.2, 1.0, size=(6, 3)),

@@ -1,6 +1,8 @@
 """Tests for the GAP LP relaxation."""
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 
 from repro.exceptions import InfeasibleError
@@ -29,7 +31,7 @@ class TestLPRelaxation:
         assert np.all(loads <= inst.capacities + 1e-8)
 
     def test_value_is_lower_bound_of_any_integral_solution(self):
-        rng = np.random.default_rng(1)
+        rng = as_rng(1)
         inst = GAPInstance(
             costs=rng.uniform(1, 10, size=(4, 3)),
             weights=rng.uniform(0.2, 1.0, size=(4, 3)),

@@ -1,6 +1,8 @@
 """Tests for the Shmoys–Tardos GAP rounding."""
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 
 from repro.exceptions import InfeasibleError
@@ -20,7 +22,7 @@ def random_instance(rng, n_items, n_bins, cap=2.0):
 
 class TestShmoysTardos:
     def test_assigns_every_item(self):
-        rng = np.random.default_rng(1)
+        rng = as_rng(1)
         inst = random_instance(rng, 8, 3)
         sol = shmoys_tardos(inst)
         assert len(sol.assignment) == 8
@@ -29,7 +31,7 @@ class TestShmoysTardos:
     def test_cost_at_most_lp_value(self):
         # The ST guarantee: rounded cost <= LP optimum.
         for seed in range(8):
-            rng = np.random.default_rng(seed)
+            rng = as_rng(seed)
             inst = random_instance(rng, 10, 4)
             sol = shmoys_tardos(inst)
             lp = solve_lp_relaxation(inst)
@@ -38,7 +40,7 @@ class TestShmoysTardos:
 
     def test_cost_at_most_integral_optimum(self):
         for seed in range(5):
-            rng = np.random.default_rng(100 + seed)
+            rng = as_rng(100 + seed)
             inst = random_instance(rng, 8, 3)
             sol = shmoys_tardos(inst)
             opt = exact_gap(inst)
@@ -47,7 +49,7 @@ class TestShmoysTardos:
     def test_load_below_capacity_plus_max_weight(self):
         # The ST capacity guarantee (the "2" of the paper's ratio).
         for seed in range(8):
-            rng = np.random.default_rng(200 + seed)
+            rng = as_rng(200 + seed)
             inst = random_instance(rng, 12, 4)
             sol = shmoys_tardos(inst)
             loads = sol.bin_loads()
@@ -61,7 +63,7 @@ class TestShmoysTardos:
 
     def test_unit_weight_instance_is_exactly_feasible(self):
         # weight == capacity => one item per bin slot, no 2x violation.
-        rng = np.random.default_rng(3)
+        rng = as_rng(3)
         inst = GAPInstance(
             costs=rng.uniform(1, 5, size=(4, 6)),
             weights=np.ones((4, 6)),
@@ -74,7 +76,7 @@ class TestShmoysTardos:
     def test_unit_weight_matches_exact_optimum(self):
         # With one item per slot the reduction is an assignment problem,
         # which ST solves exactly.
-        rng = np.random.default_rng(4)
+        rng = as_rng(4)
         inst = GAPInstance(
             costs=rng.uniform(1, 9, size=(5, 7)),
             weights=np.ones((5, 7)),
@@ -104,6 +106,6 @@ class TestShmoysTardos:
         assert sol.cost == pytest.approx(1.0)
 
     def test_deterministic(self):
-        rng = np.random.default_rng(5)
+        rng = as_rng(5)
         inst = random_instance(rng, 9, 3)
         assert shmoys_tardos(inst).assignment == shmoys_tardos(inst).assignment

@@ -1,6 +1,8 @@
 """Property-based tests for the cost model (hypothesis)."""
 
 import numpy as np
+
+from repro.utils.rng import as_rng
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -65,7 +67,7 @@ class TestCostModelProperties:
     def test_social_cost_equals_sum_of_player_costs(self, market):
         model = market.cost_model
         cloudlets = market.network.cloudlets
-        rng = np.random.default_rng(0)
+        rng = as_rng(0)
         placement = {
             p.provider_id: cloudlets[int(rng.integers(0, len(cloudlets)))].node_id
             for p in market.providers

@@ -1,0 +1,52 @@
+"""reprolint — project-specific AST lint rules for the repro codebase.
+
+The paper's guarantees (Rosenthal potential descent, the Eq. 7 capacity
+split, the ``2*delta*kappa`` Appro bound) only hold in code when three
+repo-wide disciplines hold:
+
+* every stochastic path goes through :func:`repro.utils.rng.as_rng` /
+  :func:`repro.utils.rng.spawn` (bit-identical replay);
+* every capacity/cost feasibility comparison uses the shared
+  ``CAPACITY_EPS`` slack (an epsilon mismatch between layers silently
+  flips equilibria);
+* everything handed to ``ParallelSweepRunner`` pickles.
+
+reprolint enforces those disciplines mechanically.  Run it as::
+
+    python -m reprolint src tests
+
+Rules
+-----
+R1  raw-random        ``random.*`` / ``np.random.default_rng`` /
+                      ``np.random.seed`` outside ``utils/rng.py``
+R2  capacity-epsilon  bare float ``==``/``<=``/``>=`` against
+                      capacity/load/cost/budget expressions
+R3  sweep-pickle      lambdas / closures passed as sweep builders
+R4  stable-order      mutable default arguments; iteration over
+                      ``set(...)`` of players/cloudlets/resources
+R5  rng-plumbing      public stochastic APIs without an ``rng``/``seed``
+                      parameter
+R0  suppression       a ``# reprolint: ok`` escape hatch without a
+                      justification
+
+Suppress a diagnostic with an inline comment carrying a reason::
+
+    occ[r] <= capacity  # reprolint: ok[R2] occupancy counts are exact ints
+
+See ``docs/static_analysis.md`` for the full rule catalogue.
+"""
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import lint_file, lint_paths, lint_source
+from reprolint.rules import ALL_RULES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "__version__",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,6 @@
+"""Entry point: ``python -m reprolint [paths...]``."""
+
+from reprolint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""``python -m reprolint`` command line."""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from reprolint.engine import lint_paths
+from reprolint.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Project-specific AST lint for the repro codebase: determinism "
+            "(R1/R5), capacity-epsilon discipline (R2), sweep picklability "
+            "(R3) and stable iteration order (R4)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (e.g. R1,R2); default: all",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print a per-rule diagnostic count after the findings",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = ["reprolint rules:"]
+    for cls in ALL_RULES:
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"  {cls.rule_id}  {cls.symbol:<18} {doc}")
+    lines.append("  R0  suppression        '# reprolint: ok' comments must carry a reason")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    rules = args.select.split(",") if args.select else None
+    diagnostics = lint_paths(args.paths, rules=rules)
+    for diag in diagnostics:
+        print(diag.format())
+    if args.statistics and diagnostics:
+        counts: dict = {}
+        for diag in diagnostics:
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        for rule in sorted(counts):
+            print(f"{counts[rule]:5d}  {rule}")
+    if diagnostics:
+        n = len(diagnostics)
+        print(f"reprolint: {n} finding{'s' if n != 1 else ''}")
+        return 1
+    return 0
+
+
+__all__ = ["main"]

@@ -1,0 +1,32 @@
+"""Diagnostic records emitted by reprolint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, pointing at a source location.
+
+    ``rule`` is the short rule id (``"R1"`` .. ``"R5"``, or ``"R0"`` for
+    suppression hygiene); ``symbol`` is the human-readable rule slug shown
+    next to the id (``raw-random``, ``capacity-epsilon``, ...).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    symbol: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}[{self.symbol}] {self.message}"
+
+
+__all__ = ["Diagnostic"]

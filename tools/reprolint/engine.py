@@ -1,0 +1,100 @@
+"""File discovery, rule execution and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Type
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.rules import ALL_RULES
+from reprolint.rules.base import LintContext, Rule
+from reprolint.suppress import SuppressionTable, parse_suppressions
+
+#: Directory names never descended into.
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build", "dist"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file() and p.suffix == ".py":
+            yield p
+        elif p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    yield sub
+
+
+def _select(rules: Optional[Sequence[str]]) -> List[Type[Rule]]:
+    if not rules:
+        return list(ALL_RULES)
+    wanted = {r.upper() for r in rules}
+    return [cls for cls in ALL_RULES if cls.rule_id in wanted]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string; the core entry point the CLI and tests share."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="E0",
+                symbol="syntax-error",
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext.build(path, source, tree)
+    table = parse_suppressions(source)
+
+    diagnostics: List[Diagnostic] = []
+    for rule_cls in _select(rules):
+        for diag in rule_cls(ctx).run():
+            if not table.covers(diag.line, diag.rule):
+                diagnostics.append(diag)
+    diagnostics.extend(_suppression_hygiene(path, table))
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics
+
+
+def _suppression_hygiene(path: str, table: SuppressionTable) -> List[Diagnostic]:
+    """R0: every escape hatch needs a written justification."""
+    return [
+        Diagnostic(
+            path=path,
+            line=sup.line,
+            col=1,
+            rule="R0",
+            symbol="suppression",
+            message=(
+                "'# reprolint: ok' without a justification; state why the "
+                "rule does not apply, e.g. '# reprolint: ok[R2] integer slots'"
+            ),
+        )
+        for sup in table.unjustified()
+    ]
+
+
+def lint_file(path: Path, rules: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), rules=rules)
+
+
+def lint_paths(paths: Sequence[str], rules: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diagnostics.extend(lint_file(path, rules=rules))
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics
+
+
+__all__ = ["iter_python_files", "lint_file", "lint_paths", "lint_source"]

@@ -1,0 +1,26 @@
+"""Rule registry.
+
+Each rule is a subclass of :class:`reprolint.rules.base.Rule`; the engine
+instantiates every entry of :data:`ALL_RULES` per file.  Order here is the
+order diagnostics tie-break on equal locations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from reprolint.rules.base import Rule
+from reprolint.rules.rng import RawRandomRule, RngPlumbingRule
+from reprolint.rules.epsilon import CapacityEpsilonRule
+from reprolint.rules.pickling import SweepPickleRule
+from reprolint.rules.mutability import StableOrderRule
+
+ALL_RULES: List[Type[Rule]] = [
+    RawRandomRule,
+    CapacityEpsilonRule,
+    SweepPickleRule,
+    StableOrderRule,
+    RngPlumbingRule,
+]
+
+__all__ = ["ALL_RULES", "Rule"]

@@ -1,0 +1,137 @@
+"""Shared infrastructure for reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterator, List, Set
+
+from reprolint.diagnostics import Diagnostic
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may want to know about the file under analysis."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: ``True`` for ``repro/utils/rng.py`` — the one module allowed to touch
+    #: ``numpy.random`` constructors directly.
+    is_rng_module: bool = False
+    #: ``True`` for files under a ``tests``/``benchmarks`` tree or named
+    #: ``test_*.py`` — rule R5 (public-API rng plumbing) does not apply there.
+    is_test_file: bool = False
+    #: Names bound to the ``numpy`` module in this file (``numpy``, ``np``).
+    numpy_aliases: Set[str] = field(default_factory=set)
+    #: Names bound to the ``numpy.random`` module (``from numpy import random``).
+    numpy_random_aliases: Set[str] = field(default_factory=set)
+    #: Names bound to the stdlib ``random`` module.
+    stdlib_random_aliases: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, path: str, source: str, tree: ast.Module) -> "LintContext":
+        posix = PurePosixPath(path.replace("\\", "/"))
+        parts = posix.parts
+        ctx = cls(
+            path=path,
+            source=source,
+            tree=tree,
+            is_rng_module=posix.name == "rng.py" and "utils" in parts,
+            is_test_file=(
+                "tests" in parts
+                or "benchmarks" in parts
+                or posix.name.startswith("test_")
+                or posix.name == "conftest.py"
+            ),
+        )
+        ctx._collect_imports()
+        return ctx
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        if alias.name == "numpy.random" and alias.asname:
+                            self.numpy_random_aliases.add(alias.asname)
+                        else:
+                            self.numpy_aliases.add(bound)
+                    elif alias.name == "random":
+                        self.stdlib_random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.numpy_random_aliases.add(alias.asname or "random")
+
+    # ------------------------------------------------------------------ #
+    # Shared AST helpers
+    # ------------------------------------------------------------------ #
+    def is_numpy_random_expr(self, node: ast.expr) -> bool:
+        """Does ``node`` denote the ``numpy.random`` module object?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.numpy_random_aliases
+        if isinstance(node, ast.Attribute):
+            return node.attr == "random" and (
+                isinstance(node.value, ast.Name) and node.value.id in self.numpy_aliases
+            )
+        return False
+
+
+def identifier_tokens(node: ast.expr) -> Iterator[str]:
+    """Every identifier spelled inside an expression, lower-cased.
+
+    Both bare names and attribute components count, so a heuristic match on
+    ``capacity`` sees ``cl.compute_capacity`` as well as ``capacity``.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id.lower()
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr.lower()
+        elif isinstance(sub, ast.keyword) and sub.arg:
+            yield sub.arg.lower()
+
+
+def called_names(node: ast.expr) -> Iterator[str]:
+    """Names of functions called anywhere inside an expression."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            fn = sub.func
+            if isinstance(fn, ast.Name):
+                yield fn.id
+            elif isinstance(fn, ast.Attribute):
+                yield fn.attr
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: a rule is a NodeVisitor that collects diagnostics."""
+
+    rule_id: str = "R?"
+    symbol: str = "unnamed"
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.diagnostics: List[Diagnostic] = []
+
+    def run(self) -> List[Diagnostic]:
+        self.visit(self.ctx.tree)
+        return self.diagnostics
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=self.rule_id,
+                symbol=self.symbol,
+                message=message,
+            )
+        )
+
+
+__all__ = ["LintContext", "Rule", "called_names", "identifier_tokens"]

@@ -1,0 +1,94 @@
+"""R2 (capacity-epsilon): feasibility comparisons must share one slack.
+
+Every layer of the stack answers "does this demand still fit?"; if one
+layer tests ``load + d <= capacity`` exactly while another allows
+``CAPACITY_EPS`` of slack, a demand equal to the residual capacity is
+feasible in one layer and infeasible in the next — precisely the kind of
+epsilon disagreement that flips equilibria in competitive-caching models.
+
+The rule is a name heuristic: a bare ``==``/``<=``/``>=`` comparison where
+either operand mentions a capacity-ish identifier (``capacity``, ``load``,
+``cost``, ``budget``, ``demand``) is flagged, unless the comparison already
+involves an epsilon/tolerance term or an ``isclose``-style call.  Exact
+integer comparisons (occupancy counts, slot indices) are legitimate — mark
+them with ``# reprolint: ok[R2] <why>``.
+
+``assert`` statements inside test files are exempt: a test oracle is
+allowed to be *stricter* than the library (pinning exact round-trips,
+checking a solver never uses its slack), and flagging every such assertion
+would bury the real findings.  Library code gets no such exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Set
+
+from reprolint.rules.base import Rule, called_names, identifier_tokens
+
+#: Operand identifiers that make a comparison "capacity-like".  ``cap``/
+#: ``caps`` only count as their own underscore-delimited word so that e.g.
+#: ``escape`` or ``capture`` stay out of scope.
+_CAPACITY_TOKEN_RE = re.compile(r"capacit|(?:^|_)caps?(?:_|$)|load|budget|cost")
+
+#: Identifiers whose presence shows the comparison already carries slack.
+_EPSILON_TOKEN_RE = re.compile(r"eps|tol|slack")
+
+#: Calls that already encode tolerant comparison.
+_TOLERANT_CALLS: Set[str] = {"isclose", "allclose", "isfinite", "approx"}
+
+_CHECKED_OPS = (ast.Eq, ast.LtE, ast.GtE)
+
+
+class CapacityEpsilonRule(Rule):
+    """R2: flag exact float comparisons on capacity/cost expressions."""
+
+    rule_id = "R2"
+    symbol = "capacity-epsilon"
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if self.ctx.is_test_file:
+            return  # test oracles may be deliberately exact
+        self.generic_visit(node)
+
+    def _operand_is_trivial(self, node: ast.expr) -> bool:
+        """Constants compare exactly by design (e.g. ``cost == 0.0`` guards)
+        only when *both* sides are constant — a single constant side still
+        usually means a capacity threshold and stays flagged."""
+        return isinstance(node, ast.Constant)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        # Tokens and tolerance evidence are judged over the whole comparison:
+        # ``load <= cap + EPS`` exempts via the right-hand epsilon term.
+        all_tokens = [t for op in operands for t in identifier_tokens(op)]
+        has_capacity_token = any(_CAPACITY_TOKEN_RE.search(t) for t in all_tokens)
+        if has_capacity_token:
+            has_slack = any(_EPSILON_TOKEN_RE.search(t) for t in all_tokens) or any(
+                name in _TOLERANT_CALLS
+                for op in operands
+                for name in called_names(op)
+            )
+            if not has_slack:
+                for op_node, (lhs, rhs) in zip(
+                    node.ops, zip(operands[:-1], operands[1:])
+                ):
+                    if not isinstance(op_node, _CHECKED_OPS):
+                        continue
+                    if self._operand_is_trivial(lhs) and self._operand_is_trivial(rhs):
+                        continue
+                    pretty = {"Eq": "==", "LtE": "<=", "GtE": ">="}[
+                        type(op_node).__name__
+                    ]
+                    self.report(
+                        node,
+                        f"exact float '{pretty}' on a capacity/cost expression; "
+                        f"compare with repro.utils.validation.CAPACITY_EPS slack "
+                        f"(or mark integer semantics with '# reprolint: ok[R2] ...')",
+                    )
+                    break  # one diagnostic per comparison is enough
+        self.generic_visit(node)
+
+
+__all__ = ["CapacityEpsilonRule"]

@@ -1,0 +1,104 @@
+"""R4 (stable-order): mutable defaults and order-sensitive set iteration.
+
+Equilibrium code is order-sensitive by construction: best-response dynamics
+visit players in a fixed round-robin order, tie-breaks take the *first*
+minimum, and the potential trace is replayed bit-for-bit in tests.  Two
+Python habits quietly break that determinism:
+
+* mutable default arguments (``def f(x, acc=[])``) — shared state across
+  calls, and a classic source of run-order-dependent results;
+* iterating a ``set`` of players/cloudlets/resources — set iteration order
+  depends on insertion history and hash seeding of the element type, so
+  ``for p in set(players)`` visits players in an unstable order.  Sets are
+  fine for membership tests; iterate lists, or wrap in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from reprolint.rules.base import Rule, identifier_tokens
+
+#: Entity names whose iteration order is semantically load-bearing.
+_ENTITY_TOKEN_RE = re.compile(r"player|cloudlet|resource|provider|service|node")
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "defaultdict", "deque"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _set_valued(node: ast.expr) -> bool:
+    """Is this expression syntactically a set?  (``set(...)`` calls, set
+    literals/comprehensions, and set-algebra over those.)"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+    ):
+        return _set_valued(node.left) or _set_valued(node.right)
+    return False
+
+
+class StableOrderRule(Rule):
+    """R4: mutable defaults anywhere; set iteration over game entities."""
+
+    rule_id = "R4"
+    symbol = "stable-order"
+
+    def _check_defaults(self, node: ast.FunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self.report(
+                    default,
+                    f"mutable default argument in '{node.name}'; use None and "
+                    f"construct inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_default(default):
+                self.report(default, "mutable default argument in lambda")
+        self.generic_visit(node)
+
+    def _check_iteration(self, iter_expr: ast.expr) -> None:
+        if not _set_valued(iter_expr):
+            return
+        tokens = list(identifier_tokens(iter_expr))
+        if any(_ENTITY_TOKEN_RE.search(t) for t in tokens):
+            self.report(
+                iter_expr,
+                "iteration over a set of players/cloudlets/resources has "
+                "unstable order; iterate the original sequence or sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+
+__all__ = ["StableOrderRule"]

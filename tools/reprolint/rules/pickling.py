@@ -1,0 +1,114 @@
+"""R3 (sweep-pickle): sweep builders must cross the process-pool boundary.
+
+``ParallelSweepRunner`` fans tasks over a ``ProcessPoolExecutor``; every
+builder stored on a :class:`PointTask` is pickled into the workers.
+Lambdas, closures and local functions pickle by qualified name and fail the
+moment ``workers > 1`` — often long after the code was written, on someone
+else's machine.  The runner has a runtime guard; this rule catches the
+mistake at review time.
+
+Heuristic: a lambda (anywhere), a name bound to a lambda, or a name bound
+to a *locally defined* function is flagged when passed to a sweep-shaped
+call — ``map_tasks``, ``PointTask``, a ``.run(...)`` on a receiver whose
+name mentions ``runner``/``sweep``, or any call site using the builder
+keywords (``make_market``, ``make_algorithms``, ``seed_fn``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from reprolint.rules.base import Rule
+
+#: Direct callee names that take builders.
+_SWEEP_CALLEES: Set[str] = {"map_tasks", "PointTask", "run_sweep", "submit_sweep"}
+
+#: Keyword argument names that always carry a pool-crossing callable.
+_BUILDER_KEYWORDS: Set[str] = {
+    "make_market",
+    "make_algorithms",
+    "make_network",
+    "seed_fn",
+    "task_fn",
+    "builder",
+}
+
+#: Receiver-name fragments that mark ``<recv>.run(...)`` as a sweep call.
+_RUNNER_NAME_FRAGMENTS = ("runner", "sweep", "pool")
+
+
+def _is_sweep_call(node: ast.Call) -> bool:
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return fn.id in _SWEEP_CALLEES
+    if isinstance(fn, ast.Attribute):
+        if fn.attr in _SWEEP_CALLEES:
+            return True
+        if fn.attr in {"run", "map"} and isinstance(fn.value, ast.Name):
+            recv = fn.value.id.lower()
+            return any(frag in recv for frag in _RUNNER_NAME_FRAGMENTS)
+    return False
+
+
+class SweepPickleRule(Rule):
+    """R3: lambdas/closures handed to the parallel sweep machinery."""
+
+    rule_id = "R3"
+    symbol = "sweep-pickle"
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        #: Function-nesting depth; > 0 means "inside a function body".
+        self._depth = 0
+        #: Names known to be unpicklable callables, by kind.
+        self._local_defs: Dict[str, str] = {}
+
+    # ------------------------------ scope tracking ------------------------------ #
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._depth > 0:
+            self._local_defs[node.name] = "locally defined function"
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Lambda):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    self._local_defs[tgt.id] = "lambda"
+        self.generic_visit(node)
+
+    # ------------------------------ call checking ------------------------------ #
+    def _unpicklable_kind(self, arg: ast.expr) -> Optional[str]:
+        if isinstance(arg, ast.Lambda):
+            return "lambda"
+        if isinstance(arg, ast.Name) and arg.id in self._local_defs:
+            return self._local_defs[arg.id]
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        sweep_call = _is_sweep_call(node)
+        suspects: List[ast.expr] = []
+        if sweep_call:
+            suspects.extend(node.args)
+            suspects.extend(kw.value for kw in node.keywords if kw.value is not None)
+        else:
+            suspects.extend(
+                kw.value for kw in node.keywords if kw.arg in _BUILDER_KEYWORDS
+            )
+        for arg in suspects:
+            kind = self._unpicklable_kind(arg)
+            if kind is not None:
+                self.report(
+                    arg,
+                    f"{kind} passed as a sweep builder cannot be pickled into "
+                    f"ProcessPoolExecutor workers; use a module-level function "
+                    f"or functools.partial",
+                )
+        self.generic_visit(node)
+
+
+__all__ = ["SweepPickleRule"]

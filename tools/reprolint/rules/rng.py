@@ -1,0 +1,211 @@
+"""R1 (raw-random) and R5 (rng-plumbing): determinism discipline.
+
+Replayability is load-bearing here: the parallel sweep harness promises
+bit-identical results for a fixed seed, which only holds when every
+stochastic path is fed from :func:`repro.utils.rng.as_rng` /
+:func:`repro.utils.rng.spawn`.  A single ``np.random.default_rng()`` buried
+in a helper silently forks an uncontrolled stream.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from reprolint.rules.base import Rule
+
+#: ``numpy.random`` attributes that are fine to name anywhere: types used in
+#: annotations/isinstance checks, and ``SeedSequence`` (the deterministic
+#: spawn-key mixer ``sweep_task_seed`` is built on — it consumes no stream).
+_NUMPY_RANDOM_ALLOWED: Set[str] = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",  # only as a *type*; constructing one is caught via Call
+}
+
+#: Parameter names that count as rng/seed plumbing for R5.
+_PLUMBING_PARAMS: Set[str] = {
+    "rng",
+    "seed",
+    "base_seed",
+    "random_source",
+    "rng_or_seed",
+    "random_state",
+}
+
+#: Local names assumed to hold a Generator when methods are called on them.
+_RNG_RECEIVER_NAMES: Set[str] = {"rng", "gen", "generator", "random_state", "child", "sub_rng"}
+
+#: Generator draw methods that consume the stream.
+_DRAW_METHODS: Set[str] = {
+    "binomial",
+    "choice",
+    "exponential",
+    "geometric",
+    "integers",
+    "lognormal",
+    "normal",
+    "pareto",
+    "permutation",
+    "permuted",
+    "poisson",
+    "random",
+    "shuffle",
+    "standard_normal",
+    "uniform",
+    "zipf",
+}
+
+
+class RawRandomRule(Rule):
+    """R1: raw randomness outside ``utils/rng.py``.
+
+    Flags ``import random`` / ``from random import ...``, any attribute use
+    of a stdlib-``random`` alias, and any ``numpy.random`` attribute outside
+    the allow-list above (``default_rng``, ``seed``, legacy draws, ...).
+    ``utils/rng.py`` itself is exempt — it is the one sanctioned wrapper.
+    """
+
+    rule_id = "R1"
+    symbol = "raw-random"
+
+    _FIX = "route randomness through repro.utils.rng.as_rng/spawn"
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self.ctx.is_rng_module:
+            for alias in node.names:
+                if alias.name == "random":
+                    self.report(node, f"import of stdlib 'random'; {self._FIX}")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self.ctx.is_rng_module and node.level == 0 and node.module == "random":
+            self.report(node, f"import from stdlib 'random'; {self._FIX}")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.ctx.is_rng_module:
+            return  # sanctioned module; don't even recurse for R1
+        # stdlib random usage: ``random.<anything>`` on a tracked alias.
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id in self.ctx.stdlib_random_aliases
+        ):
+            self.report(node, f"stdlib random.{node.attr}; {self._FIX}")
+        # numpy.random usage outside the type allow-list.
+        elif self.ctx.is_numpy_random_expr(node.value):
+            if node.attr not in _NUMPY_RANDOM_ALLOWED:
+                self.report(node, f"numpy.random.{node.attr}; {self._FIX}")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # RandomState is tolerated as a type name but never as a constructor.
+        if self.ctx.is_rng_module:
+            return
+        fn = node.func
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "RandomState"
+            and self.ctx.is_numpy_random_expr(fn.value)
+        ):
+            self.report(node, f"legacy numpy.random.RandomState(); {self._FIX}")
+        self.generic_visit(node)
+
+
+class _StochasticUseFinder(ast.NodeVisitor):
+    """Finds the first stream-consuming expression inside one function body,
+    without descending into nested function definitions."""
+
+    def __init__(self) -> None:
+        self.first: Optional[ast.AST] = None
+        self.what: str = ""
+
+    def _note(self, node: ast.AST, what: str) -> None:
+        if self.first is None:
+            self.first = node
+            self.what = what
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are separate scopes; R5 checks them on their own
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id in {"as_rng", "spawn"}:
+            self._note(node, f"{fn.id}(...)")
+        elif (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in _DRAW_METHODS
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id in _RNG_RECEIVER_NAMES
+        ):
+            self._note(node, f"{fn.value.id}.{fn.attr}(...)")
+        self.generic_visit(node)
+
+
+class RngPlumbingRule(Rule):
+    """R5: public stochastic APIs must accept ``rng``/``seed``.
+
+    A module-level public function (or public method) that consumes
+    randomness — calls ``as_rng``/``spawn`` or draws from a local ``rng``
+    object — without any rng/seed-like parameter cannot be replayed by its
+    caller.  Private helpers (leading underscore) and test files are exempt:
+    the rule is about API surface, not internals.
+    """
+
+    rule_id = "R5"
+    symbol = "rng-plumbing"
+
+    def _check_function(self, node: ast.FunctionDef) -> None:
+        if node.name.startswith("_"):
+            return
+        args = node.args
+        names = {
+            a.arg
+            for a in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        }
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        if names & _PLUMBING_PARAMS:
+            return
+        if "self" in names or "cls" in names:
+            # Methods may carry the generator as object state (self.rng);
+            # attribute receivers are not flagged by the finder anyway, but
+            # constructors storing seeds also count as plumbing.
+            pass
+        finder = _StochasticUseFinder()
+        for stmt in node.body:
+            finder.visit(stmt)
+        if finder.first is not None:
+            self.report(
+                finder.first,
+                f"public API '{node.name}' uses randomness ({finder.what}) but has "
+                f"no rng/seed parameter; thread a repro.utils.rng.RandomSource through",
+            )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if self.ctx.is_test_file or self.ctx.is_rng_module:
+            return
+        # Only module-level functions and class methods are API surface;
+        # nested local functions are internals and stay out of scope.
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._check_function(sub)
+
+
+__all__ = ["RawRandomRule", "RngPlumbingRule"]

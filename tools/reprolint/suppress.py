@@ -1,0 +1,98 @@
+"""The ``# reprolint: ok`` escape hatch.
+
+Grammar (one comment per physical line)::
+
+    # reprolint: ok <reason>            suppress every rule on this line
+    # reprolint: ok[R1] <reason>        suppress rule R1 on this line
+    # reprolint: ok[R1,R4] <reason>     suppress several rules
+
+A suppression applies to the physical line it sits on.  When the comment is
+the only thing on its line, it applies to the *next* physical line instead,
+so long conditions can keep their suppression above them.
+
+Every suppression must carry a reason — the justification is the contract
+that makes the escape hatch reviewable.  A bare ``# reprolint: ok`` without
+trailing text is itself reported as an R0 diagnostic by the engine.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+#: Matches the escape-hatch comment anywhere in a line's trailing comment.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*ok(?:\[(?P<rules>[A-Za-z0-9 ,]+)\])?(?P<reason>[^\n]*)"
+)
+
+#: Suppress every rule on the line.
+ALL_RULES_TOKEN = "*"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# reprolint: ok`` comment."""
+
+    line: int
+    #: Rule ids suppressed (upper-case), or ``frozenset({"*"})`` for all.
+    rules: FrozenSet[str]
+    #: Free-text justification after the marker (stripped); empty = unjustified.
+    reason: str
+    #: The physical line the suppression targets (itself, or the next line
+    #: when the comment stands alone).
+    target_line: int
+
+
+@dataclass
+class SuppressionTable:
+    """All suppressions of one file, keyed by the line they silence."""
+
+    by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+    all: List[Suppression] = field(default_factory=list)
+
+    def covers(self, line: int, rule: str) -> bool:
+        for sup in self.by_line.get(line, ()):
+            if ALL_RULES_TOKEN in sup.rules or rule.upper() in sup.rules:
+                return True
+        return False
+
+    def unjustified(self) -> List[Suppression]:
+        return [s for s in self.all if not s.reason]
+
+
+def _parse_one(line_no: int, text: str) -> Optional[Suppression]:
+    m = _SUPPRESS_RE.search(text)
+    if m is None:
+        return None
+    raw_rules = m.group("rules")
+    if raw_rules is None:
+        rules = frozenset({ALL_RULES_TOKEN})
+    else:
+        rules = frozenset(r.strip().upper() for r in raw_rules.split(",") if r.strip())
+    reason = (m.group("reason") or "").strip(" \t-—:")
+    code_before = text[: m.start()].strip()
+    target = line_no if code_before else line_no + 1
+    return Suppression(line=line_no, rules=rules, reason=reason, target_line=target)
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    """Scan raw source text for escape-hatch comments.
+
+    A plain string scan (rather than the tokenizer) is enough here: the
+    marker is distinctive, and false positives inside string literals would
+    only ever *widen* suppression on lines that also carry a real marker.
+    """
+    table = SuppressionTable()
+    for i, text in enumerate(source.splitlines(), start=1):
+        if "reprolint" not in text:
+            continue
+        sup = _parse_one(i, text)
+        if sup is None:
+            continue
+        table.all.append(sup)
+        table.by_line.setdefault(sup.target_line, []).append(sup)
+    return table
+
+
+__all__ = ["ALL_RULES_TOKEN", "Suppression", "SuppressionTable", "parse_suppressions"]
