@@ -19,7 +19,10 @@ that capacities far exceed individual demands, the repair is a no-op.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Set, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.core.assignment import CachingAssignment, Stopwatch
 from repro.core.virtual_cloudlets import VirtualCloudletSplit
@@ -27,6 +30,7 @@ from repro.gap.greedy import greedy_gap
 from repro.gap.instance import GAPInstance, GAPSolution
 from repro.gap.shmoys_tardos import shmoys_tardos
 from repro.gap.exact import exact_gap
+from repro.market.compiled import CompiledMarket, resolve_compiled
 from repro.market.market import ServiceMarket
 from repro.utils.contracts import invariant_capacity_feasible
 from repro.utils.validation import CAPACITY_EPS
@@ -60,14 +64,25 @@ def _fits(market: ServiceMarket, node: int, load: List[float], pid: int) -> bool
 
 @invariant_capacity_feasible()
 def _repair_capacities(
-    market: ServiceMarket, placement: Dict[int, int]
+    market: ServiceMarket,
+    placement: Dict[int, int],
+    compiled: Optional[CompiledMarket] = None,
 ) -> Tuple[Dict[int, int], Set[int], int]:
     """Evict overflow services and re-place (or reject) them.
 
     Within an overloaded cloudlet, the largest services leave first — they
     free the most capacity per eviction, keeping the approximate solution's
     structure as intact as possible. Returns (placement, rejected, moves).
+
+    With a :class:`CompiledMarket` the per-cloudlet loads live in one
+    ``(m, 2)`` array, built once and maintained incrementally through both
+    the eviction and the re-placement phase; candidate filtering and the
+    cheapest-cloudlet pick are vectorised over the gap-cost table. Eviction
+    order, feasibility comparisons and tie-breaking match the object path
+    exactly.
     """
+    if compiled is not None:
+        return _repair_capacities_compiled(market, placement, compiled)
     loads = _loads(market, placement)
     evicted: List[int] = []
     for cl in market.network.cloudlets:
@@ -116,11 +131,56 @@ def _repair_capacities(
     return placement, rejected, moves
 
 
+def _repair_capacities_compiled(
+    market: ServiceMarket, placement: Dict[int, int], cm: CompiledMarket
+) -> Tuple[Dict[int, int], Set[int], int]:
+    """Array-state twin of :func:`_repair_capacities` (same moves)."""
+    loads = cm.load_matrix(placement)
+    gap = cm.gap_costs()
+    evicted: List[int] = []
+    for col, node in enumerate(cm.cloudlet_nodes):
+        members = sorted(
+            (pid for pid, n in placement.items() if n == node),
+            key=lambda pid: -max(
+                float(cm.demand[cm.provider_index[pid], 0]),
+                float(cm.demand[cm.provider_index[pid], 1]),
+            ),
+        )
+        k = 0
+        while (
+            loads[col, 0] > cm.capacity[col, 0] + CAPACITY_EPS
+            or loads[col, 1] > cm.capacity[col, 1] + CAPACITY_EPS
+        ) and k < len(members):
+            pid = members[k]
+            k += 1
+            loads[col] -= cm.demand[cm.provider_index[pid]]
+            del placement[pid]
+            evicted.append(pid)
+
+    rejected: Set[int] = set()
+    moves = 0
+    for pid in evicted:
+        row = cm.provider_index[pid]
+        candidates = np.flatnonzero(cm.fits_mask(row, loads))
+        if candidates.size == 0:
+            rejected.add(pid)
+            continue
+        # First minimum among the candidates in cloudlet order — the same
+        # pick as min(candidates, key=gap_cost) on the object path.
+        best = int(candidates[np.argmin(gap[row, candidates])])
+        placement[pid] = cm.cloudlet_nodes[best]
+        loads[best] += cm.demand[row]
+        moves += 1
+    return placement, rejected, moves
+
+
 def appro(
     market: ServiceMarket,
     gap_solver: str = "shmoys_tardos",
     allow_remote: bool = False,
     slot_pricing: str = "marginal",
+    representation: str = "compiled",
+    compiled: Optional[CompiledMarket] = None,
 ) -> CachingAssignment:
     """Run Algorithm 1 on a market.
 
@@ -129,6 +189,17 @@ def appro(
     gap_solver:
         ``"shmoys_tardos"`` (the paper's choice), ``"greedy"`` or
         ``"exact"`` — the latter two support ablation A4.
+    representation:
+        ``"compiled"`` (default) builds the GAP instance and runs the
+        repair from the market's array-backed
+        :class:`~repro.market.compiled.CompiledMarket` and assembles the
+        GAP LP from the instance arrays in bulk; ``"object"`` queries the
+        cost model object graph and keeps the per-pair LP assembly — the
+        reference path the differential tests compare against. Both
+        produce the identical assignment.
+    compiled:
+        An explicit precompiled market (e.g. shipped to a sweep worker);
+        default compiles on demand and caches on the market instance.
     allow_remote:
         Give the GAP a remote ("do not cache") bin: services for which
         remote serving is genuinely cheaper — or that no virtual cloudlet
@@ -152,15 +223,31 @@ def appro(
         raise ValueError(
             f"unknown gap_solver {gap_solver!r}; choose from {sorted(_GAP_SOLVERS)}"
         ) from None
+    cm = resolve_compiled(market, representation, compiled)
+    if gap_solver == "shmoys_tardos":
+        # The object representation keeps the whole pre-compiled pipeline,
+        # including the per-pair LP assembly; the relaxation (and hence the
+        # rounding) is bit-identical either way.
+        solve = partial(
+            shmoys_tardos, assemble="vectorized" if cm is not None else "scalar"
+        )
+    elif gap_solver == "greedy":
+        # Same split for the greedy heuristic: whole-array regret rounds on
+        # the compiled path, the per-item reference loop on the object path.
+        solve = partial(
+            greedy_gap, mode="vectorized" if cm is not None else "scalar"
+        )
 
     with Stopwatch() as watch:
         split = VirtualCloudletSplit(
             market, allow_remote=allow_remote, slot_pricing=slot_pricing
         )
-        instance = split.build_gap_instance()
+        instance = split.build_gap_instance(compiled=cm)
         solution: GAPSolution = solve(instance)
         placement, gap_rejected = split.merge_assignment(solution.assignment)
-        placement, repair_rejected, moves = _repair_capacities(market, placement)
+        placement, repair_rejected, moves = _repair_capacities(
+            market, placement, compiled=cm
+        )
 
     return CachingAssignment(
         market=market,

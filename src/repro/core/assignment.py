@@ -74,19 +74,27 @@ class CachingAssignment:
         return self.market.cost_model.occupancy(self.placement)
 
     def provider_cost(self, provider_id: int) -> float:
-        """The provider's cost: Eq. (3) if cached, remote cost if rejected."""
-        provider = self.market.provider(provider_id)
+        """The provider's cost: Eq. (3) if cached, remote cost if rejected.
+
+        Evaluated from the market's compiled tables (bit-equal to the
+        cost-model evaluation; the blob is cached, so repeated queries are
+        table lookups).
+        """
+        cm = self.market.compile()
         if provider_id in self.rejected:
-            return self.market.cost_model.remote_cost(provider)
-        return self.market.cost_model.provider_cost(provider, self.placement)
+            return cm.remote_cost(provider_id)
+        return cm.provider_cost(provider_id, self.placement)
 
     @property
     def social_cost(self) -> float:
-        """Eq. (6) over cached providers plus remote costs of rejected ones."""
-        model = self.market.cost_model
-        providers = self.market.providers_by_id()
-        total = model.social_cost(providers, self.placement)
-        total += sum(model.remote_cost(providers[pid]) for pid in self.rejected)
+        """Eq. (6) over cached providers plus remote costs of rejected ones.
+
+        Uses the compiled tables; ``CostModel.social_cost`` remains the
+        object-graph oracle the equivalence tests compare against.
+        """
+        cm = self.market.compile()
+        total = cm.social_cost(self.placement)
+        total += sum(cm.remote_cost(pid) for pid in self.rejected)
         return total
 
     def cost_of(self, provider_ids: Iterable[int]) -> float:

@@ -27,7 +27,10 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.assignment import CachingAssignment, Stopwatch
+from repro.market.compiled import CompiledMarket, resolve_compiled
 from repro.market.market import ServiceMarket
 from repro.market.service import ServiceProvider
 from repro.network.elements import Cloudlet
@@ -76,9 +79,49 @@ def _sequential_admission(
     return placement, rejected
 
 
-def jo_offload_cache(market: ServiceMarket) -> CachingAssignment:
-    """The ``JoOffloadCache`` baseline (see module docstring)."""
+def _sequential_admission_compiled(
+    cm: CompiledMarket, preference: np.ndarray
+) -> Tuple[Dict[int, int], Set[int]]:
+    """Array-state twin of :func:`_sequential_admission`.
+
+    ``preference`` is a precomputed ``(n, m)`` cost table — both baselines'
+    preferences are occupancy-independent, which is what makes them
+    tabulable up front. Admission order, the capacity/admissibility
+    filters and the strict first-minimum pick match the object path.
+    """
+    loads = np.zeros((cm.n_cloudlets, 2))
+    placement: Dict[int, int] = {}
+    rejected: Set[int] = set()
+
+    for i, pid in enumerate(cm.provider_ids):
+        mask = cm.fits_mask(i, loads) & np.isfinite(cm.fixed[i])
+        candidates = np.flatnonzero(mask)
+        if candidates.size == 0:
+            rejected.add(pid)
+            continue
+        # np.argmin returns the first minimum — the same cloudlet the
+        # object path's strict `cost < best_cost` scan settles on.
+        best = int(candidates[np.argmin(preference[i, candidates])])
+        if not preference[i, best] < np.inf:
+            rejected.add(pid)
+            continue
+        placement[pid] = cm.cloudlet_nodes[best]
+        loads[best] += cm.demand[i]
+    return placement, rejected
+
+
+def jo_offload_cache(
+    market: ServiceMarket,
+    representation: str = "compiled",
+    compiled: Optional[CompiledMarket] = None,
+) -> CachingAssignment:
+    """The ``JoOffloadCache`` baseline (see module docstring).
+
+    ``representation="object"`` selects the cost-model reference path used
+    as the differential-testing oracle; both produce identical assignments.
+    """
     model = market.cost_model
+    cm = resolve_compiled(market, representation, compiled)
 
     def myopic_cost(provider: ServiceProvider, cloudlet: Cloudlet, occupancy: int) -> float:
         # Joint offloading + caching under static prices: the provider sees
@@ -92,7 +135,16 @@ def jo_offload_cache(market: ServiceMarket) -> CachingAssignment:
         )
 
     with Stopwatch() as watch:
-        placement, rejected = _sequential_admission(market, myopic_cost)
+        if cm is not None:
+            # The same three terms, tabulated: published congestion price
+            # (occupancy 1) + instantiation + access, added in the same
+            # order as `myopic_cost` so the entries are bit-equal.
+            preference = (
+                (cm.coeff * cm.g[1])[None, :] + cm.instantiation[:, None]
+            ) + cm.access
+            placement, rejected = _sequential_admission_compiled(cm, preference)
+        else:
+            placement, rejected = _sequential_admission(market, myopic_cost)
     return CachingAssignment(
         market=market,
         placement=placement,
@@ -102,11 +154,18 @@ def jo_offload_cache(market: ServiceMarket) -> CachingAssignment:
     )
 
 
-def offload_cache(market: ServiceMarket) -> CachingAssignment:
-    """The ``OffloadCache`` baseline (see module docstring)."""
-    model = market.cost_model
+def offload_cache(
+    market: ServiceMarket,
+    representation: str = "compiled",
+    compiled: Optional[CompiledMarket] = None,
+) -> CachingAssignment:
+    """The ``OffloadCache`` baseline (see module docstring).
 
+    ``representation="object"`` selects the network-query reference path
+    used as the differential-testing oracle.
+    """
     network = market.network
+    cm = resolve_compiled(market, representation, compiled)
 
     def offload_only_cost(provider: ServiceProvider, cloudlet: Cloudlet, occupancy: int) -> float:
         # Pure offloading optimum: minimum end-to-end delay from the users
@@ -115,7 +174,10 @@ def offload_cache(market: ServiceMarket) -> CachingAssignment:
         return network.path_delay(provider.service.user_node, cloudlet.node_id)
 
     with Stopwatch() as watch:
-        placement, rejected = _sequential_admission(market, offload_only_cost)
+        if cm is not None:
+            placement, rejected = _sequential_admission_compiled(cm, cm.user_delay)
+        else:
+            placement, rejected = _sequential_admission(market, offload_only_cost)
     return CachingAssignment(
         market=market,
         placement=placement,

@@ -8,22 +8,40 @@ capacities are the two-dimensional (compute, bandwidth) cloudlet limits.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.game.congestion import SingletonCongestionGame
+from repro.game.engine import CompiledGame
 from repro.market.market import ServiceMarket
 
 
+def _compiled_game_view(
+    market: ServiceMarket, game: SingletonCongestionGame
+) -> CompiledGame:
+    """``compiled_factory`` hook: slice the market-wide compiled tables
+    instead of re-evaluating the cost callables pair by pair."""
+    return CompiledGame.from_market(market.compile(), game)
+
+
 def market_game(
-    market: ServiceMarket, players: Optional[Sequence[int]] = None
+    market: ServiceMarket,
+    players: Optional[Sequence[int]] = None,
+    use_compiled: bool = True,
 ) -> SingletonCongestionGame:
     """Construct the service-caching congestion game for a market.
 
     ``players`` restricts the game to a subset of provider ids (used when
     some providers were rejected and stay out of the market); default is the
     full population ``N``.
+
+    ``use_compiled`` (default) installs a ``compiled_factory`` so
+    ``game.compile()`` slices the market's cached
+    :class:`~repro.market.compiled.CompiledMarket` tables; ``False`` leaves
+    the game to build its own tables from the cost callables — the
+    pre-compiled reference path (bit-equal tables either way).
     """
     model = market.cost_model
     net = market.network
@@ -44,7 +62,7 @@ def market_game(
 
     if players is None:
         players = [p.provider_id for p in market.providers]
-    return SingletonCongestionGame(
+    game = SingletonCongestionGame(
         players=list(players),
         resources=[cl.node_id for cl in net.cloudlets],
         shared_cost=shared,
@@ -52,6 +70,9 @@ def market_game(
         demand=demand,
         capacity=capacity,
     )
+    if use_compiled:
+        game.compiled_factory = partial(_compiled_game_view, market)
+    return game
 
 
 __all__ = ["market_game"]

@@ -43,6 +43,7 @@ from repro.core.bridge import market_game
 from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.game.best_response import ENGINES, best_response_dynamics
 from repro.game.equilibrium import is_nash_equilibrium
+from repro.market.compiled import CompiledMarket
 from repro.market.market import ServiceMarket
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_fraction
@@ -109,6 +110,8 @@ def lcf(
     slot_pricing: str = "marginal",
     information: str = "posted_price",
     engine: str = "incremental",
+    representation: str = "compiled",
+    compiled: Optional[CompiledMarket] = None,
 ) -> LCFResult:
     """Run Algorithm 2 with coordination fraction ``xi`` (so ``1 - xi`` of
     the providers behave selfishly, the x-axis of Fig. 3/6a).
@@ -120,6 +123,15 @@ def lcf(
     ``"incremental"`` (compiled cost tables, vectorised entry scans and
     delta-maintained best-response state) or ``"naive"`` (the reference
     per-resource Python loops). Both produce identical placements.
+
+    ``representation`` selects the instance representation for the leader
+    phase (Appro's GAP build and repair): ``"compiled"`` (default, the
+    shared :class:`~repro.market.compiled.CompiledMarket` — the follower
+    phase's game tables are then sliced from the same blob) or
+    ``"object"`` (the cost-model reference path: per-pair GAP build and LP
+    assembly, and game tables re-evaluated from the cost callables).
+    ``compiled`` optionally supplies a precompiled market (e.g. shipped to
+    a sweep worker).
 
     Marks the market's providers as coordinated/selfish accordingly, so the
     returned assignment's :attr:`coordinated_cost` / :attr:`selfish_cost`
@@ -139,6 +151,8 @@ def lcf(
             gap_solver=gap_solver,
             allow_remote=allow_remote,
             slot_pricing=slot_pricing,
+            representation=representation,
+            compiled=compiled,
         )
         budget = market.coordination_budget(xi)
         coordinated_ids = select_coordinated_lcf(
@@ -167,7 +181,8 @@ def lcf(
         # sheet only (occupancy term at its face value of one unit); under
         # "full" it sees the live occupancy it would join.
         rejected: Set[int] = set(pinned_remote)
-        game_all = market_game(market)
+        use_compiled = representation == "compiled"
+        game_all = market_game(market, use_compiled=use_compiled)
         placed_selfish: List[int] = []
         posted = information == "posted_price"
         # With the remote option open, "not to cache" competes with every
@@ -218,7 +233,7 @@ def lcf(
                 loads[best_node] = loads.get(best_node, d * 0.0) + d
                 placed_selfish.append(pid)
 
-        game = market_game(market, players=list(profile))
+        game = market_game(market, players=list(profile), use_compiled=use_compiled)
         if posted:
             # Posted-price choices are dominant strategies (no player's
             # evaluated cost depends on others), so the profile is already

@@ -21,7 +21,9 @@ import numpy as np
 
 from repro.core.assignment import CachingAssignment, Stopwatch
 from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.market.compiled import CompiledMarket
 from repro.market.market import ServiceMarket
+from repro.utils.validation import CAPACITY_EPS
 
 _MAX_PROVIDERS = 14
 
@@ -30,8 +32,17 @@ _MAX_PROVIDERS = 14
 _PRUNE_EPS = 1e-12
 
 
-def optimal_caching(market: ServiceMarket, max_providers: int = _MAX_PROVIDERS) -> CachingAssignment:
+def optimal_caching(
+    market: ServiceMarket,
+    max_providers: int = _MAX_PROVIDERS,
+    compiled: Optional[CompiledMarket] = None,
+) -> CachingAssignment:
     """The socially optimal placement by exhaustive branch-and-bound.
+
+    The search tables (fixed costs, congestion coefficients and factors,
+    demands and capacities) come from the market's compiled view — the
+    entries are exactly the cost-model evaluations this function used to
+    tabulate itself, so results are unchanged.
 
     Raises :class:`ConfigurationError` for markets larger than
     ``max_providers`` and :class:`InfeasibleError` when no complete feasible
@@ -45,16 +56,12 @@ def optimal_caching(market: ServiceMarket, max_providers: int = _MAX_PROVIDERS) 
         )
     cloudlets = market.network.cloudlets
     m = len(cloudlets)
-    model = market.cost_model
+    cm = compiled if compiled is not None else market.compile()
 
-    fixed = np.array(
-        [[model.fixed_cost(p, cl) for cl in cloudlets] for p in providers]
-    )
-    shared = np.array([cl.alpha + cl.beta for cl in cloudlets])
-    # congestion factors g(1..n) per cloudlet are shared across players.
-    g = np.array(
-        [[model.congestion(k) for k in range(n + 1)] for _ in range(1)]
-    )[0]
+    fixed = cm.fixed
+    shared = cm.coeff
+    # congestion factors g(0..n) are shared across players and cloudlets.
+    g = cm.g
 
     # Admissible per-provider floor: cheapest fixed cost + the cheapest
     # possible congestion charge (occupancy 1 on the least congested
@@ -64,12 +71,8 @@ def optimal_caching(market: ServiceMarket, max_providers: int = _MAX_PROVIDERS) 
     for j in range(n - 1, -1, -1):
         suffix[j] = suffix[j + 1] + per_provider_floor[j]
 
-    caps = np.array(
-        [[cl.compute_capacity, cl.bandwidth_capacity] for cl in cloudlets]
-    )
-    demands = np.array(
-        [[p.compute_demand, p.bandwidth_demand] for p in providers]
-    )
+    caps = cm.capacity
+    demands = cm.demand
 
     best_cost = np.inf
     best_assign: Optional[List[int]] = None
@@ -112,7 +115,7 @@ def optimal_caching(market: ServiceMarket, max_providers: int = _MAX_PROVIDERS) 
             return
         order = np.argsort(fixed[j])
         for i in order:
-            if np.any(loads[i] + demands[j] > caps[i] + 1e-9):
+            if np.any(loads[i] + demands[j] > caps[i] + CAPACITY_EPS):
                 continue
             assign[j] = int(i)
             counts[i] += 1

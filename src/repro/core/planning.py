@@ -25,7 +25,12 @@ from repro.utils.validation import check_positive
 
 @contextmanager
 def scaled_capacities(market: ServiceMarket, scale: float) -> Iterator[None]:
-    """Temporarily multiply every cloudlet's capacities by ``scale``."""
+    """Temporarily multiply every cloudlet's capacities by ``scale``.
+
+    The compiled view caches capacity vectors, so it is dropped both when
+    entering (the scaled capacities must be recompiled) and when leaving
+    (the restored ones must be, too).
+    """
     check_positive(scale, "scale")
     originals: List[Tuple[float, float]] = []
     cloudlets = market.network.cloudlets
@@ -33,12 +38,14 @@ def scaled_capacities(market: ServiceMarket, scale: float) -> Iterator[None]:
         originals.append((cl.compute_capacity, cl.bandwidth_capacity))
         cl.compute_capacity *= scale
         cl.bandwidth_capacity *= scale
+    market.invalidate_compiled()
     try:
         yield
     finally:
         for cl, (cpu, bw) in zip(cloudlets, originals):
             cl.compute_capacity = cpu
             cl.bandwidth_capacity = bw
+        market.invalidate_compiled()
 
 
 @dataclass

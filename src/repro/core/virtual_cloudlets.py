@@ -31,12 +31,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.gap.instance import GAPInstance
+from repro.market.compiled import CompiledMarket
 from repro.market.market import ServiceMarket
 
 
@@ -150,9 +151,19 @@ class VirtualCloudletSplit:
             raise ConfigurationError("split was built without a remote bin")
         return len(self.virtual_cloudlets)
 
-    def build_gap_instance(self) -> GAPInstance:
+    def build_gap_instance(
+        self, compiled: Optional[CompiledMarket] = None
+    ) -> GAPInstance:
         """Items = providers (in id order), bins = virtual cloudlets, plus
-        the remote bin when ``allow_remote`` is set."""
+        the remote bin when ``allow_remote`` is set.
+
+        With a :class:`CompiledMarket` the cost matrix is assembled from
+        the precomputed tables (one broadcast add per pricing mode) instead
+        of querying the cost model per (provider, slot) pair; the entries
+        are bit-equal because both paths add/multiply the same doubles.
+        """
+        if compiled is not None:
+            return self._build_gap_instance_compiled(compiled)
         providers = self.market.providers
         n = len(providers)
         m = len(self.virtual_cloudlets) + (1 if self.allow_remote else 0)
@@ -184,6 +195,40 @@ class VirtualCloudletSplit:
                     costs[j, vc.index] = marginal + model.fixed_cost(provider, cloudlet)
             if self.allow_remote:
                 costs[j, self.remote_bin] = model.remote_cost(provider)
+        capacities = np.array(
+            [vc.capacity for vc in self.virtual_cloudlets]
+            + ([n * self.slot_capacity] if self.allow_remote else [])
+        )
+        return GAPInstance(costs=costs, weights=weights, capacities=capacities)
+
+    def _build_gap_instance_compiled(self, cm: CompiledMarket) -> GAPInstance:
+        """Table-backed :meth:`build_gap_instance` (same instance, no
+        per-pair cost-model calls)."""
+        n = cm.n_providers
+        n_virtual = len(self.virtual_cloudlets)
+        m = n_virtual + (1 if self.allow_remote else 0)
+        costs = np.zeros((n, m))
+        weights = np.full((n, m), self.slot_capacity)
+        if n_virtual:
+            cols = np.array(
+                [cm.cloudlet_index[vc.cloudlet_node] for vc in self.virtual_cloudlets],
+                dtype=np.int64,
+            )
+            if self.slot_pricing == "flat":
+                # Eq. (9): (alpha_i + beta_i) + fixed, per slot column.
+                costs[:, :n_virtual] = cm.coeff[cols][None, :] + cm.fixed[:, cols]
+            else:
+                # Marginal congestion increment of slot k (see the object
+                # path above): (alpha_i + beta_i) * (k*g(k) - (k-1)*g(k-1)).
+                marg = np.empty(n_virtual)
+                for t, vc in enumerate(self.virtual_cloudlets):
+                    k = vc.slot + 1
+                    marg[t] = cm.coeff[cols[t]] * (
+                        k * cm.g_at(k) - (k - 1) * cm.g_at(k - 1)
+                    )
+                costs[:, :n_virtual] = marg[None, :] + cm.fixed[:, cols]
+        if self.allow_remote:
+            costs[:, self.remote_bin] = cm.remote
         capacities = np.array(
             [vc.capacity for vc in self.virtual_cloudlets]
             + ([n * self.slot_capacity] if self.allow_remote else [])

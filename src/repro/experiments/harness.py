@@ -167,6 +167,7 @@ def sweep(
     repetitions: int,
     workers: Optional[int] = None,
     seed_fn: Optional[Callable[[int, int], int]] = None,
+    precompile: bool = False,
 ) -> SweepResult:
     """Run a full sweep.
 
@@ -188,6 +189,11 @@ def sweep(
     seed_fn:
         ``(x_index, rep) -> seed`` override; defaults to
         :func:`legacy_point_seed` (common random numbers across points).
+    precompile:
+        Build and compile every task's market up front in the parent
+        process; workers then receive the array-backed
+        :class:`~repro.market.compiled.CompiledMarket` blob with the task
+        instead of re-running ``make_market``. Metrics are identical.
     """
     from repro.experiments.parallel import ParallelSweepRunner
 
@@ -200,6 +206,7 @@ def sweep(
         make_algorithms=make_algorithms,
         repetitions=repetitions,
         seed_fn=seed_fn if seed_fn is not None else legacy_point_seed,
+        precompile=precompile,
     )
 
 

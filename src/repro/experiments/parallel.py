@@ -32,7 +32,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 import numpy as np
@@ -116,7 +116,14 @@ def map_tasks(
 
 @dataclass(frozen=True)
 class PointTask:
-    """One cell of the sweep grid (picklable)."""
+    """One cell of the sweep grid (picklable).
+
+    ``market`` optionally carries the cell's environment prebuilt (and,
+    with ``precompile``, already compiled into its array-backed
+    :class:`~repro.market.compiled.CompiledMarket`, which pickles along
+    with it): the worker then starts from the finished tables instead of
+    rebuilding the market from the builder.
+    """
 
     x_index: int
     rep: int
@@ -124,6 +131,7 @@ class PointTask:
     seed: int
     make_market: Callable[[object, int], ServiceMarket]
     make_algorithms: Callable[[object], AlgorithmTable]
+    market: Optional[ServiceMarket] = None
 
 
 def run_point_task(task: PointTask) -> Dict[str, AssignmentRecord]:
@@ -133,7 +141,7 @@ def run_point_task(task: PointTask) -> Dict[str, AssignmentRecord]:
     algorithms run in table order (LCF first — its coordinated/selfish
     marking must be in place before the baselines' cost splits are read).
     """
-    market = task.make_market(task.x, task.seed)
+    market = task.market if task.market is not None else task.make_market(task.x, task.seed)
     algorithms = task.make_algorithms(task.x)
     records: Dict[str, AssignmentRecord] = {}
     for name, run in algorithms.items():
@@ -161,7 +169,15 @@ class ParallelSweepRunner:
         make_algorithms: Callable[[object], AlgorithmTable],
         repetitions: int,
         seed_fn: Optional[Callable[[int, int], int]] = None,
+        precompile: bool = False,
     ) -> SweepResult:
+        """Run the grid; see :func:`repro.experiments.harness.sweep`.
+
+        ``precompile=True`` builds every task's market in the parent and
+        compiles it before dispatch, so workers receive one array-backed
+        blob per cell instead of re-running the builder. Results are
+        identical either way (same seed, same market, same tables).
+        """
         if repetitions < 1:
             raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
         seed_of = seed_fn if seed_fn is not None else legacy_point_seed
@@ -177,6 +193,13 @@ class ParallelSweepRunner:
             for xi, x in enumerate(x_values)
             for rep in range(repetitions)
         ]
+        if precompile:
+            prebuilt = []
+            for task in tasks:
+                market = make_market(task.x, task.seed)
+                market.compile()
+                prebuilt.append(replace(task, market=market))
+            tasks = prebuilt
         results = map_tasks(run_point_task, tasks, workers=self.workers)
 
         points: List[Dict[str, AlgorithmMetrics]] = []

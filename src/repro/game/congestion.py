@@ -22,12 +22,25 @@ a strategy is feasible when the residual capacity admits the demand.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 import numpy as np
 
 from repro.exceptions import CapacityError, ConfigurationError
 from repro.utils.validation import CAPACITY_EPS
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (engine imports us)
+    from repro.game.engine import CompiledGame
 
 #: A pure strategy profile: player id -> resource id.
 Profile = Dict[Hashable, Hashable]
@@ -82,6 +95,14 @@ class SingletonCongestionGame:
         self._fixed = fixed_cost
         self._demand = demand
         self._capacity = capacity
+        #: Optional hook replacing the generic table build in :meth:`compile`
+        #: — the market bridge installs one that slices the market-wide
+        #: :class:`~repro.market.compiled.CompiledMarket` instead of
+        #: re-evaluating the cost callables pair by pair.
+        self.compiled_factory: Optional[
+            Callable[["SingletonCongestionGame"], "CompiledGame"]
+        ] = None
+        self._compiled_cache: Optional["CompiledGame"] = None
 
     # ------------------------------------------------------------------ #
     # Costs
@@ -206,10 +227,19 @@ class SingletonCongestionGame:
         incremental best-response engine: all ``fixed_cost`` /
         ``shared_cost`` / ``demand`` / ``capacity`` evaluations are done
         once up front and later queries are vectorised array lookups.
-        """
-        from repro.game.engine import CompiledGame
 
-        return CompiledGame(self)
+        The result is cached on the game (the cost structure is immutable
+        once constructed); a :attr:`compiled_factory`, when installed,
+        supplies the tables instead of the generic per-pair build.
+        """
+        if self._compiled_cache is None:
+            if self.compiled_factory is not None:
+                self._compiled_cache = self.compiled_factory(self)
+            else:
+                from repro.game.engine import CompiledGame
+
+                self._compiled_cache = CompiledGame(self)
+        return self._compiled_cache
 
 
 __all__ = ["Profile", "SingletonCongestionGame"]

@@ -28,12 +28,15 @@ down differentially on randomized markets.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import InfeasibleError
+from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.game.congestion import Profile, SingletonCongestionGame
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (market.compiled is upstream)
+    from repro.market.compiled import CompiledMarket
 from repro.utils.contracts import (
     check_potential_accumulator,
     invariant_capacity_feasible,
@@ -103,6 +106,45 @@ class CompiledGame:
             self.capacity = None
             self.demand = None
 
+    @classmethod
+    def from_market(
+        cls, cm: "CompiledMarket", game: SingletonCongestionGame
+    ) -> "CompiledGame":
+        """Build the game's tables as slices of a :class:`CompiledMarket`.
+
+        The market-bridged game (see :func:`repro.core.bridge.market_game`)
+        uses provider ids as players and cloudlet node ids as resources, so
+        its tables are row/column selections of the market-wide ones — no
+        cost-model re-evaluation at all. Entries are bit-equal to what
+        ``CompiledGame(game)`` would compute: the fixed table is the same
+        memoised ``fixed_cost`` value, and the shared table is the same
+        IEEE product ``(alpha_i + beta_i) * g(k)`` of the same two doubles.
+        """
+        try:
+            rows = [cm.provider_index[p] for p in game.players]
+            cols = [cm.cloudlet_index[r] for r in game.resources]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"game player/resource {exc.args[0]!r} is not part of the compiled market"
+            ) from None
+
+        self = cls.__new__(cls)
+        self.game = game
+        self.players = list(game.players)
+        self.resources = list(game.resources)
+        self.player_index = {p: i for i, p in enumerate(self.players)}
+        self.resource_index = {r: j for j, r in enumerate(self.resources)}
+        n, m = len(rows), len(cols)
+
+        self.fixed = cm.fixed[np.ix_(rows, cols)]
+        self.shared = np.zeros((m, n + 1), dtype=float)
+        self.shared[:, 1:] = cm.coeff[cols, None] * cm.g[None, 1 : n + 1]
+        self.capacity = cm.capacity[cols].copy()
+        self.demand = np.broadcast_to(
+            cm.demand[rows][:, None, :], (n, m, cm.demand.shape[1])
+        )
+        return self
+
     # ------------------------------------------------------------------ #
     # State construction
     # ------------------------------------------------------------------ #
@@ -170,6 +212,29 @@ class CompiledGame:
         costs[~self.feasible_mask(player_idx, loads)] = np.inf
         return costs
 
+    def social_cost(self, profile: Mapping[Hashable, Hashable]) -> float:
+        """Eq. (6) evaluated from the tables.
+
+        One vectorised gather of the per-player terms, folded left-to-right
+        in profile order — bit-equal to ``game.social_cost(profile)``.
+        """
+        if not profile:
+            return 0.0
+        rows = np.fromiter(
+            (self.player_index[p] for p in profile), dtype=np.int64, count=len(profile)
+        )
+        cols = np.fromiter(
+            (self.resource_index[r] for r in profile.values()),
+            dtype=np.int64, count=len(profile),
+        )
+        occ = np.zeros(self.n_resources, dtype=np.int64)
+        np.add.at(occ, cols, 1)
+        terms = self.shared[cols, occ[cols]] + self.fixed[rows, cols]
+        total = 0.0
+        for t in terms.tolist():
+            total += t
+        return total
+
 
 @invariant_capacity_feasible()
 @invariant_potential_descends()
@@ -206,7 +271,7 @@ def incremental_best_response(
     move_log: List[Tuple[Hashable, Hashable, Hashable, float]] = []
 
     if move_order:
-        c = compiled if compiled is not None else CompiledGame(game)
+        c = compiled if compiled is not None else game.compile()
         occ = c.occupancy_vector(profile)
         loads = c.load_matrix(profile)
         strat = {p: c.resource_index[profile[p]] for p in move_order}

@@ -61,11 +61,15 @@ def worst_equilibrium_cost(
     best-response dynamics from ``trials`` random feasible starts and keeps
     the costliest converged equilibrium.
     """
+    # One compilation serves every trial: the social-cost evaluations below
+    # are table gathers (bit-equal to game.social_cost) and the dynamics
+    # reuse the same tables instead of rebuilding them per start.
+    compiled = game.compile()
     if exact:
         worst_cost = -np.inf
         worst_profile: Optional[Profile] = None
         for eq in enumerate_equilibria(game, movable=movable):
-            c = game.social_cost(eq)
+            c = compiled.social_cost(eq)
             if c > worst_cost:
                 worst_cost = c
                 worst_profile = eq
@@ -84,12 +88,12 @@ def worst_equilibrium_cost(
             start = greedy_feasible_profile(game, order=order, players=order)
         except InfeasibleError:
             continue
-        result = best_response_dynamics(game, start, movable=move_set)
+        result = best_response_dynamics(game, start, movable=move_set, compiled=compiled)
         if not result.converged:
             continue
         if not is_nash_equilibrium(game, result.profile, movable=move_set):
             continue
-        c = game.social_cost(result.profile)
+        c = compiled.social_cost(result.profile)
         if c > worst_cost:
             worst_cost = c
             worst_profile = result.profile

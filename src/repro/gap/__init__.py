@@ -10,17 +10,19 @@ measure empirical ratios.
 """
 
 from repro.gap.instance import GAPInstance, GAPSolution
-from repro.gap.lp import solve_lp_relaxation, LPRelaxationResult
+from repro.gap.lp import ASSEMBLIES, solve_lp_relaxation, LPRelaxationResult
 from repro.gap.shmoys_tardos import shmoys_tardos
-from repro.gap.greedy import greedy_gap
+from repro.gap.greedy import MODES as GREEDY_MODES, greedy_gap
 from repro.gap.exact import exact_gap
 
 __all__ = [
+    "ASSEMBLIES",
     "GAPInstance",
     "GAPSolution",
     "solve_lp_relaxation",
     "LPRelaxationResult",
     "shmoys_tardos",
     "greedy_gap",
+    "GREEDY_MODES",
     "exact_gap",
 ]

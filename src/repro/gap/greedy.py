@@ -4,6 +4,15 @@ Used as a fast fallback inside the experiment harness and as a comparator in
 ablation A4. Items are assigned in order of largest *regret* (difference
 between their two cheapest feasible bins): items that are most penalised by
 losing their best bin commit first.
+
+Two implementations of the identical selection rule are provided (mirroring
+the LP assembly split in :mod:`repro.gap.lp`): ``mode="vectorized"``
+evaluates every round's feasibility mask, cheapest/second-cheapest bins and
+regrets as whole-array numpy operations; ``mode="scalar"`` is the original
+per-item Python loop, kept verbatim as the reference the differential tests
+compare against. Both walk items in ascending index order and resolve regret
+ties towards the lowest item (and cost ties towards the lowest bin), so they
+produce the same assignment bin for bin.
 """
 
 from __future__ import annotations
@@ -12,15 +21,17 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.exceptions import InfeasibleError
+from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.gap.instance import GAPInstance, GAPSolution
 from repro.utils.validation import CAPACITY_EPS
 
+#: Valid ``mode`` values, fastest first.
+MODES = ("vectorized", "scalar")
 
-def greedy_gap(instance: GAPInstance) -> GAPSolution:
-    """Greedy regret assignment; raises :class:`InfeasibleError` when it
-    cannot place every item (greedy incompleteness counts as infeasible —
-    callers that need certainty should use the LP-based solvers)."""
+
+def _greedy_scalar(instance: GAPInstance) -> List[int]:
+    """Reference implementation: per-item Python loops over the instance
+    (the pre-compiled pipeline). Returns the assignment list."""
     remaining_cap = instance.capacities.astype(float).copy()
     assignment: List[Optional[int]] = [None] * instance.n_items
     unassigned = set(range(instance.n_items))
@@ -53,11 +64,68 @@ def greedy_gap(instance: GAPInstance) -> GAPSolution:
         remaining_cap[best_bin] -= instance.weights[best_item, best_bin]
         unassigned.remove(best_item)
 
+    return [int(a) for a in assignment]
+
+
+def _greedy_vectorized(instance: GAPInstance) -> List[int]:
+    """Array twin of :func:`_greedy_scalar`: each round computes the
+    feasibility mask, the cheapest and second-cheapest feasible bins and the
+    regrets of *all* unassigned items at once. ``np.argmin``/``np.argmax``
+    return the first extremum, which reproduces the scalar loop's ties
+    (lowest bin for equal costs, lowest item for equal regrets) exactly."""
+    costs = instance.costs
+    weights = instance.weights
+    n = instance.n_items
+    remaining = instance.capacities.astype(float).copy()
+    finite = np.isfinite(costs)
+    assignment = np.full(n, -1, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    rows = np.arange(n)
+
+    for _ in range(n):
+        feasible = finite & (weights <= remaining[None, :] + CAPACITY_EPS)
+        feasible &= active[:, None]
+        n_feasible = feasible.sum(axis=1)
+        stuck = active & (n_feasible == 0)
+        if stuck.any():
+            j = int(np.flatnonzero(stuck)[0])
+            raise InfeasibleError(f"greedy could not place item {j}")
+        masked = np.where(feasible, costs, np.inf)
+        cheapest = np.argmin(masked, axis=1)
+        cheapest_cost = masked[rows, cheapest]
+        masked[rows, cheapest] = np.inf
+        second_cost = masked.min(axis=1)
+        # Same subtraction as the scalar path; items with a single feasible
+        # bin get infinite regret (place them now, they have no fallback).
+        regret = np.full(n, np.inf)
+        multi = n_feasible > 1
+        regret[multi] = second_cost[multi] - cheapest_cost[multi]
+        regret[~active] = -np.inf
+        item = int(np.argmax(regret))
+        chosen = int(cheapest[item])
+        assignment[item] = chosen
+        remaining[chosen] -= weights[item, chosen]
+        active[item] = False
+
+    return [int(a) for a in assignment]
+
+
+def greedy_gap(instance: GAPInstance, mode: str = "vectorized") -> GAPSolution:
+    """Greedy regret assignment; raises :class:`InfeasibleError` when it
+    cannot place every item (greedy incompleteness counts as infeasible —
+    callers that need certainty should use the LP-based solvers).
+
+    ``mode`` selects the implementation (see the module docstring); both
+    members of :data:`MODES` return the identical assignment.
+    """
+    if mode not in MODES:
+        raise ConfigurationError(f"unknown greedy mode {mode!r}; choose from {MODES}")
+    build = _greedy_vectorized if mode == "vectorized" else _greedy_scalar
     return GAPSolution(
         instance=instance,
-        assignment=[int(a) for a in assignment],
+        assignment=build(instance),
         method="greedy",
     )
 
 
-__all__ = ["greedy_gap"]
+__all__ = ["greedy_gap", "MODES"]

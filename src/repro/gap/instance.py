@@ -80,6 +80,13 @@ class GAPInstance:
             and self.weights[item, bin_] <= self.capacities[bin_] + CAPACITY_EPS
         )
 
+    def allowed_mask(self) -> np.ndarray:
+        """The full ``(n_items, n_bins)`` boolean table of :meth:`allowed` —
+        the same finite-cost and weight-fits test, evaluated in bulk."""
+        return np.isfinite(self.costs) & (
+            self.weights <= self.capacities[None, :] + CAPACITY_EPS
+        )
+
     def allowed_bins(self, item: int) -> List[int]:
         return [i for i in range(self.n_bins) if self.allowed(item, i)]
 

@@ -20,8 +20,16 @@ import numpy as np
 from scipy.optimize import linprog
 from scipy.sparse import csr_matrix
 
-from repro.exceptions import InfeasibleError, SolverError
+from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
 from repro.gap.instance import GAPInstance
+
+#: The two LP assembly paths. ``"vectorized"`` builds the constraint
+#: matrices from the instance's arrays in bulk; ``"scalar"`` is the
+#: per-pair reference loop it replaced. Both enumerate the allowed (item,
+#: bin) pairs in the same row-major order and hand :func:`linprog` the
+#: same matrices, so they return bit-identical relaxations — the
+#: differential tests pin that.
+ASSEMBLIES = ("vectorized", "scalar")
 
 
 @dataclass
@@ -39,9 +47,10 @@ class LPRelaxationResult:
         return [i for i in range(self.instance.n_bins) if self.fractions[item, i] > atol]
 
 
-def solve_lp_relaxation(instance: GAPInstance) -> LPRelaxationResult:
-    """Solve the GAP LP relaxation; raises :class:`InfeasibleError` when the
-    relaxation (hence the GAP) has no solution."""
+def _assemble_scalar(
+    instance: GAPInstance,
+) -> Tuple[np.ndarray, np.ndarray, csr_matrix, csr_matrix, np.ndarray, np.ndarray]:
+    """Reference per-pair assembly (kept as the differential oracle)."""
     if instance.trivially_infeasible():
         raise InfeasibleError("some item has no admissible bin")
 
@@ -63,7 +72,6 @@ def solve_lp_relaxation(instance: GAPInstance) -> LPRelaxationResult:
         eq_cols.append(k)
         eq_data.append(1.0)
     a_eq = csr_matrix((eq_data, (eq_rows, eq_cols)), shape=(instance.n_items, n_cols))
-    b_eq = np.ones(instance.n_items)
 
     # Inequality: one row per bin.
     ub_rows, ub_cols, ub_data = [], [], []
@@ -72,6 +80,54 @@ def solve_lp_relaxation(instance: GAPInstance) -> LPRelaxationResult:
         ub_cols.append(k)
         ub_data.append(instance.weights[j, i])
     a_ub = csr_matrix((ub_data, (ub_rows, ub_cols)), shape=(instance.n_bins, n_cols))
+
+    rows = np.fromiter((j for j, _ in pairs), dtype=np.int64, count=n_cols)
+    cols = np.fromiter((i for _, i in pairs), dtype=np.int64, count=n_cols)
+    return rows, cols, a_eq, a_ub, c, np.ones(instance.n_items)
+
+
+def _assemble_vectorized(
+    instance: GAPInstance,
+) -> Tuple[np.ndarray, np.ndarray, csr_matrix, csr_matrix, np.ndarray, np.ndarray]:
+    """Bulk assembly from the instance arrays (same matrices, no loops).
+
+    ``np.nonzero`` walks the allowed-mask in row-major order — the exact
+    pair enumeration of the scalar path — so columns line up one-to-one.
+    """
+    mask = instance.allowed_mask()
+    if not bool(mask.any(axis=1).all()):
+        raise InfeasibleError("some item has no admissible bin")
+
+    rows, cols = np.nonzero(mask)
+    n_cols = rows.shape[0]
+    arange = np.arange(n_cols)
+
+    c = instance.costs[rows, cols]
+    a_eq = csr_matrix(
+        (np.ones(n_cols), (rows, arange)), shape=(instance.n_items, n_cols)
+    )
+    a_ub = csr_matrix(
+        (instance.weights[rows, cols], (cols, arange)),
+        shape=(instance.n_bins, n_cols),
+    )
+    return rows, cols, a_eq, a_ub, c, np.ones(instance.n_items)
+
+
+def solve_lp_relaxation(
+    instance: GAPInstance, assemble: str = "vectorized"
+) -> LPRelaxationResult:
+    """Solve the GAP LP relaxation; raises :class:`InfeasibleError` when the
+    relaxation (hence the GAP) has no solution.
+
+    ``assemble`` picks the constraint-construction path (see
+    :data:`ASSEMBLIES`); the solved relaxation is bit-identical either way.
+    """
+    if assemble not in ASSEMBLIES:
+        raise ConfigurationError(
+            f"unknown assemble {assemble!r}; choose from {ASSEMBLIES}"
+        )
+    builder = _assemble_vectorized if assemble == "vectorized" else _assemble_scalar
+    rows, cols, a_eq, a_ub, c, b_eq = builder(instance)
     b_ub = instance.capacities
 
     result = linprog(
@@ -89,8 +145,7 @@ def solve_lp_relaxation(instance: GAPInstance) -> LPRelaxationResult:
         raise SolverError(f"linprog failed: {result.message}")
 
     fractions = np.zeros((instance.n_items, instance.n_bins))
-    for (j, i), k in col_of.items():
-        fractions[j, i] = max(0.0, result.x[k])
+    fractions[rows, cols] = np.maximum(0.0, result.x)
     # Normalise tiny numerical drift so each row sums to exactly 1.
     row_sums = fractions.sum(axis=1, keepdims=True)
     fractions = fractions / row_sums
@@ -100,4 +155,4 @@ def solve_lp_relaxation(instance: GAPInstance) -> LPRelaxationResult:
     )
 
 
-__all__ = ["LPRelaxationResult", "solve_lp_relaxation"]
+__all__ = ["ASSEMBLIES", "LPRelaxationResult", "solve_lp_relaxation"]

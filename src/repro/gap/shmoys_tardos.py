@@ -78,14 +78,18 @@ def _build_slots(
     return slots
 
 
-def shmoys_tardos(instance: GAPInstance) -> GAPSolution:
+def shmoys_tardos(instance: GAPInstance, assemble: str = "vectorized") -> GAPSolution:
     """Round the GAP LP optimum to an integral assignment (see module doc).
+
+    ``assemble`` selects the LP constraint-assembly path (see
+    :data:`repro.gap.lp.ASSEMBLIES`); the relaxation — and therefore the
+    rounding — is bit-identical either way.
 
     Raises :class:`repro.exceptions.InfeasibleError` when the LP relaxation
     is infeasible and :class:`SolverError` if the matching step fails (which
     would indicate a bug — the fractional matching guarantees existence).
     """
-    relaxation = solve_lp_relaxation(instance)
+    relaxation = solve_lp_relaxation(instance, assemble=assemble)
     slots = _build_slots(relaxation)
 
     graph = nx.Graph()

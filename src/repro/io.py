@@ -191,6 +191,7 @@ def market_from_dict(data: Dict) -> ServiceMarket:
         congestion=_congestion_from_dict(data["congestion"]),
     )
     market.cost_model.remote_premium = float(data.get("remote_premium", 20.0))
+    market.invalidate_compiled()
     return market
 
 

@@ -16,6 +16,7 @@ from repro.market.costs import (
     QuadraticCongestion,
 )
 from repro.market.market import ServiceMarket
+from repro.market.compiled import REPRESENTATIONS, CompiledMarket, resolve_compiled
 from repro.market.workload import WorkloadParams, generate_providers, generate_market
 
 __all__ = [
@@ -28,6 +29,9 @@ __all__ = [
     "QuadraticCongestion",
     "MM1Congestion",
     "ServiceMarket",
+    "CompiledMarket",
+    "REPRESENTATIONS",
+    "resolve_compiled",
     "WorkloadParams",
     "generate_providers",
     "generate_market",

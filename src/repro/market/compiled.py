@@ -1,0 +1,410 @@
+"""The compiled (array-backed) instance representation of a market.
+
+Every algorithm layer in the library consumes the same instance data —
+fixed caching costs (Eq. 3's ``c_l^ins + c_i^bdw``), per-cloudlet
+congestion charges ``(alpha_i + beta_i) * g(k)``, provider demand vectors
+and cloudlet capacity vectors — but historically each layer re-derived it
+from the :class:`~repro.market.market.ServiceMarket` object graph on every
+call: Appro rebuilt its GAP instance (Eq. 9) pair by pair, the baselines
+re-queried the cost model per candidate cloudlet, ``optimal`` re-tabulated
+fixed costs, and the game engine compiled its own private tables.
+
+:class:`CompiledMarket` is the one structure-of-arrays all of them share.
+It is built exactly once per market (``ServiceMarket.compile()`` caches it
+on the instance) by evaluating the cost model's own methods, so every table
+entry is **bit-equal** to the object-graph evaluation it replaces — the
+compiled and object paths must agree on placements and social costs
+exactly, which ``tests/integration/test_compiled_equivalence.py`` pins
+differentially.
+
+The blob is deliberately self-contained (plain numpy arrays, id↔index
+dicts, and a picklable :class:`~repro.market.costs.CongestionFunction`):
+it carries no reference back to the market, network, or cost model, so it
+pickles cheaply and can cross a process-pool boundary — the parallel sweep
+harness ships precompiled markets to workers instead of rebuilding them
+per task (see :mod:`repro.experiments.parallel`).
+
+Summation order matters for bit-equality: :meth:`social_cost` gathers the
+per-provider terms with one vectorised table lookup but folds them
+left-to-right in placement order, exactly like
+:meth:`~repro.market.costs.CostModel.social_cost` does, so the two paths
+return the same float, not merely the same value within tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.market.costs import CongestionFunction
+from repro.utils.contracts import invariants_active
+from repro.utils.validation import CAPACITY_EPS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (market imports us)
+    from repro.market.market import ServiceMarket
+
+#: Instance representations an algorithm can run on: ``"compiled"`` (the
+#: array-backed :class:`CompiledMarket`, the default) or ``"object"`` (the
+#: reference object-graph path, kept as the differential-testing oracle —
+#: the same role the ``"naive"`` engine plays for best-response dynamics).
+REPRESENTATIONS = ("compiled", "object")
+
+
+class CompiledMarket:
+    """Dense-array view of a :class:`~repro.market.market.ServiceMarket`.
+
+    Tables (``n`` providers in id order, ``m`` cloudlets in network order)
+    ----------------------------------------------------------------------
+    ``fixed``
+        ``(n, m)`` — the congestion-free part of Eq. (3),
+        ``c_l^ins + c_i^bdw`` including the hop-scaled update distance;
+        ``+inf`` marks forbidden pairs (latency-budget violations).
+    ``instantiation`` / ``access`` / ``update``
+        The components of ``fixed``: ``c_l^ins`` per provider ``(n,)``,
+        request-offloading cost ``(n, m)``, and consistency-update cost
+        ``(n, m)`` (Section II.C). The baselines price subsets of these.
+    ``coeff``
+        ``(m,)`` — ``alpha_i + beta_i`` per cloudlet (Eq. 1–2).
+    ``g``
+        ``(n + 1,)`` — the congestion function at occupancies ``0..n``.
+    ``shared``
+        ``(m, n + 1)`` — ``shared[i, k] = coeff[i] * g[k]``, the anonymous
+        congestion charge of Eq. (3) at every occupancy any profile can
+        reach; works for any :class:`CongestionFunction`.
+    ``demand``
+        ``(n, 2)`` — ``(a_l * r_l, b_l * r_l)`` per provider.
+    ``capacity``
+        ``(m, 2)`` — ``(C(CL_i), B(CL_i))`` per cloudlet (Eq. 7's inputs).
+    ``remote``
+        ``(n,)`` — the "do not cache" remote-serving cost per provider.
+    ``user_delay``
+        ``(n, m)`` — end-to-end delay from each provider's user node to
+        each cloudlet (the ``OffloadCache`` baseline's objective).
+    """
+
+    def __init__(
+        self,
+        provider_ids: List[int],
+        cloudlet_nodes: List[int],
+        fixed: np.ndarray,
+        instantiation: np.ndarray,
+        access: np.ndarray,
+        update: np.ndarray,
+        coeff: np.ndarray,
+        g: np.ndarray,
+        demand: np.ndarray,
+        capacity: np.ndarray,
+        remote: np.ndarray,
+        user_delay: np.ndarray,
+        congestion: CongestionFunction,
+    ) -> None:
+        self.provider_ids = provider_ids
+        self.cloudlet_nodes = cloudlet_nodes
+        self.provider_index: Dict[int, int] = {
+            pid: i for i, pid in enumerate(provider_ids)
+        }
+        self.cloudlet_index: Dict[int, int] = {
+            node: j for j, node in enumerate(cloudlet_nodes)
+        }
+        self.fixed = fixed
+        self.instantiation = instantiation
+        self.access = access
+        self.update = update
+        self.coeff = coeff
+        self.g = g
+        self.shared = coeff[:, None] * g[None, :]
+        self.demand = demand
+        self.capacity = capacity
+        self.remote = remote
+        self.user_delay = user_delay
+        self.congestion = congestion
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_market(cls, market: "ServiceMarket") -> "CompiledMarket":
+        """Evaluate the market's cost model once into dense tables.
+
+        The per-pair tables are assembled row-wise from the routing
+        table's single-source distance rows, applying the cost model's
+        arithmetic (Section II.C / IV.A pricing) in the exact operand and
+        association order of the scalar methods — every entry is bit-equal
+        to the per-pair ``CostModel`` evaluation, which
+        :meth:`verify_against` re-checks whenever runtime invariants are
+        armed.
+        """
+        model = market.cost_model
+        net = market.network
+        pricing = model.pricing
+        routing = net.routing
+        providers = market.providers
+        cloudlets = net.cloudlets
+        n, m = len(providers), len(cloudlets)
+        if m == 0:
+            raise ConfigurationError("market network has no cloudlets to compile")
+        cl_nodes = [cl.node_id for cl in cloudlets]
+
+        # One single-source row per distinct endpoint (user nodes, home
+        # DCs), gathered over the cloudlet columns. Values are the same
+        # memoised BFS/Dijkstra results the per-pair queries return.
+        hop_cache: Dict[int, np.ndarray] = {}
+        delay_cache: Dict[int, np.ndarray] = {}
+
+        def hops_to_cloudlets(u: int) -> np.ndarray:
+            arr = hop_cache.get(u)
+            if arr is None:
+                row = routing.hop_row(u)
+                arr = np.array([row[v] for v in cl_nodes], dtype=float)
+                hop_cache[u] = arr
+            return arr
+
+        def delays_to_cloudlets(u: int) -> np.ndarray:
+            arr = delay_cache.get(u)
+            if arr is None:
+                row = routing.delay_row(u)
+                arr = np.array([row[v] for v in cl_nodes], dtype=float)
+                delay_cache[u] = arr
+            return arr
+
+        transmit = pricing.transmit_per_gb
+        surcharge = pricing.hop_surcharge
+        budget = model.latency_budget_ms
+        bdw_units = np.array([cl.bdw_unit_cost for cl in cloudlets], dtype=float)
+
+        instantiation = np.empty(n, dtype=float)
+        access = np.empty((n, m), dtype=float)
+        update = np.empty((n, m), dtype=float)
+        user_delay = np.empty((n, m), dtype=float)
+        access_delay = np.empty((n, m), dtype=float) if budget is not None else None
+        remote = np.empty(n, dtype=float)
+        demand = np.empty((n, 2), dtype=float)
+        for i, p in enumerate(providers):
+            svc = p.service
+            instantiation[i] = model.instantiation_cost(p)
+            remote[i] = model.remote_cost(p)
+            demand[i, 0] = p.compute_demand
+            demand[i, 1] = p.bandwidth_demand
+            # access_cost: per-cluster transmission charges, folded in
+            # cluster order — volume * price * (1 + surcharge * hops).
+            acc = np.zeros(m, dtype=float)
+            for node, weight in svc.clusters:
+                volume_price = (svc.request_traffic_gb * weight) * transmit
+                acc = acc + volume_price * (1.0 + surcharge * hops_to_cloudlets(node))
+            access[i] = acc
+            # update_cost: cloudlet bandwidth charge plus the hop-scaled
+            # consistency-update transit back to the home data center.
+            vol = svc.update_volume_gb
+            update[i] = bdw_units * vol + (vol * transmit) * (
+                1.0 + surcharge * hops_to_cloudlets(svc.home_dc)
+            )
+            user_delay[i] = delays_to_cloudlets(svc.user_node)
+            if access_delay is not None:
+                dly = np.zeros(m, dtype=float)
+                for node, weight in svc.clusters:
+                    dly = dly + weight * delays_to_cloudlets(node)
+                access_delay[i] = dly
+
+        fixed = instantiation[:, None] + access + update
+        if access_delay is not None:
+            fixed = np.where(access_delay > budget, np.inf, fixed)
+
+        coeff = np.array([cl.alpha + cl.beta for cl in cloudlets], dtype=float)
+        g = np.array([model.congestion(k) for k in range(n + 1)], dtype=float)
+        capacity = np.array(
+            [[cl.compute_capacity, cl.bandwidth_capacity] for cl in cloudlets],
+            dtype=float,
+        )
+
+        compiled = cls(
+            provider_ids=[p.provider_id for p in providers],
+            cloudlet_nodes=[cl.node_id for cl in cloudlets],
+            fixed=fixed,
+            instantiation=instantiation,
+            access=access,
+            update=update,
+            coeff=coeff,
+            g=g,
+            demand=demand,
+            capacity=capacity,
+            remote=remote,
+            user_delay=user_delay,
+            congestion=model.congestion,
+        )
+        if invariants_active():
+            compiled.verify_against(market)
+        return compiled
+
+    # ------------------------------------------------------------------ #
+    # Shapes and id↔index maps
+    # ------------------------------------------------------------------ #
+    @property
+    def n_providers(self) -> int:
+        return len(self.provider_ids)
+
+    @property
+    def n_cloudlets(self) -> int:
+        return len(self.cloudlet_nodes)
+
+    def provider_row(self, provider_id: int) -> int:
+        try:
+            return self.provider_index[provider_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown provider id {provider_id}") from None
+
+    def cloudlet_col(self, node: int) -> int:
+        try:
+            return self.cloudlet_index[node]
+        except KeyError:
+            raise ConfigurationError(f"node {node} hosts no cloudlet") from None
+
+    # ------------------------------------------------------------------ #
+    # Cost queries (all bit-equal to the CostModel evaluations)
+    # ------------------------------------------------------------------ #
+    def g_at(self, occupancy: int) -> float:
+        """``g(k)``, falling back to the congestion function beyond the
+        precomputed range (the GAP split can price slots past ``n``)."""
+        if occupancy < len(self.g):
+            return float(self.g[occupancy])
+        return float(self.congestion(occupancy))
+
+    def gap_costs(self) -> np.ndarray:
+        """Eq. (9) flat GAP costs ``alpha_i + beta_i + c_l^ins + c_i^bdw``
+        as an ``(n, m)`` table (``CostModel.gap_cost`` vectorised)."""
+        return self.coeff[None, :] + self.fixed
+
+    def remote_cost(self, provider_id: int) -> float:
+        return float(self.remote[self.provider_row(provider_id)])
+
+    # ------------------------------------------------------------------ #
+    # Placement state
+    # ------------------------------------------------------------------ #
+    def occupancy_vector(self, placement: Mapping[int, int]) -> np.ndarray:
+        """``|sigma_i|`` per cloudlet column for a placement
+        (``provider_id -> cloudlet node_id``)."""
+        occ = np.zeros(self.n_cloudlets, dtype=np.int64)
+        for node in placement.values():
+            occ[self.cloudlet_index[node]] += 1
+        return occ
+
+    def load_matrix(self, placement: Mapping[int, int]) -> np.ndarray:
+        """Per-cloudlet ``(compute, bandwidth)`` loads, accumulated in
+        placement order (the same addition order as the object-graph
+        aggregators, so values are bit-equal)."""
+        loads = np.zeros((self.n_cloudlets, 2), dtype=float)
+        for pid, node in placement.items():
+            loads[self.cloudlet_index[node]] += self.demand[self.provider_index[pid]]
+        return loads
+
+    def fits_mask(self, provider_row: int, loads: np.ndarray) -> np.ndarray:
+        """Which cloudlets admit the provider's demand on top of ``loads``
+        (capacity only; pair admissibility is ``isfinite(fixed)``)."""
+        new_load = loads + self.demand[provider_row]
+        return np.all(new_load <= self.capacity + CAPACITY_EPS, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate costs (Eq. 5–6)
+    # ------------------------------------------------------------------ #
+    def provider_cost(self, provider_id: int, placement: Mapping[int, int]) -> float:
+        """``c_l(sigma_l)`` (Eq. 5) for a placed provider."""
+        node = placement.get(provider_id)
+        if node is None:
+            raise ConfigurationError(
+                f"provider {provider_id} is unplaced in the given placement"
+            )
+        j = self.cloudlet_col(node)
+        occ = self.occupancy_vector(placement)
+        return float(
+            self.shared[j, occ[j]] + self.fixed[self.provider_row(provider_id), j]
+        )
+
+    def social_cost(self, placement: Mapping[int, int]) -> float:
+        """Eq. (6) over the placed providers.
+
+        The congestion and fixed terms come from one vectorised gather;
+        the fold runs left-to-right in placement order so the result is
+        bit-equal to ``CostModel.social_cost``.
+        """
+        if not placement:
+            return 0.0
+        rows = np.fromiter(
+            (self.provider_index[pid] for pid in placement), dtype=np.int64,
+            count=len(placement),
+        )
+        cols = np.fromiter(
+            (self.cloudlet_index[node] for node in placement.values()),
+            dtype=np.int64, count=len(placement),
+        )
+        occ = np.zeros(self.n_cloudlets, dtype=np.int64)
+        np.add.at(occ, cols, 1)
+        terms = self.shared[cols, occ[cols]] + self.fixed[rows, cols]
+        total = 0.0
+        for t in terms.tolist():
+            total += t
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Debug cross-check (armed by REPRO_DEBUG_INVARIANTS=1)
+    # ------------------------------------------------------------------ #
+    def verify_against(self, market: "ServiceMarket") -> None:
+        """Assert every table entry equals its object-graph evaluation.
+
+        Runs at build time when runtime invariants are armed; a mismatch
+        means a compiled consumer would silently diverge from the object
+        path, so it raises immediately instead.
+        """
+        from repro.exceptions import InvariantViolation
+
+        model = market.cost_model
+        for i, p in enumerate(market.providers):
+            for j, cl in enumerate(market.network.cloudlets):
+                want = model.fixed_cost(p, cl)
+                got = float(self.fixed[i, j])
+                if got != want and not (np.isinf(got) and np.isinf(want)):
+                    raise InvariantViolation(
+                        f"compiled fixed[{i},{j}] = {got!r} != object-graph {want!r}"
+                    )
+        for j, cl in enumerate(market.network.cloudlets):
+            for k in range(1, self.n_providers + 1):
+                want = model.congestion_cost(cl, k)
+                if float(self.shared[j, k]) != want:
+                    raise InvariantViolation(
+                        f"compiled shared[{j},{k}] = {self.shared[j, k]!r} "
+                        f"!= object-graph {want!r}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledMarket(providers={self.n_providers}, "
+            f"cloudlets={self.n_cloudlets}, congestion={self.congestion!r})"
+        )
+
+
+def resolve_compiled(
+    market: "ServiceMarket",
+    representation: str = "compiled",
+    compiled: Optional[CompiledMarket] = None,
+) -> Optional[CompiledMarket]:
+    """Normalise an algorithm's ``(representation, compiled)`` arguments.
+
+    Returns the :class:`CompiledMarket` to run on (compiling on demand and
+    caching on the market instance), or ``None`` for the object-graph
+    reference path. Passing an explicit blob with ``representation="object"``
+    is contradictory and rejected.
+    """
+    if representation not in REPRESENTATIONS:
+        raise ConfigurationError(
+            f"unknown representation {representation!r}; choose from {REPRESENTATIONS}"
+        )
+    if representation == "object":
+        if compiled is not None:
+            raise ConfigurationError(
+                "representation='object' cannot take a precompiled market"
+            )
+        return None
+    return compiled if compiled is not None else market.compile()
+
+
+__all__ = ["REPRESENTATIONS", "CompiledMarket", "resolve_compiled"]

@@ -7,7 +7,7 @@ providers are coordinated (set ``S``) versus selfish (``N \\ S``).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.market.costs import CongestionFunction, CostModel
@@ -15,6 +15,9 @@ from repro.market.pricing import Pricing
 from repro.market.service import ServiceProvider
 from repro.network.topology import MECNetwork
 from repro.utils.validation import check_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle (compiled imports market)
+    from repro.market.compiled import CompiledMarket
 
 
 class ServiceMarket:
@@ -60,6 +63,29 @@ class ServiceMarket:
         self._by_id: Dict[int, ServiceProvider] = {
             p.provider_id: p for p in self.providers
         }
+        self._compiled: Optional["CompiledMarket"] = None
+
+    # ------------------------------------------------------------------ #
+    # Compiled (array-backed) representation
+    # ------------------------------------------------------------------ #
+    def compile(self) -> "CompiledMarket":
+        """The array-backed :class:`~repro.market.compiled.CompiledMarket`
+        view of this market, built once and cached on the instance.
+
+        Anything that mutates instance data the tables capture (cloudlet
+        capacities, pricing, the congestion function) must call
+        :meth:`invalidate_compiled` afterwards.
+        """
+        if self._compiled is None:
+            from repro.market.compiled import CompiledMarket
+
+            self._compiled = CompiledMarket.from_market(self)
+        return self._compiled
+
+    def invalidate_compiled(self) -> None:
+        """Drop the cached compiled view (after mutating costs/capacities)."""
+        self._compiled = None
+        self.cost_model._fixed_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Provider access

@@ -89,6 +89,21 @@ class RoutingTable:
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+    def delay_row(self, u: int) -> Dict[int, float]:
+        """The full single-source delay row ``{node: delay_ms}`` of ``u``.
+
+        Bulk consumers (e.g. the market compiler) gather whole rows instead
+        of issuing per-pair queries; values are the memoised Dijkstra
+        results :meth:`path_delay` serves from. Treat the dict as
+        read-only.
+        """
+        return self._delay_row(u)
+
+    def hop_row(self, u: int) -> Dict[int, int]:
+        """The full single-source hop-count row ``{node: hops}`` of ``u``
+        (same memoised BFS results as :meth:`hop_count`; read-only)."""
+        return self._hop_row(u)
+
     def path_delay(self, u: int, v: int) -> float:
         """Total delay (ms) along the min-delay path; 0 when ``u == v``."""
         d = self._lookup(self._delay_rows, self._delay_row, u, v)
