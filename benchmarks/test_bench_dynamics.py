@@ -1,51 +1,162 @@
-"""Extension benchmark — the dynamic market (replan vs incremental).
+"""Extension benchmark — the dynamic market.
 
-Not a paper figure: quantifies the stability/optimality trade-off implied
-by the paper's "temporarily cached" services when the provider population
-churns.
+Two questions, one per test:
+
+1. **Throughput** — what did the mutation protocol buy? Epochs/sec of the
+   replan policy under three arms: the pre-refactor reference (market object
+   graph rebuilt and LCF cold-started every epoch), delta-patched compiled
+   tables with cold replans, and delta + warm-started replans (survivors
+   keep strategies, the GAP LP is skipped). The acceptance bar for PR 4 is
+   delta+warm >= 5x the cold rebuild.
+2. **Quality** — the stability/optimality trade-off implied by the paper's
+   "temporarily cached" services: replan vs hysteresis vs incremental.
+
+Results land in ``BENCH_dynamics.json`` next to this file.
 """
 
-import numpy as np
+import json
+import os
+import time
+from pathlib import Path
 
 from repro.dynamics import DynamicMarketSimulation, PopulationProcess
 from repro.network.generators import random_mec_network
 from repro.utils.tables import Table
 
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_dynamics.json"
 
-def _run_dynamics():
-    network = random_mec_network(100, rng=1)
-    rows = []
-    for policy in ("replan", "incremental"):
-        population = PopulationProcess(
-            network, arrival_rate=5.0, mean_lifetime=8.0, rng=3,
-            initial_population=40,
-        )
-        sim = DynamicMarketSimulation(network, population, policy=policy)
-        summary = sim.run(12)
-        rows.append((policy, summary))
-    return rows
+N_NODES = 100
+EPOCHS = 12
+ARRIVAL_RATE = 5.0
+MEAN_LIFETIME = 8.0
+INITIAL_POPULATION = 40
 
 
-def test_bench_dynamics(benchmark, emit):
-    rows = benchmark.pedantic(_run_dynamics, rounds=1, iterations=1)
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data["cpu_count"] = os.cpu_count()
+    data[section] = payload
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(fn, repeats: int = 2) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _network():
+    return random_mec_network(N_NODES, rng=1)
+
+
+def _run(network, policy, representation="compiled", warm_start=True, **kwargs):
+    population = PopulationProcess(
+        network, arrival_rate=ARRIVAL_RATE, mean_lifetime=MEAN_LIFETIME,
+        rng=3, initial_population=INITIAL_POPULATION,
+    )
+    sim = DynamicMarketSimulation(
+        network, population, policy=policy,
+        representation=representation, warm_start=warm_start, **kwargs,
+    )
+    return sim.run(EPOCHS)
+
+
+def test_bench_epochs_per_second(emit):
+    """Cold rebuild vs delta-patched vs delta+warm, replan policy."""
+    network = _network()
+    arms = {
+        "cold_object_rebuild": dict(representation="object", warm_start=False),
+        "cold_compiled_delta": dict(representation="compiled", warm_start=False),
+        "warm_compiled_delta": dict(representation="compiled", warm_start=True),
+    }
+    times = {
+        name: _best_of(lambda kw=kw: _run(network, "replan", **kw))
+        for name, kw in arms.items()
+    }
+    eps = {name: EPOCHS / t for name, t in times.items()}
+    speedup = {
+        name: eps[name] / eps["cold_object_rebuild"] for name in arms
+    }
+
+    table = Table(["arm", "time (s)", "epochs/sec", "speedup"])
+    for name in arms:
+        table.add_row([name, times[name], eps[name], speedup[name]])
+    emit(table.render(
+        title=f"[dynamics] replan throughput, {EPOCHS} epochs, "
+              f"{N_NODES} nodes, pop ~{INITIAL_POPULATION}"
+    ))
+
+    _record("throughput", {
+        "epochs": EPOCHS,
+        "n_nodes": N_NODES,
+        "initial_population": INITIAL_POPULATION,
+        "seconds": times,
+        "epochs_per_sec": eps,
+        "speedup_vs_cold": speedup,
+    })
+
+    # PR 4's acceptance bar: delta-patched tables + warm-started replans
+    # beat the full cold recompile by at least 5x.
+    assert speedup["warm_compiled_delta"] >= 5.0, speedup
+    # ...and the delta patching alone must never be a regression.
+    assert speedup["cold_compiled_delta"] >= 1.0, speedup
+
+
+def test_bench_policy_tradeoff(emit):
+    """Replan vs hysteresis vs incremental: cost, migrations, replans."""
+    network = _network()
+    summaries = {}
+    times = {}
+    for policy in ("replan", "hysteresis", "incremental"):
+        t0 = time.perf_counter()
+        summaries[policy] = _run(network, policy)
+        times[policy] = time.perf_counter() - t0
+
     table = Table([
-        "policy", "total cost", "social/epoch", "migrations", "migration $",
+        "policy", "total cost", "social/epoch", "migrations",
+        "migration $", "replans", "epochs/sec",
     ])
-    for policy, summary in rows:
+    for policy, summary in summaries.items():
         table.add_row([
             policy,
             summary.total_cost,
             summary.mean_social_cost,
             summary.total_migrations,
             summary.total_migration_cost,
+            summary.total_replans,
+            EPOCHS / times[policy],
         ])
-    emit(table.render(title="[dynamics] replan vs incremental, 12 epochs"))
+    emit(table.render(
+        title=f"[dynamics] policy trade-off, {EPOCHS} epochs"
+    ))
 
-    by_policy = dict(rows)
-    # Replanning buys per-epoch quality; incremental never migrates.
-    assert (
-        by_policy["replan"].mean_social_cost
-        <= by_policy["incremental"].mean_social_cost
-    )
-    assert by_policy["incremental"].total_migrations == 0
-    assert by_policy["replan"].total_migrations > 0
+    _record("policies", {
+        policy: {
+            "total_cost": summary.total_cost,
+            "mean_social_cost": summary.mean_social_cost,
+            "migrations": summary.total_migrations,
+            "migration_cost": summary.total_migration_cost,
+            "replans": summary.total_replans,
+            "epochs_per_sec": EPOCHS / times[policy],
+        }
+        for policy, summary in summaries.items()
+    })
+
+    replan = summaries["replan"]
+    hysteresis = summaries["hysteresis"]
+    incremental = summaries["incremental"]
+    # Replanning buys per-epoch quality; incremental never migrates;
+    # hysteresis sits in between on both axes. The warm replan is a
+    # heuristic, so the hysteresis comparisons get 5% slack — a lucky
+    # anchor can nose ahead of epoch-by-epoch replanning.
+    assert replan.mean_social_cost <= incremental.mean_social_cost
+    assert replan.mean_social_cost <= hysteresis.mean_social_cost * 1.05
+    assert hysteresis.mean_social_cost <= incremental.mean_social_cost * 1.05
+    assert incremental.total_migrations == 0
+    assert incremental.total_replans == 0
+    assert 0 < hysteresis.total_replans <= EPOCHS

@@ -1,27 +1,34 @@
 """A dynamic service market: churn, migrations, and replanning.
 
 The paper's services are cached *temporarily*; this example runs the market
-over time with providers arriving and departing, comparing two operating
+over time with providers arriving and departing, comparing three operating
 modes for the infrastructure provider:
 
 * **replan** — rerun the full LCF mechanism every epoch (near-optimal each
   epoch, but cached instances migrate and pay to re-ship their data);
 * **incremental** — survivors stay put, only newcomers choose (zero
-  migrations, but the placement drifts).
+  migrations, but the placement drifts);
+* **hysteresis** — stay put until the social cost drifts past a threshold,
+  then replan once (stability with bounded regret).
 
-The crossover depends on how fast the market churns — swept below.
+The crossover depends on how fast the market churns — swept below. Each
+epoch delta-patches one persistent compiled market and warm-starts the
+replan, so the sweep also prints its epochs/sec.
 
 Run:  python examples/dynamic_market.py
+      python examples/dynamic_market.py --policy hysteresis --threshold 0.05
+      python examples/dynamic_market.py --policy replan --no-warm-start
 """
+
+import argparse
+import time
 
 from repro.dynamics import DynamicMarketSimulation, PopulationProcess
 from repro.network import random_mec_network
 from repro.utils.tables import Table
 
-EPOCHS = 20
 
-
-def run(network, policy: str, mean_lifetime: float, rng: int):
+def run(network, policy, mean_lifetime, rng, args):
     population = PopulationProcess(
         network,
         arrival_rate=5.0,
@@ -29,20 +36,62 @@ def run(network, policy: str, mean_lifetime: float, rng: int):
         rng=rng,
         initial_population=40,
     )
-    sim = DynamicMarketSimulation(network, population, policy=policy)
-    return sim.run(EPOCHS)
+    sim = DynamicMarketSimulation(
+        network,
+        population,
+        policy=policy,
+        warm_start=args.warm_start,
+        hysteresis_threshold=args.threshold,
+    )
+    t0 = time.perf_counter()
+    summary = sim.run(args.epochs)
+    return summary, time.perf_counter() - t0
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--policy",
+        choices=("replan", "incremental", "hysteresis"),
+        default=None,
+        help="run only this policy (default: sweep all three)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative social-cost drift that triggers a hysteresis "
+             "replan (default 0.15)",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=20, help="epochs per run (default 20)"
+    )
+    parser.add_argument(
+        "--no-warm-start",
+        dest="warm_start",
+        action="store_false",
+        help="cold-start every replan instead of reusing the previous "
+             "epoch's LCF result",
+    )
+    args = parser.parse_args()
+
     network = random_mec_network(100, rng=1)
+    policies = (
+        (args.policy,) if args.policy
+        else ("replan", "hysteresis", "incremental")
+    )
 
     table = Table([
         "mean lifetime", "policy", "total cost", "social/epoch",
-        "migrations", "migration cost",
+        "migrations", "migration cost", "replans",
     ])
+    total_epochs = 0
+    total_seconds = 0.0
     for lifetime in (3.0, 8.0, 20.0):
-        for policy in ("replan", "incremental"):
-            summary = run(network, policy, lifetime, rng=7)
+        for policy in policies:
+            summary, seconds = run(network, policy, lifetime, rng=7, args=args)
+            total_epochs += args.epochs
+            total_seconds += seconds
             table.add_row([
                 lifetime,
                 policy,
@@ -50,21 +99,28 @@ def main() -> None:
                 summary.mean_social_cost,
                 summary.total_migrations,
                 summary.total_migration_cost,
+                summary.total_replans,
             ])
     print(table.render(
-        title=f"{EPOCHS} epochs, arrivals ~5/epoch "
+        title=f"{args.epochs} epochs, arrivals ~5/epoch "
               "(fast churn favours cheap placement, slow churn favours "
               "replanning quality)"
     ))
+    mode = "warm" if args.warm_start else "cold"
+    print(f"\n{total_epochs} epochs in {total_seconds:.2f}s = "
+          f"{total_epochs / total_seconds:.1f} epochs/sec "
+          f"({mode} replans, delta-patched compiled market)")
 
-    # A per-epoch view of one replan run.
-    summary = run(network, "replan", 8.0, rng=7)
-    print("\nreplan, lifetime 8 — first 8 epochs:")
+    # A per-epoch view of one run.
+    policy = policies[0]
+    summary, _ = run(network, policy, 8.0, rng=7, args=args)
+    print(f"\n{policy}, lifetime 8 — first 8 epochs:")
     print(f"{'epoch':>5} {'pop':>4} {'+':>3} {'-':>3} "
-          f"{'social':>8} {'migr':>5} {'migr$':>7}")
+          f"{'social':>8} {'migr':>5} {'migr$':>7} {'replan':>6}")
     for e in summary.epochs[:8]:
         print(f"{e.epoch:>5} {e.population:>4} {e.arrived:>3} {e.departed:>3} "
-              f"{e.social_cost:>8.1f} {e.migrations:>5} {e.migration_cost:>7.2f}")
+              f"{e.social_cost:>8.1f} {e.migrations:>5} "
+              f"{e.migration_cost:>7.2f} {'yes' if e.replanned else '':>6}")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,6 @@ Run:  python examples/to_cache_or_not_to_cache.py
 
 from repro.core import appro
 from repro.market import generate_market
-from repro.market.costs import CostModel
 from repro.network import random_mec_network
 from repro.utils.tables import Table
 
@@ -25,8 +24,9 @@ def premium_sweep() -> None:
         "remote premium", "cached", "remote", "social cost ($)",
     ])
     for premium in (1.0, 2.0, 4.0, 8.0, 16.0, 32.0):
-        market = generate_market(network, n_providers=60, rng=32)
-        market.cost_model.remote_premium = premium
+        market = generate_market(
+            network, n_providers=60, rng=32, remote_premium=premium
+        )
         outcome = appro(market, allow_remote=True)
         table.add_row([
             premium,
@@ -44,9 +44,10 @@ def congestion_sweep() -> None:
     network = random_mec_network(100, rng=41)
     table = Table(["providers", "cached", "remote", "cached share"])
     for n in (20, 40, 60, 80, 100, 120):
-        market = generate_market(network, n_providers=n, rng=42)
         # A moderate premium where the trade-off is live.
-        market.cost_model.remote_premium = 6.0
+        market = generate_market(
+            network, n_providers=n, rng=42, remote_premium=6.0
+        )
         outcome = appro(market, allow_remote=True)
         cached = len(outcome.placement)
         table.add_row([n, cached, len(outcome.rejected), cached / n])

@@ -174,6 +174,113 @@ def _repair_capacities_compiled(
     return placement, rejected, moves
 
 
+def _warm_appro(
+    market: ServiceMarket,
+    seed_placement: Dict[int, int],
+    seed_rejected: Set[int],
+    allow_remote: bool,
+    cm: Optional[CompiledMarket],
+) -> CachingAssignment:
+    """Warm-start Algorithm 1 from a previous run's assignment.
+
+    Survivors keep their seeded strategy (a cloudlet, or "do not cache"
+    when ``allow_remote``); the capacity repair then restores feasibility
+    (capacities may have shrunk under them), and only the *newcomers* are
+    placed — greedily at their cheapest feasible Eq. (9) cost, the same
+    candidate filter, cost and first-minimum tie-break as the repair's
+    re-placement phase. No virtual-cloudlet split, no GAP relaxation: the
+    previous rounding seed replaces the LP, which is what makes warm
+    epochs an order of magnitude cheaper than cold ones.
+
+    The object and compiled arms decide identically (same floats, same
+    scan order), so warm runs stay differential-testable; a warm run on an
+    *unchanged* market reproduces its seed exactly.
+    """
+    with Stopwatch() as watch:
+        present = set(p.provider_id for p in market.providers)
+        valid_nodes = {cl.node_id for cl in market.network.cloudlets}
+        placement = {
+            pid: node
+            for pid, node in seed_placement.items()
+            if pid in present and node in valid_nodes
+        }
+        # A remote ("do not cache") strategy only exists with the remote
+        # bin open; otherwise previously rejected survivors re-enter.
+        rejected: Set[int] = (
+            {pid for pid in seed_rejected if pid in present}
+            if allow_remote
+            else set()
+        )
+        newcomers = sorted(
+            pid for pid in present if pid not in placement and pid not in rejected
+        )
+        placement, repair_rejected, moves = _repair_capacities(
+            market, placement, compiled=cm
+        )
+        rejected |= repair_rejected
+
+        entered = 0
+        if cm is not None:
+            loads = cm.load_matrix(placement)
+            gap = cm.gap_costs()
+            for pid in newcomers:
+                row = cm.provider_row(pid)
+                candidates = np.flatnonzero(cm.fits_mask(row, loads))
+                if candidates.size == 0:
+                    rejected.add(pid)
+                    continue
+                best = int(candidates[np.argmin(gap[row, candidates])])
+                if allow_remote and cm.remote[row] < gap[row, best]:
+                    rejected.add(pid)
+                    continue
+                placement[pid] = cm.cloudlet_nodes[best]
+                loads[best] += cm.demand[row]
+                entered += 1
+        else:
+            model = market.cost_model
+            obj_loads = _loads(market, placement)
+            for pid in newcomers:
+                provider = market.provider(pid)
+                candidates_o = [
+                    cl.node_id
+                    for cl in market.network.cloudlets
+                    if _fits(market, cl.node_id, obj_loads[cl.node_id], pid)
+                ]
+                if not candidates_o:
+                    rejected.add(pid)
+                    continue
+                best_node = min(
+                    candidates_o,
+                    key=lambda n: model.gap_cost(
+                        provider, market.network.cloudlet_at(n)
+                    ),
+                )
+                best_cost = model.gap_cost(
+                    provider, market.network.cloudlet_at(best_node)
+                )
+                if allow_remote and model.remote_cost(provider) < best_cost:
+                    rejected.add(pid)
+                    continue
+                placement[pid] = best_node
+                obj_loads[best_node][0] += provider.compute_demand
+                obj_loads[best_node][1] += provider.bandwidth_demand
+                entered += 1
+
+    return CachingAssignment(
+        market=market,
+        placement=placement,
+        rejected=frozenset(rejected),
+        algorithm="Appro[warm]",
+        runtime_s=watch.elapsed,
+        info={
+            "warm_start": True,
+            "repair_moves": moves,
+            "warm_entries": entered,
+            "warm_survivors": len(placement) - entered,
+        },
+    )
+
+
 def appro(
     market: ServiceMarket,
     gap_solver: str = "shmoys_tardos",
@@ -181,6 +288,7 @@ def appro(
     slot_pricing: str = "marginal",
     representation: str = "compiled",
     compiled: Optional[CompiledMarket] = None,
+    warm_start: Optional[CachingAssignment] = None,
 ) -> CachingAssignment:
     """Run Algorithm 1 on a market.
 
@@ -213,6 +321,13 @@ def appro(
         exactly; ``"flat"`` uses the paper's literal Eq. (9) cost
         ``alpha_i + beta_i + c_l^ins + c_i^bdw`` (used by the Lemma 2
         empirical-ratio study). See DESIGN.md for the rationale.
+    warm_start:
+        A previous assignment on an earlier version of this market (any
+        object with ``placement`` and ``rejected``). Surviving providers
+        keep their seeded strategies, only newcomers are placed, and the
+        split/GAP solve is skipped entirely — see :func:`_warm_appro`.
+        The result is a repaired greedy continuation of the seed, not a
+        re-run of the LP rounding.
 
     Returns a :class:`CachingAssignment` whose ``info`` carries the LP lower
     bound, ``delta``/``kappa``, the Lemma 2 ratio bound, and repair stats.
@@ -224,6 +339,14 @@ def appro(
             f"unknown gap_solver {gap_solver!r}; choose from {sorted(_GAP_SOLVERS)}"
         ) from None
     cm = resolve_compiled(market, representation, compiled)
+    if warm_start is not None:
+        return _warm_appro(
+            market,
+            seed_placement=dict(warm_start.placement),
+            seed_rejected=set(warm_start.rejected),
+            allow_remote=allow_remote,
+            cm=cm,
+        )
     if gap_solver == "shmoys_tardos":
         # The object representation keeps the whole pre-compiled pipeline,
         # including the per-pair LP assembly; the relaxation (and hence the

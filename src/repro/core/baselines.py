@@ -93,7 +93,10 @@ def _sequential_admission_compiled(
     placement: Dict[int, int] = {}
     rejected: Set[int] = set()
 
-    for i, pid in enumerate(cm.provider_ids):
+    # `preference` is indexed by *physical* row: admission walks providers
+    # in id order but gathers each one's row through the active-row map,
+    # so delta-patched (non-dense) tables admit identically.
+    for i, pid in zip(cm.active_rows, cm.provider_ids):
         mask = cm.fits_mask(i, loads) & np.isfinite(cm.fixed[i])
         candidates = np.flatnonzero(mask)
         if candidates.size == 0:

@@ -112,6 +112,7 @@ def lcf(
     engine: str = "incremental",
     representation: str = "compiled",
     compiled: Optional[CompiledMarket] = None,
+    warm_start: Optional[object] = None,
 ) -> LCFResult:
     """Run Algorithm 2 with coordination fraction ``xi`` (so ``1 - xi`` of
     the providers behave selfishly, the x-axis of Fig. 3/6a).
@@ -133,6 +134,15 @@ def lcf(
     ``compiled`` optionally supplies a precompiled market (e.g. shipped to
     a sweep worker).
 
+    ``warm_start`` carries the previous epoch's result across a market
+    delta: a prior :class:`LCFResult` (or any assignment with
+    ``placement``/``rejected``) whose leader assignment seeds Algorithm 1
+    in place of the GAP rounding — survivors keep their strategies, only
+    newcomers are placed, and the LP solve is skipped (see
+    :func:`repro.core.appro.appro`). The downstream selection, pinning and
+    selfish phases run unchanged on the seeded ``zeta``; the compiled and
+    object representations of a warm run still decide bit-identically.
+
     Marks the market's providers as coordinated/selfish accordingly, so the
     returned assignment's :attr:`coordinated_cost` / :attr:`selfish_cost`
     reproduce the paper's cost splits.
@@ -144,6 +154,11 @@ def lcf(
         )
     if engine not in ENGINES:
         raise ConfigurationError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    seed = (
+        warm_start.appro_assignment
+        if isinstance(warm_start, LCFResult)
+        else warm_start
+    )
 
     with Stopwatch() as watch:
         zeta = appro(
@@ -153,6 +168,7 @@ def lcf(
             slot_pricing=slot_pricing,
             representation=representation,
             compiled=compiled,
+            warm_start=seed,
         )
         budget = market.coordination_budget(xi)
         coordinated_ids = select_coordinated_lcf(
@@ -266,6 +282,7 @@ def lcf(
             "br_moves": result.moves,
             "appro_social_cost": zeta.social_cost,
             "is_equilibrium": equilibrium,
+            "warm_start": warm_start is not None,
         },
     )
     return LCFResult(

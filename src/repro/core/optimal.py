@@ -58,7 +58,9 @@ def optimal_caching(
     m = len(cloudlets)
     cm = compiled if compiled is not None else market.compile()
 
-    fixed = cm.fixed
+    # Gather the provider-indexed tables into id order (identity on a
+    # dense compile; required after delta patches tombstone/append rows).
+    fixed = cm.fixed[cm.active_rows]
     shared = cm.coeff
     # congestion factors g(0..n) are shared across players and cloudlets.
     g = cm.g
@@ -72,7 +74,7 @@ def optimal_caching(
         suffix[j] = suffix[j + 1] + per_provider_floor[j]
 
     caps = cm.capacity
-    demands = cm.demand
+    demands = cm.demand[cm.active_rows]
 
     best_cost = np.inf
     best_assign: Optional[List[int]] = None

@@ -209,6 +209,10 @@ class VirtualCloudletSplit:
         m = n_virtual + (1 if self.allow_remote else 0)
         costs = np.zeros((n, m))
         weights = np.full((n, m), self.slot_capacity)
+        # GAP item j is the j-th provider in id order; after delta patches
+        # the compiled rows are not id-ordered, so gather through the
+        # active-row map (a no-op reindex on a dense compile).
+        rows = cm.active_rows
         if n_virtual:
             cols = np.array(
                 [cm.cloudlet_index[vc.cloudlet_node] for vc in self.virtual_cloudlets],
@@ -216,7 +220,9 @@ class VirtualCloudletSplit:
             )
             if self.slot_pricing == "flat":
                 # Eq. (9): (alpha_i + beta_i) + fixed, per slot column.
-                costs[:, :n_virtual] = cm.coeff[cols][None, :] + cm.fixed[:, cols]
+                costs[:, :n_virtual] = cm.coeff[cols][None, :] + cm.fixed[
+                    np.ix_(rows, cols)
+                ]
             else:
                 # Marginal congestion increment of slot k (see the object
                 # path above): (alpha_i + beta_i) * (k*g(k) - (k-1)*g(k-1)).
@@ -226,9 +232,9 @@ class VirtualCloudletSplit:
                     marg[t] = cm.coeff[cols[t]] * (
                         k * cm.g_at(k) - (k - 1) * cm.g_at(k - 1)
                     )
-                costs[:, :n_virtual] = marg[None, :] + cm.fixed[:, cols]
+                costs[:, :n_virtual] = marg[None, :] + cm.fixed[np.ix_(rows, cols)]
         if self.allow_remote:
-            costs[:, self.remote_bin] = cm.remote
+            costs[:, self.remote_bin] = cm.remote[rows]
         capacities = np.array(
             [vc.capacity for vc in self.virtual_cloudlets]
             + ([n * self.slot_capacity] if self.allow_remote else [])

@@ -9,12 +9,19 @@ that temporal dimension on top of the static mechanism:
 * :class:`~repro.dynamics.population.PopulationProcess` — provider
   arrivals (geometric per epoch) and departures (geometric lifetimes);
 * :class:`~repro.dynamics.simulation.DynamicMarketSimulation` — runs a
-  caching mechanism over many epochs under either the ``replan`` policy
-  (recompute from scratch, paying migration costs for instances that move)
-  or the ``incremental`` policy (surviving placements are sticky; only
-  arrivals choose, via the same posted-price entry as LCF's selfish step);
+  caching mechanism over many epochs under the ``replan`` policy
+  (recompute every epoch, paying migration costs for instances that move),
+  the ``incremental`` policy (surviving placements are sticky; only
+  arrivals choose, via the same posted-price entry as LCF's selfish step),
+  or the ``hysteresis`` policy (sticky until the social cost drifts past a
+  threshold, then replan once — stability with bounded regret);
 * migration accounting: moving a cached instance re-ships its data volume
   between cloudlets and re-instantiates the VM.
+
+Epochs mutate one persistent market through
+:class:`~repro.market.delta.MarketDelta` (delta-patched compiled tables,
+warm-started replans); ``representation="object"`` keeps the rebuild-
+from-scratch reference path for differential testing.
 """
 
 from repro.dynamics.population import PopulationEvent, PopulationProcess

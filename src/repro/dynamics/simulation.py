@@ -3,7 +3,7 @@
 Each epoch: the population churns, a placement policy reacts, and the epoch
 is billed its social cost (Eq. 6 over the current placement) plus the
 *migration cost* of every cached instance that moved — re-shipping its data
-volume over the network and re-instantiating its VM. Two policies:
+volume over the network and re-instantiating its VM. Three policies:
 
 * ``"replan"`` — rerun the full LCF mechanism on the new population every
   epoch. Near-optimal per epoch but migrates aggressively.
@@ -11,30 +11,53 @@ volume over the network and re-instantiating its VM. Two policies:
   (posted-price cheapest feasible, like LCF's selfish entry). Zero
   migrations, but the placement drifts away from optimal as the population
   turns over.
+* ``"hysteresis"`` — hold the incremental placement until its social cost
+  drifts more than ``hysteresis_threshold`` (relative) away from the cost
+  recorded at the last replan, then replan once and re-anchor. The
+  stability knob between the two extremes: migrations happen in bursts,
+  only when staying put has become measurably bad.
 
-The tension between the two is the classic caching stability trade-off the
-title alludes to; ``examples/dynamic_market.py`` and the dynamics benchmark
-quantify it.
+The tension between the policies is the classic caching stability trade-off
+the title alludes to; ``examples/dynamic_market.py`` and the dynamics
+benchmark quantify it.
+
+Epochs run on the mutation protocol: the simulation keeps **one** persistent
+:class:`~repro.market.market.ServiceMarket` and feeds each epoch's churn to
+``market.apply(MarketDelta(...))``, which patches the cached
+:class:`~repro.market.compiled.CompiledMarket` in place (tombstone/append
+rows) instead of recompiling; replans are *warm-started* from the previous
+epoch's LCF result (survivors keep strategies, only newcomers are placed —
+the GAP LP is skipped entirely). ``representation="object"`` keeps the
+pre-refactor reference behaviour — a fresh market object graph every epoch —
+as the differential-testing oracle: for the same policy and ``warm_start``
+setting the two representations bill bit-identical costs every epoch, which
+``tests/dynamics/test_delta_equivalence.py`` pins over long churn traces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.lcf import lcf
+from repro.core.lcf import LCFResult, lcf
 from repro.dynamics.population import PopulationEvent, PopulationProcess
 from repro.exceptions import ConfigurationError
-from repro.market.costs import CongestionFunction, CostModel
+from repro.market.compiled import REPRESENTATIONS
+from repro.market.costs import CongestionFunction
+from repro.market.delta import MarketDelta
 from repro.market.market import ServiceMarket
 from repro.market.pricing import Pricing
 from repro.market.service import ServiceProvider
 from repro.network.topology import MECNetwork
-from repro.utils.validation import check_fraction
+from repro.utils.validation import CAPACITY_EPS, check_fraction
 
-_POLICIES = ("replan", "incremental")
+_POLICIES = ("replan", "incremental", "hysteresis")
+
+#: Floor for the relative-drift denominator, so an anchor of zero social
+#: cost (an epoch the market emptied into) cannot divide by zero.
+_DRIFT_FLOOR = 1e-12
 
 
 @dataclass
@@ -49,6 +72,10 @@ class EpochRecord:
     migration_cost: float
     migrations: int
     rejected: int
+    #: Whether this epoch ran the full LCF replan (always true for
+    #: ``"replan"``, never for ``"incremental"``, drift-dependent for
+    #: ``"hysteresis"``).
+    replanned: bool = False
 
     @property
     def total_cost(self) -> float:
@@ -75,6 +102,10 @@ class SimulationSummary:
         return sum(e.migrations for e in self.epochs)
 
     @property
+    def total_replans(self) -> int:
+        return sum(1 for e in self.epochs if e.replanned)
+
+    @property
     def mean_social_cost(self) -> float:
         return float(np.mean([e.social_cost for e in self.epochs]))
 
@@ -84,7 +115,30 @@ class SimulationSummary:
 
 
 class DynamicMarketSimulation:
-    """Run a placement policy over a churning provider population."""
+    """Run a placement policy over a churning provider population.
+
+    Parameters
+    ----------
+    policy:
+        ``"replan"``, ``"incremental"`` or ``"hysteresis"`` (see the
+        module docstring).
+    representation:
+        ``"compiled"`` (default) keeps one persistent market whose
+        compiled tables are delta-patched every epoch; ``"object"``
+        rebuilds the market object graph from scratch each epoch — the
+        pre-refactor reference path the differential tests compare
+        against. Both bill identical costs.
+    warm_start:
+        Warm-start each replan from the previous replan's LCF result
+        (survivors keep strategies, newcomers enter greedily, no GAP LP).
+        Default on; set ``False`` for cold replans — the quality
+        reference the benchmark compares against.
+    hysteresis_threshold:
+        Relative social-cost drift that triggers a replan under the
+        ``"hysteresis"`` policy. ``0.0`` replans on any drift
+        (≈ ``"replan"``); ``inf`` never re-triggers after the first
+        epoch (≈ ``"incremental"``).
+    """
 
     def __init__(
         self,
@@ -96,10 +150,23 @@ class DynamicMarketSimulation:
         congestion: Optional[CongestionFunction] = None,
         migration_setup_cost: float = 0.1,
         trace: Optional[Callable[[int], float]] = None,
+        representation: str = "compiled",
+        warm_start: bool = True,
+        gap_solver: str = "shmoys_tardos",
+        hysteresis_threshold: float = 0.15,
     ) -> None:
         if policy not in _POLICIES:
             raise ConfigurationError(
                 f"policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        if representation not in REPRESENTATIONS:
+            raise ConfigurationError(
+                f"representation must be one of {REPRESENTATIONS}, "
+                f"got {representation!r}"
+            )
+        if hysteresis_threshold < 0:
+            raise ConfigurationError(
+                f"hysteresis_threshold must be >= 0, got {hysteresis_threshold}"
             )
         check_fraction(xi, "xi")
         self.network = network
@@ -113,9 +180,18 @@ class DynamicMarketSimulation:
         #: :class:`repro.dynamics.traces.DiurnalTrace`); when given, the
         #: population's arrival rate is retargeted before every epoch.
         self.trace = trace
+        self.representation = representation
+        self.warm_start = warm_start
+        self.gap_solver = gap_solver
+        self.hysteresis_threshold = hysteresis_threshold
         #: provider_id -> cloudlet node of the *currently cached* instance.
         self.placement: Dict[int, int] = {}
         self.rejected: Set[int] = set()
+        #: The persistent delta-patched market (compiled representation
+        #: only; the object arm rebuilds per epoch).
+        self.market: Optional[ServiceMarket] = None
+        self._last_result: Optional[LCFResult] = None
+        self._anchor_cost: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Cost helpers
@@ -132,35 +208,114 @@ class DynamicMarketSimulation:
         shipping = self.pricing.transmission_cost(provider.service.data_volume_gb, hops)
         return shipping + self.migration_setup_cost
 
+    def _bill_migrations(
+        self, market: ServiceMarket, new_placement: Dict[int, int]
+    ) -> Tuple[float, int]:
+        """Bill survivors whose cloudlet changed across the epoch boundary.
+
+        Only the epoch's *net* movement is billed: a provider evicted and
+        readmitted within the same epoch (e.g. shuffled by the capacity
+        repair, or placed by the incremental candidate and then moved by a
+        hysteresis replan) is charged exactly once, for the old -> final
+        hop — and nothing at all if it ends up back where it started,
+        since the instance never physically moved.
+        """
+        cost = 0.0
+        count = 0
+        for pid, node in new_placement.items():
+            old = self.placement.get(pid)
+            if old is not None and old != node:
+                cost += self.migration_cost(market.provider(pid), old, node)
+                count += 1
+        return cost, count
+
+    def _social(
+        self, market: ServiceMarket, placement: Dict[int, int], rejected: Set[int]
+    ) -> float:
+        """Epoch social cost: Eq. (6) over the placed providers plus the
+        remote-serving cost of the rejected ones (folded in id order, so
+        the compiled and object arms sum identically)."""
+        if self.representation == "compiled":
+            cm = market.compile()
+            total = cm.social_cost(placement)
+            for pid in sorted(rejected):
+                total += cm.remote_cost(pid)
+            return total
+        model = market.cost_model
+        total = model.social_cost(market.providers_by_id(), placement)
+        for pid in sorted(rejected):
+            total += model.remote_cost(market.provider(pid))
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Market maintenance (the mutation protocol)
+    # ------------------------------------------------------------------ #
+    def _advance_market(
+        self, delta: MarketDelta, providers: List[ServiceProvider]
+    ) -> ServiceMarket:
+        """One epoch's market: delta-patch the persistent one (compiled)
+        or rebuild from scratch (object, the pre-refactor reference)."""
+        if self.representation != "compiled":
+            return self._market(providers)
+        if self.market is None:
+            self.market = self._market(providers)
+            self.market.compile()
+        else:
+            self.market.apply(delta)
+        return self.market
+
     # ------------------------------------------------------------------ #
     # Policies
     # ------------------------------------------------------------------ #
     def _replan(self, market: ServiceMarket) -> Tuple[Dict[int, int], Set[int]]:
-        result = lcf(market, xi=self.xi, allow_remote=True)
+        warm = self._last_result if self.warm_start else None
+        result = lcf(
+            market,
+            xi=self.xi,
+            allow_remote=True,
+            gap_solver=self.gap_solver,
+            representation=self.representation,
+            warm_start=warm,
+        )
+        self._last_result = result
         return dict(result.assignment.placement), set(result.assignment.rejected)
 
     def _incremental(
         self, market: ServiceMarket, arrivals: Set[int]
     ) -> Tuple[Dict[int, int], Set[int]]:
         """Keep survivors in place; arrivals enter posted-price greedily."""
-        model = market.cost_model
+        present = {p.provider_id for p in market.providers}
         placement = {
-            pid: node
-            for pid, node in self.placement.items()
-            if pid in {p.provider_id for p in market.providers}
+            pid: node for pid, node in self.placement.items() if pid in present
         }
-        rejected = {
-            pid
-            for pid in self.rejected
-            if pid in {p.provider_id for p in market.providers}
-        }
-        loads: Dict[int, List[float]] = {
+        rejected = {pid for pid in self.rejected if pid in present}
+
+        if self.representation == "compiled":
+            cm = market.compile()
+            loads = cm.load_matrix(placement)
+            for pid in sorted(arrivals):
+                row = cm.provider_row(pid)
+                # Posted price sheet: congestion at its face value of one
+                # occupant plus the fixed cost — the same two terms, in
+                # the same order, as `model.cost(provider, cl, 1)`.
+                costs = cm.shared[:, 1] + cm.fixed[row]
+                costs = np.where(cm.fits_mask(row, loads), costs, np.inf)
+                j = int(np.argmin(costs))
+                if not costs[j] < cm.remote[row]:
+                    rejected.add(pid)
+                    continue
+                placement[pid] = cm.cloudlet_nodes[j]
+                loads[j] += cm.demand[row]
+            return placement, rejected
+
+        model = market.cost_model
+        obj_loads: Dict[int, List[float]] = {
             cl.node_id: [0.0, 0.0] for cl in self.network.cloudlets
         }
         for pid, node in placement.items():
             provider = market.provider(pid)
-            loads[node][0] += provider.compute_demand
-            loads[node][1] += provider.bandwidth_demand
+            obj_loads[node][0] += provider.compute_demand
+            obj_loads[node][1] += provider.bandwidth_demand
 
         for pid in sorted(arrivals):
             provider = market.provider(pid)
@@ -169,10 +324,10 @@ class DynamicMarketSimulation:
             for cl in self.network.cloudlets:
                 node = cl.node_id
                 if (
-                    loads[node][0] + provider.compute_demand
-                    > cl.compute_capacity + 1e-9
-                    or loads[node][1] + provider.bandwidth_demand
-                    > cl.bandwidth_capacity + 1e-9
+                    obj_loads[node][0] + provider.compute_demand
+                    > cl.compute_capacity + CAPACITY_EPS
+                    or obj_loads[node][1] + provider.bandwidth_demand
+                    > cl.bandwidth_capacity + CAPACITY_EPS
                 ):
                     continue
                 cost = model.cost(provider, cl, 1)  # posted price sheet
@@ -183,9 +338,28 @@ class DynamicMarketSimulation:
                 rejected.add(pid)
                 continue
             placement[pid] = best_node
-            loads[best_node][0] += provider.compute_demand
-            loads[best_node][1] += provider.bandwidth_demand
+            obj_loads[best_node][0] += provider.compute_demand
+            obj_loads[best_node][1] += provider.bandwidth_demand
         return placement, rejected
+
+    def _hysteresis(
+        self, market: ServiceMarket, arrivals: Set[int]
+    ) -> Tuple[Dict[int, int], Set[int], bool]:
+        """Stick with the incremental candidate until its social cost
+        drifts past the threshold, then replan and re-anchor."""
+        placement, rejected = self._incremental(market, arrivals)
+        candidate_cost = self._social(market, placement, rejected)
+        if self._anchor_cost is None:
+            drift = float("inf")
+        else:
+            drift = abs(candidate_cost - self._anchor_cost) / max(
+                abs(self._anchor_cost), _DRIFT_FLOOR
+            )
+        if drift > self.hysteresis_threshold:
+            placement, rejected = self._replan(market)
+            self._anchor_cost = self._social(market, placement, rejected)
+            return placement, rejected, True
+        return placement, rejected, False
 
     # ------------------------------------------------------------------ #
     # The epoch loop
@@ -197,9 +371,22 @@ class DynamicMarketSimulation:
             self.population.arrival_rate = float(self.trace(next_epoch))
         event: PopulationEvent = self.population.step()
         providers = self.population.present
+        by_id = {p.provider_id: p for p in providers}
+        delta = MarketDelta(
+            arrivals=tuple(by_id[pid] for pid in sorted(event.arrived)),
+            departures=tuple(event.departed),
+        )
+
         if not providers:
+            # The market died out this epoch: keep the persistent market's
+            # tables in sync (it may refill later) and reset the warm state
+            # — the next population starts a fresh history.
+            if self.market is not None and self.representation == "compiled":
+                self.market.apply(delta)
             self.placement = {}
             self.rejected = set()
+            self._last_result = None
+            self._anchor_cost = None
             return EpochRecord(
                 epoch=event.epoch,
                 population=0,
@@ -211,9 +398,11 @@ class DynamicMarketSimulation:
                 rejected=0,
             )
 
-        market = self._market(providers)
+        market = self._advance_market(delta, providers)
+        replanned = False
         if self.policy == "replan":
             new_placement, new_rejected = self._replan(market)
+            replanned = True
         else:
             # Anyone present but unplaced must choose now — epoch-1 initial
             # population included, not just this epoch's arrivals.
@@ -223,25 +412,18 @@ class DynamicMarketSimulation:
                 if p.provider_id not in self.placement
                 and p.provider_id not in self.rejected
             }
-            new_placement, new_rejected = self._incremental(market, unplaced)
+            if self.policy == "incremental":
+                new_placement, new_rejected = self._incremental(market, unplaced)
+            else:
+                new_placement, new_rejected, replanned = self._hysteresis(
+                    market, unplaced
+                )
 
-        # Migration billing: survivors whose cloudlet changed.
-        migration_cost = 0.0
-        migrations = 0
-        for pid, node in new_placement.items():
-            old = self.placement.get(pid)
-            if old is not None and old != node:
-                migration_cost += self.migration_cost(market.provider(pid), old, node)
-                migrations += 1
-
+        migration_cost, migrations = self._bill_migrations(market, new_placement)
         self.placement = new_placement
         self.rejected = new_rejected
 
-        social = market.cost_model.social_cost(market.providers_by_id(), new_placement)
-        social += sum(
-            market.cost_model.remote_cost(market.provider(pid))
-            for pid in new_rejected
-        )
+        social = self._social(market, new_placement, new_rejected)
         return EpochRecord(
             epoch=event.epoch,
             population=len(providers),
@@ -251,6 +433,7 @@ class DynamicMarketSimulation:
             migration_cost=migration_cost,
             migrations=migrations,
             rejected=len(new_rejected),
+            replanned=replanned,
         )
 
     def run(self, epochs: int) -> SimulationSummary:

@@ -184,15 +184,13 @@ def market_from_dict(data: Dict) -> ServiceMarket:
         )
         provider.coordinated = bool(entry.get("coordinated", False))
         providers.append(provider)
-    market = ServiceMarket(
+    return ServiceMarket(
         network,
         providers,
         pricing=Pricing(**data["pricing"]),
         congestion=_congestion_from_dict(data["congestion"]),
+        remote_premium=float(data.get("remote_premium", 20.0)),
     )
-    market.cost_model.remote_premium = float(data.get("remote_premium", 20.0))
-    market.invalidate_compiled()
-    return market
 
 
 # --------------------------------------------------------------------- #

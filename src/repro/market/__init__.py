@@ -16,6 +16,7 @@ from repro.market.costs import (
     QuadraticCongestion,
 )
 from repro.market.market import ServiceMarket
+from repro.market.delta import MarketDelta
 from repro.market.compiled import REPRESENTATIONS, CompiledMarket, resolve_compiled
 from repro.market.workload import WorkloadParams, generate_providers, generate_market
 
@@ -29,6 +30,7 @@ __all__ = [
     "QuadraticCongestion",
     "MM1Congestion",
     "ServiceMarket",
+    "MarketDelta",
     "CompiledMarket",
     "REPRESENTATIONS",
     "resolve_compiled",

@@ -17,6 +17,18 @@ compiled and object paths must agree on placements and social costs
 exactly, which ``tests/integration/test_compiled_equivalence.py`` pins
 differentially.
 
+It is also a *live* structure: when the market changes — providers arrive
+or depart, capacities or congestion prices move — a
+:class:`~repro.market.delta.MarketDelta` applied through
+``ServiceMarket.apply()`` patches only the affected rows via
+:meth:`CompiledMarket.apply_delta` (tombstoned rows are recycled and the
+tables periodically compacted), so a churning population never pays a full
+recompile. Consumers therefore must address rows through ``provider_index``
+or :attr:`CompiledMarket.active_rows` rather than assume row ``i`` is the
+``i``-th provider in id order; after any delta the gathered view is
+per-entry equal to a from-scratch ``compile()``, which
+``tests/dynamics/test_delta_equivalence.py`` pins over long churn traces.
+
 The blob is deliberately self-contained (plain numpy arrays, id↔index
 dicts, and a picklable :class:`~repro.market.costs.CongestionFunction`):
 it carries no reference back to the market, network, or cost model, so it
@@ -33,7 +45,8 @@ return the same float, not merely the same value within tolerance.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, TYPE_CHECKING
+import bisect
+from typing import Dict, List, Mapping, NamedTuple, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -43,13 +56,117 @@ from repro.utils.contracts import invariants_active
 from repro.utils.validation import CAPACITY_EPS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (market imports us)
+    from repro.market.delta import MarketDelta
     from repro.market.market import ServiceMarket
+    from repro.market.service import ServiceProvider
+
+#: Tombstoned rows tolerated before :meth:`CompiledMarket.compact` fires
+#: (beyond one full active population's worth).
+COMPACTION_SLACK = 16
 
 #: Instance representations an algorithm can run on: ``"compiled"`` (the
 #: array-backed :class:`CompiledMarket`, the default) or ``"object"`` (the
 #: reference object-graph path, kept as the differential-testing oracle —
 #: the same role the ``"naive"`` engine plays for best-response dynamics).
 REPRESENTATIONS = ("compiled", "object")
+
+
+class _ProviderRow(NamedTuple):
+    """One provider's worth of compiled table entries."""
+
+    instantiation: float
+    remote: float
+    demand: np.ndarray  # (2,)
+    access: np.ndarray  # (m,)
+    update: np.ndarray  # (m,)
+    user_delay: np.ndarray  # (m,)
+    access_delay: Optional[np.ndarray]  # (m,) or None without a budget
+
+
+class _ProviderRowBuilder:
+    """Evaluates one provider's table rows from the market's cost model.
+
+    Shared by :meth:`CompiledMarket.from_market` (all rows at build time)
+    and :meth:`CompiledMarket.apply_delta` (arrival rows only), so a
+    delta-patched row is bit-equal to the row a fresh compile would have
+    produced — same operand order, same memoised routing rows.
+    """
+
+    def __init__(self, market: "ServiceMarket") -> None:
+        model = market.cost_model
+        net = market.network
+        self.model = model
+        self.routing = net.routing
+        self.cl_nodes = [cl.node_id for cl in net.cloudlets]
+        self.transmit = model.pricing.transmit_per_gb
+        self.surcharge = model.pricing.hop_surcharge
+        self.budget = model.latency_budget_ms
+        self.bdw_units = np.array(
+            [cl.bdw_unit_cost for cl in net.cloudlets], dtype=float
+        )
+        # One single-source row per distinct endpoint (user nodes, home
+        # DCs), gathered over the cloudlet columns. Values are the same
+        # memoised BFS/Dijkstra results the per-pair queries return.
+        self._hop_cache: Dict[int, np.ndarray] = {}
+        self._delay_cache: Dict[int, np.ndarray] = {}
+
+    def hops_to_cloudlets(self, u: int) -> np.ndarray:
+        arr = self._hop_cache.get(u)
+        if arr is None:
+            row = self.routing.hop_row(u)
+            arr = np.array([row[v] for v in self.cl_nodes], dtype=float)
+            self._hop_cache[u] = arr
+        return arr
+
+    def delays_to_cloudlets(self, u: int) -> np.ndarray:
+        arr = self._delay_cache.get(u)
+        if arr is None:
+            row = self.routing.delay_row(u)
+            arr = np.array([row[v] for v in self.cl_nodes], dtype=float)
+            self._delay_cache[u] = arr
+        return arr
+
+    def build(self, p: "ServiceProvider") -> _ProviderRow:
+        svc = p.service
+        m = len(self.cl_nodes)
+        # access_cost: per-cluster transmission charges, folded in
+        # cluster order — volume * price * (1 + surcharge * hops).
+        acc = np.zeros(m, dtype=float)
+        for node, weight in svc.clusters:
+            volume_price = (svc.request_traffic_gb * weight) * self.transmit
+            acc = acc + volume_price * (
+                1.0 + self.surcharge * self.hops_to_cloudlets(node)
+            )
+        # update_cost: cloudlet bandwidth charge plus the hop-scaled
+        # consistency-update transit back to the home data center.
+        vol = svc.update_volume_gb
+        upd = self.bdw_units * vol + (vol * self.transmit) * (
+            1.0 + self.surcharge * self.hops_to_cloudlets(svc.home_dc)
+        )
+        access_delay: Optional[np.ndarray] = None
+        if self.budget is not None:
+            dly = np.zeros(m, dtype=float)
+            for node, weight in svc.clusters:
+                dly = dly + weight * self.delays_to_cloudlets(node)
+            access_delay = dly
+        return _ProviderRow(
+            instantiation=self.model.instantiation_cost(p),
+            remote=self.model.remote_cost(p),
+            demand=np.array([p.compute_demand, p.bandwidth_demand], dtype=float),
+            access=acc,
+            update=upd,
+            user_delay=self.delays_to_cloudlets(svc.user_node),
+            access_delay=access_delay,
+        )
+
+    def fixed_row(self, row: _ProviderRow) -> np.ndarray:
+        """Eq. (3)'s congestion-free cost with the latency-budget mask —
+        elementwise the same ``inst + access + update`` fold (and the same
+        ``np.where`` mask) as the 2-D build in :meth:`from_market`."""
+        fixed = row.instantiation + row.access + row.update
+        if row.access_delay is not None:
+            fixed = np.where(row.access_delay > self.budget, np.inf, fixed)
+        return fixed
 
 
 class CompiledMarket:
@@ -120,6 +237,10 @@ class CompiledMarket:
         self.remote = remote
         self.user_delay = user_delay
         self.congestion = congestion
+        # Delta bookkeeping: tombstoned physical rows available for reuse,
+        # and the cached active-row gather (see :meth:`apply_delta`).
+        self._free_rows: List[int] = []
+        self._active_rows: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -138,41 +259,14 @@ class CompiledMarket:
         """
         model = market.cost_model
         net = market.network
-        pricing = model.pricing
-        routing = net.routing
         providers = market.providers
         cloudlets = net.cloudlets
         n, m = len(providers), len(cloudlets)
         if m == 0:
             raise ConfigurationError("market network has no cloudlets to compile")
-        cl_nodes = [cl.node_id for cl in cloudlets]
 
-        # One single-source row per distinct endpoint (user nodes, home
-        # DCs), gathered over the cloudlet columns. Values are the same
-        # memoised BFS/Dijkstra results the per-pair queries return.
-        hop_cache: Dict[int, np.ndarray] = {}
-        delay_cache: Dict[int, np.ndarray] = {}
-
-        def hops_to_cloudlets(u: int) -> np.ndarray:
-            arr = hop_cache.get(u)
-            if arr is None:
-                row = routing.hop_row(u)
-                arr = np.array([row[v] for v in cl_nodes], dtype=float)
-                hop_cache[u] = arr
-            return arr
-
-        def delays_to_cloudlets(u: int) -> np.ndarray:
-            arr = delay_cache.get(u)
-            if arr is None:
-                row = routing.delay_row(u)
-                arr = np.array([row[v] for v in cl_nodes], dtype=float)
-                delay_cache[u] = arr
-            return arr
-
-        transmit = pricing.transmit_per_gb
-        surcharge = pricing.hop_surcharge
+        builder = _ProviderRowBuilder(market)
         budget = model.latency_budget_ms
-        bdw_units = np.array([cl.bdw_unit_cost for cl in cloudlets], dtype=float)
 
         instantiation = np.empty(n, dtype=float)
         access = np.empty((n, m), dtype=float)
@@ -182,30 +276,15 @@ class CompiledMarket:
         remote = np.empty(n, dtype=float)
         demand = np.empty((n, 2), dtype=float)
         for i, p in enumerate(providers):
-            svc = p.service
-            instantiation[i] = model.instantiation_cost(p)
-            remote[i] = model.remote_cost(p)
-            demand[i, 0] = p.compute_demand
-            demand[i, 1] = p.bandwidth_demand
-            # access_cost: per-cluster transmission charges, folded in
-            # cluster order — volume * price * (1 + surcharge * hops).
-            acc = np.zeros(m, dtype=float)
-            for node, weight in svc.clusters:
-                volume_price = (svc.request_traffic_gb * weight) * transmit
-                acc = acc + volume_price * (1.0 + surcharge * hops_to_cloudlets(node))
-            access[i] = acc
-            # update_cost: cloudlet bandwidth charge plus the hop-scaled
-            # consistency-update transit back to the home data center.
-            vol = svc.update_volume_gb
-            update[i] = bdw_units * vol + (vol * transmit) * (
-                1.0 + surcharge * hops_to_cloudlets(svc.home_dc)
-            )
-            user_delay[i] = delays_to_cloudlets(svc.user_node)
+            row = builder.build(p)
+            instantiation[i] = row.instantiation
+            remote[i] = row.remote
+            demand[i] = row.demand
+            access[i] = row.access
+            update[i] = row.update
+            user_delay[i] = row.user_delay
             if access_delay is not None:
-                dly = np.zeros(m, dtype=float)
-                for node, weight in svc.clusters:
-                    dly = dly + weight * delays_to_cloudlets(node)
-                access_delay[i] = dly
+                access_delay[i] = row.access_delay
 
         fixed = instantiation[:, None] + access + update
         if access_delay is not None:
@@ -238,11 +317,166 @@ class CompiledMarket:
         return compiled
 
     # ------------------------------------------------------------------ #
+    # Delta recompilation (the mutation protocol's compiled half)
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta: "MarketDelta", market: "ServiceMarket") -> None:
+        """Patch the tables in place for one :class:`MarketDelta`.
+
+        O(changed rows) instead of a full recompile:
+
+        * price changes rewrite one ``coeff`` entry and one ``shared`` row
+          (the same ``coeff * g`` products a fresh compile computes);
+        * capacity changes store into the ``(m, 2)`` capacity vector;
+        * departures *tombstone* their physical row (``fixed``/``remote``
+          scrubbed to ``+inf`` so a stale gather can never look feasible)
+          and recycle it through a free list;
+        * arrivals reuse tombstoned rows — appending fresh ones only when
+          the free list runs dry — with rows built by the same
+          :class:`_ProviderRowBuilder` as :meth:`from_market`, so every
+          entry is bit-equal to a from-scratch compile;
+        * the congestion prefix ``g`` (and the ``shared`` table) grow to
+          the new maximum occupancy when the population expands.
+
+        ``market`` must already reflect the delta (call through
+        :meth:`ServiceMarket.apply`, which orders the two). After
+        :data:`COMPACTION_SLACK` plus one population's worth of tombstones
+        accumulate, :meth:`compact` rewrites the tables dense.
+
+        Physical row order is *not* id order after a delta — consumers
+        must gather through ``provider_index`` / :attr:`active_rows`
+        rather than assume ``row i == i-th provider``.
+        """
+        # Validate against current state before mutating anything.
+        for node in (*delta.price_changes, *delta.capacity_changes):
+            self.cloudlet_col(node)
+        missing = [pid for pid in delta.departures if pid not in self.provider_index]
+        if missing:
+            raise ConfigurationError(
+                f"cannot depart unknown provider ids {missing}"
+            )
+        departing = set(delta.departures)
+        dup = [
+            p.provider_id
+            for p in delta.arrivals
+            if p.provider_id in self.provider_index
+            and p.provider_id not in departing
+        ]
+        if dup:
+            raise ConfigurationError(f"arriving provider ids {dup} already present")
+
+        for node, (alpha, beta) in delta.price_changes.items():
+            j = self.cloudlet_index[node]
+            self.coeff[j] = alpha + beta
+            self.shared[j, :] = self.coeff[j] * self.g
+        for node, (cpu, bw) in delta.capacity_changes.items():
+            j = self.cloudlet_index[node]
+            self.capacity[j, 0] = cpu
+            self.capacity[j, 1] = bw
+
+        for pid in delta.departures:
+            row = self.provider_index.pop(pid)
+            self.provider_ids.remove(pid)
+            self._free_rows.append(row)
+            self.fixed[row, :] = np.inf
+            self.remote[row] = np.inf
+            self.demand[row, :] = 0.0
+
+        arrivals = sorted(delta.arrivals, key=lambda p: p.provider_id)
+        if arrivals:
+            grow = len(arrivals) - len(self._free_rows)
+            if grow > 0:
+                self._grow_rows(grow)
+            builder = _ProviderRowBuilder(market)
+            for p in arrivals:
+                row = self._free_rows.pop()
+                built = builder.build(p)
+                self.instantiation[row] = built.instantiation
+                self.remote[row] = built.remote
+                self.demand[row] = built.demand
+                self.access[row] = built.access
+                self.update[row] = built.update
+                self.user_delay[row] = built.user_delay
+                self.fixed[row] = builder.fixed_row(built)
+                bisect.insort(self.provider_ids, p.provider_id)
+                self.provider_index[p.provider_id] = row
+
+        self._active_rows = None
+
+        n = len(self.provider_ids)
+        if n + 1 > len(self.g):
+            new_g = np.array(
+                [self.congestion(k) for k in range(len(self.g), n + 1)], dtype=float
+            )
+            self.g = np.concatenate([self.g, new_g])
+            self.shared = np.concatenate(
+                [self.shared, self.coeff[:, None] * new_g[None, :]], axis=1
+            )
+
+        if len(self._free_rows) > max(COMPACTION_SLACK, n):
+            self.compact()
+        if invariants_active():
+            self.verify_against(market)
+
+    def _grow_rows(self, k: int) -> None:
+        """Append ``k`` blank physical rows (pushed onto the free list)."""
+        old = self.fixed.shape[0]
+        m = self.n_cloudlets
+        self.fixed = np.vstack([self.fixed, np.full((k, m), np.inf)])
+        self.access = np.vstack([self.access, np.zeros((k, m))])
+        self.update = np.vstack([self.update, np.zeros((k, m))])
+        self.user_delay = np.vstack([self.user_delay, np.zeros((k, m))])
+        self.instantiation = np.concatenate([self.instantiation, np.zeros(k)])
+        self.remote = np.concatenate([self.remote, np.full(k, np.inf)])
+        self.demand = np.vstack([self.demand, np.zeros((k, 2))])
+        self._free_rows.extend(range(old, old + k))
+
+    def compact(self) -> None:
+        """Rewrite the tables dense — row ``i`` is again the ``i``-th
+        provider in id order — dropping tombstoned rows and trimming the
+        congestion prefix back to the active occupancy range."""
+        rows = self.active_rows
+        self.fixed = self.fixed[rows]
+        self.access = self.access[rows]
+        self.update = self.update[rows]
+        self.user_delay = self.user_delay[rows]
+        self.instantiation = self.instantiation[rows]
+        self.remote = self.remote[rows]
+        self.demand = self.demand[rows]
+        self.provider_index = {pid: i for i, pid in enumerate(self.provider_ids)}
+        self._free_rows = []
+        self._active_rows = None
+        n = len(self.provider_ids)
+        if len(self.g) > n + 1:
+            self.g = self.g[: n + 1].copy()
+            self.shared = np.ascontiguousarray(self.shared[:, : n + 1])
+
+    # ------------------------------------------------------------------ #
     # Shapes and id↔index maps
     # ------------------------------------------------------------------ #
     @property
     def n_providers(self) -> int:
         return len(self.provider_ids)
+
+    @property
+    def n_rows(self) -> int:
+        """Physical table rows (active providers plus tombstones)."""
+        return int(self.fixed.shape[0])
+
+    @property
+    def active_rows(self) -> np.ndarray:
+        """Physical row of every active provider, in provider-id order.
+
+        The gather consumers must use instead of assuming dense rows: after
+        :meth:`apply_delta`, ``fixed[active_rows]`` (etc.) is the same
+        table a fresh compile would produce, whatever the physical layout.
+        """
+        if self._active_rows is None:
+            self._active_rows = np.fromiter(
+                (self.provider_index[pid] for pid in self.provider_ids),
+                dtype=np.int64,
+                count=len(self.provider_ids),
+            )
+        return self._active_rows
 
     @property
     def n_cloudlets(self) -> int:
@@ -358,7 +592,14 @@ class CompiledMarket:
         from repro.exceptions import InvariantViolation
 
         model = market.cost_model
-        for i, p in enumerate(market.providers):
+        market_ids = [p.provider_id for p in market.providers]
+        if market_ids != list(self.provider_ids):
+            raise InvariantViolation(
+                f"compiled provider ids {self.provider_ids} out of sync with "
+                f"market {market_ids}"
+            )
+        for p in market.providers:
+            i = self.provider_index[p.provider_id]
             for j, cl in enumerate(market.network.cloudlets):
                 want = model.fixed_cost(p, cl)
                 got = float(self.fixed[i, j])
@@ -366,6 +607,19 @@ class CompiledMarket:
                     raise InvariantViolation(
                         f"compiled fixed[{i},{j}] = {got!r} != object-graph {want!r}"
                     )
+            if float(self.remote[i]) != model.remote_cost(p):
+                raise InvariantViolation(
+                    f"compiled remote[{i}] = {self.remote[i]!r} "
+                    f"!= object-graph {model.remote_cost(p)!r}"
+                )
+            if (
+                float(self.demand[i, 0]) != p.compute_demand
+                or float(self.demand[i, 1]) != p.bandwidth_demand
+            ):
+                raise InvariantViolation(
+                    f"compiled demand[{i}] = {self.demand[i]!r} out of sync "
+                    f"with provider {p.provider_id}"
+                )
         for j, cl in enumerate(market.network.cloudlets):
             for k in range(1, self.n_providers + 1):
                 want = model.congestion_cost(cl, k)
@@ -374,6 +628,14 @@ class CompiledMarket:
                         f"compiled shared[{j},{k}] = {self.shared[j, k]!r} "
                         f"!= object-graph {want!r}"
                     )
+            if (
+                float(self.capacity[j, 0]) != cl.compute_capacity
+                or float(self.capacity[j, 1]) != cl.bandwidth_capacity
+            ):
+                raise InvariantViolation(
+                    f"compiled capacity[{j}] = {self.capacity[j]!r} out of "
+                    f"sync with cloudlet {cl.node_id}"
+                )
 
     def __repr__(self) -> str:
         return (
@@ -407,4 +669,4 @@ def resolve_compiled(
     return compiled if compiled is not None else market.compile()
 
 
-__all__ = ["REPRESENTATIONS", "CompiledMarket", "resolve_compiled"]
+__all__ = ["COMPACTION_SLACK", "REPRESENTATIONS", "CompiledMarket", "resolve_compiled"]

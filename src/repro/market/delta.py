@@ -1,0 +1,133 @@
+"""The market mutation protocol: :class:`MarketDelta`.
+
+A market changes in exactly four ways — providers arrive, providers depart,
+cloudlet capacities change, and cloudlet congestion prices change.
+Historically every mutation site poked the object graph directly and (at
+best) called ``ServiceMarket.invalidate_compiled()``, turning each epoch of
+a dynamic run into a full recompilation.  :class:`MarketDelta` makes the
+mutation itself a value: call :meth:`ServiceMarket.apply
+<repro.market.market.ServiceMarket.apply>` with a delta and both the object
+graph and the cached :class:`~repro.market.compiled.CompiledMarket` are
+patched in O(changed rows) instead of being rebuilt from scratch.
+
+Deltas are immutable and self-validating; they deliberately cover only the
+mutations the compiled tables capture.  Anything else (pricing policy,
+congestion function, latency budget) still requires building a new market —
+those are different *economies*, not the same market a moment later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.market.service import ServiceProvider
+
+
+@dataclass(frozen=True)
+class MarketDelta:
+    """One batch of market mutations, applied atomically.
+
+    Parameters
+    ----------
+    arrivals:
+        New :class:`~repro.market.service.ServiceProvider` objects entering
+        the market.  Ids must be unique within the delta (and, at apply
+        time, not already present).
+    departures:
+        Provider ids leaving the market.
+    capacity_changes:
+        ``cloudlet node_id -> (compute_capacity, bandwidth_capacity)`` —
+        the cloudlet's *new* capacities (absolute values, not increments).
+    price_changes:
+        ``cloudlet node_id -> (alpha, beta)`` — the cloudlet's new
+        congestion price coefficients (Eq. 1–2).
+    """
+
+    arrivals: Tuple[ServiceProvider, ...] = ()
+    departures: Tuple[int, ...] = ()
+    capacity_changes: Mapping[int, Tuple[float, float]] = field(default_factory=dict)
+    price_changes: Mapping[int, Tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arrivals", tuple(self.arrivals))
+        object.__setattr__(
+            self, "departures", tuple(sorted(int(pid) for pid in self.departures))
+        )
+        object.__setattr__(
+            self,
+            "capacity_changes",
+            {
+                int(node): (float(cpu), float(bw))
+                for node, (cpu, bw) in dict(self.capacity_changes).items()
+            },
+        )
+        object.__setattr__(
+            self,
+            "price_changes",
+            {
+                int(node): (float(alpha), float(beta))
+                for node, (alpha, beta) in dict(self.price_changes).items()
+            },
+        )
+
+        arriving = [p.provider_id for p in self.arrivals]
+        if len(set(arriving)) != len(arriving):
+            raise ConfigurationError("delta arrivals carry duplicate provider ids")
+        both = set(arriving) & set(self.departures)
+        if both:
+            raise ConfigurationError(
+                f"providers {sorted(both)} both arrive and depart in one delta"
+            )
+        if len(set(self.departures)) != len(self.departures):
+            raise ConfigurationError("delta departures carry duplicate provider ids")
+        for node, (cpu, bw) in self.capacity_changes.items():
+            if cpu < 0 or bw < 0:
+                raise ConfigurationError(
+                    f"capacity change for cloudlet {node} must be non-negative, "
+                    f"got {(cpu, bw)}"
+                )
+        for node, (alpha, beta) in self.price_changes.items():
+            if alpha < 0 or beta < 0:
+                raise ConfigurationError(
+                    f"price change for cloudlet {node} must be non-negative, "
+                    f"got {(alpha, beta)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when applying this delta would change nothing."""
+        return not (
+            self.arrivals
+            or self.departures
+            or self.capacity_changes
+            or self.price_changes
+        )
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    @property
+    def churn(self) -> int:
+        """Provider arrivals plus departures."""
+        return len(self.arrivals) + len(self.departures)
+
+    @property
+    def arriving_ids(self) -> Tuple[int, ...]:
+        """Ids of the arriving providers, in id order."""
+        return tuple(sorted(p.provider_id for p in self.arrivals))
+
+    def __repr__(self) -> str:
+        return (
+            f"MarketDelta(arrivals={len(self.arrivals)}, "
+            f"departures={len(self.departures)}, "
+            f"capacity_changes={len(self.capacity_changes)}, "
+            f"price_changes={len(self.price_changes)})"
+        )
+
+
+__all__ = ["MarketDelta"]

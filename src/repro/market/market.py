@@ -18,6 +18,7 @@ from repro.utils.validation import check_fraction
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a cycle (compiled imports market)
     from repro.market.compiled import CompiledMarket
+    from repro.market.delta import MarketDelta
 
 
 class ServiceMarket:
@@ -33,6 +34,9 @@ class ServiceMarket:
         Per-GB resource prices; defaults to the midpoint of Section IV.A.
     congestion:
         Congestion function ``g``; defaults to the paper's linear model.
+    remote_premium:
+        Multiplier on backhaul transmission for remote ("do not cache")
+        serving; passed through to the :class:`~repro.market.costs.CostModel`.
     """
 
     def __init__(
@@ -42,6 +46,7 @@ class ServiceMarket:
         pricing: Optional[Pricing] = None,
         congestion: Optional[CongestionFunction] = None,
         latency_budget_ms: Optional[float] = None,
+        remote_premium: float = 20.0,
     ) -> None:
         if not providers:
             raise ConfigurationError("a market needs at least one provider")
@@ -58,6 +63,7 @@ class ServiceMarket:
             network,
             pricing=pricing,
             congestion=congestion,
+            remote_premium=remote_premium,
             latency_budget_ms=latency_budget_ms,
         )
         self._by_id: Dict[int, ServiceProvider] = {
@@ -83,9 +89,73 @@ class ServiceMarket:
         return self._compiled
 
     def invalidate_compiled(self) -> None:
-        """Drop the cached compiled view (after mutating costs/capacities)."""
+        """Drop the cached compiled view (after mutating costs/capacities).
+
+        This is the blunt instrument: the next :meth:`compile` pays a full
+        rebuild. For the mutations a :class:`~repro.market.delta.MarketDelta`
+        expresses — churn, capacity and price changes — use :meth:`apply`,
+        which patches the cached view in place instead.
+        """
         self._compiled = None
         self.cost_model._fixed_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Mutation protocol
+    # ------------------------------------------------------------------ #
+    def apply(self, delta: "MarketDelta") -> None:
+        """Apply one :class:`~repro.market.delta.MarketDelta` atomically.
+
+        The one sanctioned way to mutate a live market (reprolint rule R6
+        flags direct attribute writes outside ``market/``): the object
+        graph — provider population, cloudlet capacities and prices, the
+        cost model's memoised fixed costs — and the cached
+        :class:`~repro.market.compiled.CompiledMarket` (when one exists)
+        are updated together, so the compiled view never goes stale and
+        never pays a full recompile.
+
+        Unlike construction, applying a delta may leave the market empty —
+        a dynamic population can die out for an epoch and return.
+        """
+        departing = set(delta.departures)
+        missing = departing - set(self._by_id)
+        if missing:
+            raise ConfigurationError(
+                f"cannot depart unknown provider ids {sorted(missing)}"
+            )
+        dup = {
+            p.provider_id for p in delta.arrivals
+        } & (set(self._by_id) - departing)
+        if dup:
+            raise ConfigurationError(
+                f"arriving provider ids {sorted(dup)} already present"
+            )
+        for node in (*delta.capacity_changes, *delta.price_changes):
+            self.network.cloudlet_at(node)
+
+        for pid in delta.departures:
+            del self._by_id[pid]
+        for p in delta.arrivals:
+            self._by_id[p.provider_id] = p
+        self.providers = sorted(self._by_id.values(), key=lambda p: p.provider_id)
+
+        if departing:
+            cache = self.cost_model._fixed_cache
+            for key in list(cache):
+                pid = key[1] if key[0] == "remote" else key[0]
+                if pid in departing:
+                    del cache[key]
+
+        for node, (cpu, bw) in delta.capacity_changes.items():
+            cl = self.network.cloudlet_at(node)
+            cl.compute_capacity = cpu
+            cl.bandwidth_capacity = bw
+        for node, (alpha, beta) in delta.price_changes.items():
+            cl = self.network.cloudlet_at(node)
+            cl.alpha = alpha
+            cl.beta = beta
+
+        if self._compiled is not None:
+            self._compiled.apply_delta(delta, self)
 
     # ------------------------------------------------------------------ #
     # Provider access

@@ -132,6 +132,7 @@ def generate_market(
     pricing: Optional[Pricing] = None,
     congestion: Optional[CongestionFunction] = None,
     latency_budget_ms: Optional[float] = None,
+    remote_premium: float = 20.0,
 ) -> ServiceMarket:
     """Generate a full market: providers + pricing over a given network."""
     rng = as_rng(rng)
@@ -144,6 +145,7 @@ def generate_market(
         pricing=pricing,
         congestion=congestion,
         latency_budget_ms=latency_budget_ms,
+        remote_premium=remote_premium,
     )
 
 

@@ -322,6 +322,81 @@ class TestRngPlumbing:
 
 
 # --------------------------------------------------------------------- #
+# R6 — market-mutation
+# --------------------------------------------------------------------- #
+class TestMarketMutation:
+    def test_flags_direct_market_attribute_write(self):
+        code = """
+            def reprice(market):
+                market.providers = []
+        """
+        diags = lint(code, rules=["R6"])
+        assert rule_ids(diags) == ["R6"]
+        assert "MarketDelta" in diags[0].message
+
+    def test_flags_write_through_nested_market_path(self):
+        code = """
+            class Sim:
+                def tweak(self):
+                    self.market.cost_model.remote_premium = 3.0
+        """
+        assert rule_ids(lint(code, rules=["R6"])) == ["R6"]
+
+    def test_flags_cloudlet_capacity_augassign(self):
+        code = """
+            def scale(cl):
+                cl.compute_capacity *= 2.0
+        """
+        diags = lint(code, rules=["R6"])
+        assert rule_ids(diags) == ["R6"]
+        assert "capacity_changes" in diags[0].message
+
+    def test_flags_cloudlet_price_write(self):
+        code = """
+            def reprice(cloudlet):
+                cloudlet.alpha = 0.5
+        """
+        assert rule_ids(lint(code, rules=["R6"])) == ["R6"]
+
+    def test_rebinding_a_market_variable_passes(self):
+        code = """
+            class Sim:
+                def reset(self, build):
+                    self.market = build()
+        """
+        assert lint(code, rules=["R6"]) == []
+
+    def test_unrelated_attribute_writes_pass(self):
+        code = """
+            def track(self, record):
+                self.counter += 1
+                record.capacity = 3.0
+        """
+        assert lint(code, rules=["R6"]) == []
+
+    def test_market_package_exempt(self):
+        code = """
+            def apply(market, providers):
+                market.providers = providers
+        """
+        assert lint(code, path="src/repro/market/market.py", rules=["R6"]) == []
+
+    def test_test_files_exempt(self):
+        code = """
+            def test_mutation(market):
+                market.providers = []
+        """
+        assert lint(code, path="tests/test_x.py", rules=["R6"]) == []
+
+    def test_escape_hatch_silences(self):
+        code = """
+            def bookkeeping(market):
+                market.epoch_label = "t3"  # reprolint: ok[R6] transient display tag
+        """
+        assert lint(code, rules=["R6"]) == []
+
+
+# --------------------------------------------------------------------- #
 # Suppressions (escape hatch + R0 hygiene)
 # --------------------------------------------------------------------- #
 class TestSuppressions:
@@ -402,7 +477,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("R1", "R2", "R3", "R4", "R5", "R0"):
+        for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R0"):
             assert rule in out
 
     def test_select_restricts_rules(self, tmp_path):

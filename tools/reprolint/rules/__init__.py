@@ -14,6 +14,7 @@ from reprolint.rules.rng import RawRandomRule, RngPlumbingRule
 from reprolint.rules.epsilon import CapacityEpsilonRule
 from reprolint.rules.pickling import SweepPickleRule
 from reprolint.rules.mutability import StableOrderRule
+from reprolint.rules.market_mutation import MarketMutationRule
 
 ALL_RULES: List[Type[Rule]] = [
     RawRandomRule,
@@ -21,6 +22,7 @@ ALL_RULES: List[Type[Rule]] = [
     SweepPickleRule,
     StableOrderRule,
     RngPlumbingRule,
+    MarketMutationRule,
 ]
 
 __all__ = ["ALL_RULES", "Rule"]

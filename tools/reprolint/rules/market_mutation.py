@@ -1,0 +1,98 @@
+"""R6 (market-mutation): direct market mutation outside the ``market/`` package.
+
+PR 4 made market mutation a first-class protocol: every change a
+:class:`~repro.market.delta.MarketDelta` can express (provider churn,
+cloudlet capacity and congestion-price changes) must go through
+``ServiceMarket.apply(delta)``, which updates the object graph and the
+cached :class:`~repro.market.compiled.CompiledMarket` together.  A direct
+attribute write from anywhere else either leaves the compiled tables stale
+(the exact latent bug this rule was added to catch) or forces a full
+``invalidate_compiled()`` recompile where an O(changed rows) patch would do.
+
+Two shapes are flagged, outside ``market/`` and outside tests:
+
+* assignment (or augmented assignment) to an attribute reached *through* a
+  market object — ``market.providers = ...``,
+  ``self.market.cost_model.remote_premium = ...``;
+* assignment to a compiled-table-backed cloudlet attribute
+  (``compute_capacity``, ``bandwidth_capacity``, ``alpha``, ``beta``) on a
+  cloudlet-named base — ``cl.compute_capacity *= 2``.
+
+Rebinding a variable *to* a market (``self.market = ServiceMarket(...)``)
+is construction, not mutation, and is not flagged.  Genuinely exceptional
+sites (e.g. transient bookkeeping that deliberately bypasses the protocol)
+carry the usual escape hatch: ``# reprolint: ok[R6] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePosixPath
+
+from reprolint.rules.base import Rule, identifier_tokens
+
+#: Base-expression identifiers that denote a market object.
+_MARKET_TOKEN_RE = re.compile(r"market")
+#: Base-expression identifiers that denote a cloudlet object.
+_CLOUDLET_TOKEN_RE = re.compile(r"^cl$|cloudlet")
+#: Cloudlet attributes mirrored into compiled tables (capacity vectors and
+#: the congestion price coefficients alpha/beta).
+_WATCHED_CLOUDLET_ATTRS = {"compute_capacity", "bandwidth_capacity", "alpha", "beta"}
+
+
+class MarketMutationRule(Rule):
+    """R6: mutate markets through ``ServiceMarket.apply(MarketDelta(...))``."""
+
+    rule_id = "R6"
+    symbol = "market-mutation"
+
+    def _exempt(self) -> bool:
+        if self.ctx.is_test_file:
+            return True
+        # The market package itself is the protocol's implementation — the
+        # sanctioned home of direct writes.
+        dir_parts = PurePosixPath(self.ctx.path.replace("\\", "/")).parts[:-1]
+        return "market" in dir_parts
+
+    def _check_target(self, assign: ast.stmt, target: ast.expr) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        base_tokens = list(identifier_tokens(target.value))
+        if any(_MARKET_TOKEN_RE.search(tok) for tok in base_tokens):
+            self.report(
+                assign,
+                f"direct write to market attribute {target.attr!r} bypasses "
+                "the mutation protocol; route it through "
+                "ServiceMarket.apply(MarketDelta(...)) so the compiled "
+                "tables stay in sync",
+            )
+            return
+        if target.attr in _WATCHED_CLOUDLET_ATTRS and any(
+            _CLOUDLET_TOKEN_RE.search(tok) for tok in base_tokens
+        ):
+            self.report(
+                assign,
+                f"direct write to cloudlet {target.attr!r} is mirrored in "
+                "compiled market tables; use a MarketDelta "
+                "capacity_changes/price_changes entry via ServiceMarket.apply",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._exempt():
+            for target in node.targets:
+                self._check_target(node, target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not self._exempt():
+            self._check_target(node, node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._exempt() and node.value is not None:
+            self._check_target(node, node.target)
+        self.generic_visit(node)
+
+
+__all__ = ["MarketMutationRule"]
