@@ -2,24 +2,37 @@
 
 The testbed is wired so "network data can still be transmitted if one
 switch is down" (Section IV.C); this example exercises the service layer's
-side of that story. It fails each cloudlet of a market in turn, recovers
-with greedy failover and with a full LCF replan, and reports the outage
-bill — then kills the two busiest cloudlets at once to probe a correlated
-failure.
+side of that story, in two acts:
+
+1. **One-epoch drills** — fail each cloudlet of a static market in turn
+   (then the two busiest at once) and compare the greedy-failover bill to
+   a full LCF replan.
+2. **An outage-laden run** — drive the dynamic market through an
+   MTTF/MTTR outage process and report the availability ledger: provider
+   displacement, SLA violations, cloudlet downtime and mean
+   time-to-recover, under the chosen recovery policy.
 
 Run:  python examples/resilience.py
+      python examples/resilience.py --mttf 6 --mttr 2 --policy replan
+      python examples/resilience.py --correlated --policy hysteresis
 """
 
+import argparse
+
 from repro.core import lcf
-from repro.dynamics import FailureInjector
+from repro.dynamics import (
+    CorrelatedOutageTrace,
+    DynamicMarketSimulation,
+    FailureInjector,
+    IndependentOutageTrace,
+    PopulationProcess,
+)
 from repro.market import generate_market
 from repro.network import random_mec_network
 from repro.utils.tables import Table
 
 
-def main() -> None:
-    network = random_mec_network(100, rng=1)
-    market = generate_market(network, 40, rng=2)
+def one_epoch_drills(network, market) -> None:
     baseline = lcf(market, xi=0.7, allow_remote=True).assignment
     print(f"pre-failure social cost: {baseline.social_cost:.1f}")
 
@@ -54,6 +67,73 @@ def main() -> None:
           f"(+{double.cost_increase:.1f})")
     print(f"  replan:   {double_replan.cost_after:.1f} "
           f"(+{double_replan.cost_increase:.1f})")
+
+
+def outage_run(args) -> None:
+    # A fresh network: the trace zeroes live cloudlet capacities while
+    # nodes are down, so the drills above must not share topology.
+    network = random_mec_network(100, rng=1)
+    population = PopulationProcess(
+        network,
+        arrival_rate=5.0,
+        mean_lifetime=8.0,
+        rng=3,
+        initial_population=40,
+    )
+    trace_cls = CorrelatedOutageTrace if args.correlated else IndependentOutageTrace
+    trace = trace_cls(network, mttf=args.mttf, mttr=args.mttr, rng=5)
+    sim = DynamicMarketSimulation(
+        network,
+        population,
+        policy="incremental",
+        outages=trace,
+        recovery=args.policy,
+    )
+    summary = sim.run(args.epochs)
+
+    kind = "correlated" if args.correlated else "independent"
+    print()
+    table = Table(["epoch", "down cloudlets", "displaced", "SLA viol.",
+                   "replanned", "social cost"])
+    for e in summary.epochs:
+        if e.outages or e.recoveries or e.displaced:
+            table.add_row([
+                e.epoch, len(e.failed_cloudlets), e.displaced,
+                e.sla_violations, "yes" if e.replanned else "", e.social_cost,
+            ])
+    print(table.render(
+        title=f"Outage epochs ({kind} trace, MTTF={args.mttf:g}, "
+              f"MTTR={args.mttr:g}, recovery={args.policy})"
+    ))
+
+    print("\navailability ledger:")
+    print(f"  cloudlet downtime:     {summary.cloudlet_downtime} cloudlet-epochs")
+    print(f"  displaced instances:   {summary.total_displaced}")
+    print(f"  SLA violations:        {summary.total_sla_violations}")
+    print(f"  provider downtime:     {summary.provider_downtime} provider-epochs")
+    print(f"  mean time to recover:  {summary.mean_time_to_recover:.2f} epochs")
+    print(f"  replans triggered:     {summary.total_replans}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--epochs", type=int, default=20,
+                        help="epochs of the outage-laden run (default 20)")
+    parser.add_argument("--mttf", type=float, default=5.0,
+                        help="mean epochs between cloudlet failures (default 5)")
+    parser.add_argument("--mttr", type=float, default=2.0,
+                        help="mean epochs to repair a cloudlet (default 2)")
+    parser.add_argument("--policy", choices=("failover", "replan", "hysteresis"),
+                        default="failover",
+                        help="recovery policy for displaced providers")
+    parser.add_argument("--correlated", action="store_true",
+                        help="regional outages (neighbourhoods fail together)")
+    args = parser.parse_args()
+
+    network = random_mec_network(100, rng=1)
+    market = generate_market(network, 40, rng=2)
+    one_epoch_drills(network, market)
+    outage_run(args)
 
 
 if __name__ == "__main__":

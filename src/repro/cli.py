@@ -7,6 +7,7 @@ Usage::
     python -m repro fig2 --workers 4
     python -m repro fig6 --csv out/
     python -m repro poa
+    python -m repro outages --mttf 4 --mttr 2 --policy hysteresis
     python -m repro all --scale quick
 
 ``--scale`` picks the experiment configuration: ``quick`` (seconds),
@@ -151,7 +152,60 @@ def build_parser() -> argparse.ArgumentParser:
     poa.add_argument("--providers", type=int, default=8)
     poa.add_argument("--repetitions", type=int, default=5)
     poa.add_argument("--seed", type=int, default=11)
+
+    out = sub.add_parser(
+        "outages",
+        help="outage-laden dynamic market run (availability ledger)",
+    )
+    out.add_argument("--nodes", type=int, default=100, metavar="N",
+                     help="network size (default 100)")
+    out.add_argument("--epochs", type=int, default=20,
+                     help="epochs to simulate (default 20)")
+    out.add_argument("--mttf", type=float, default=5.0,
+                     help="mean epochs between cloudlet failures (default 5)")
+    out.add_argument("--mttr", type=float, default=2.0,
+                     help="mean epochs to repair a cloudlet (default 2)")
+    out.add_argument("--policy", choices=("failover", "replan", "hysteresis"),
+                     default="failover",
+                     help="recovery policy for displaced providers")
+    out.add_argument("--correlated", action="store_true",
+                     help="regional outages (neighbourhoods fail together)")
+    out.add_argument("--seed", type=int, default=1)
     return parser
+
+
+def _run_outages(args) -> int:
+    from repro.dynamics import (
+        CorrelatedOutageTrace,
+        DynamicMarketSimulation,
+        IndependentOutageTrace,
+        PopulationProcess,
+    )
+    from repro.network.generators import random_mec_network
+
+    network = random_mec_network(args.nodes, rng=args.seed)
+    population = PopulationProcess(
+        network, arrival_rate=5.0, mean_lifetime=8.0,
+        rng=args.seed + 1, initial_population=40,
+    )
+    trace_cls = (
+        CorrelatedOutageTrace if args.correlated else IndependentOutageTrace
+    )
+    trace = trace_cls(network, mttf=args.mttf, mttr=args.mttr, rng=args.seed + 2)
+    sim = DynamicMarketSimulation(
+        network, population, policy="incremental",
+        outages=trace, recovery=args.policy,
+    )
+    summary = sim.run(args.epochs)
+    print(f"epochs:                {len(summary.epochs)}")
+    print(f"cloudlet downtime:     {summary.cloudlet_downtime} cloudlet-epochs")
+    print(f"displaced instances:   {summary.total_displaced}")
+    print(f"SLA violations:        {summary.total_sla_violations}")
+    print(f"provider downtime:     {summary.provider_downtime} provider-epochs")
+    print(f"mean time to recover:  {summary.mean_time_to_recover:.2f} epochs")
+    print(f"replans triggered:     {summary.total_replans}")
+    print(f"total cost:            {summary.total_cost:.1f}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -167,6 +221,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for key, value in out.items():
             print(f"{key:<{width}}  {value:.4g}")
         return 0
+
+    if args.command == "outages":
+        return _run_outages(args)
 
     try:
         config = _SCALES[args.scale].with_(workers=args.workers, engine=args.engine)

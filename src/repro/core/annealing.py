@@ -25,7 +25,7 @@ from repro.core.assignment import CachingAssignment, Stopwatch
 from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.market.market import ServiceMarket
 from repro.utils.rng import RandomSource, as_rng
-from repro.utils.validation import check_positive
+from repro.utils.validation import CAPACITY_EPS, check_positive
 
 
 def _initial_greedy(market: ServiceMarket) -> Dict[int, int]:
@@ -41,9 +41,9 @@ def _initial_greedy(market: ServiceMarket) -> Dict[int, int]:
         for cl in market.network.cloudlets:
             node = cl.node_id
             if (
-                loads[node][0] + provider.compute_demand > cl.compute_capacity + 1e-9
+                loads[node][0] + provider.compute_demand > cl.compute_capacity + CAPACITY_EPS
                 or loads[node][1] + provider.bandwidth_demand
-                > cl.bandwidth_capacity + 1e-9
+                > cl.bandwidth_capacity + CAPACITY_EPS
             ):
                 continue
             cost = model.cost(provider, cl, occupancy[node] + 1)
@@ -148,9 +148,9 @@ def annealed_caching(
             cl = net.cloudlet_at(new_node)
             if (
                 loads[new_node][0] + provider.compute_demand
-                > cl.compute_capacity + 1e-9
+                > cl.compute_capacity + CAPACITY_EPS
                 or loads[new_node][1] + provider.bandwidth_demand
-                > cl.bandwidth_capacity + 1e-9
+                > cl.bandwidth_capacity + CAPACITY_EPS
             ):
                 temperature *= cooling
                 continue
@@ -167,6 +167,7 @@ def annealed_caching(
                 loads[new_node][1] += provider.bandwidth_demand
                 current_cost += delta
                 accepted += 1
+                # reprolint: ok[R2] improvement margin vs float noise, deliberately finer than CAPACITY_EPS
                 if current_cost < best_cost - 1e-12:
                     best_cost = current_cost
                     best_placement = dict(placement)

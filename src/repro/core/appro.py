@@ -28,6 +28,7 @@ from repro.core.assignment import CachingAssignment, Stopwatch
 from repro.core.virtual_cloudlets import VirtualCloudletSplit
 from repro.gap.greedy import greedy_gap
 from repro.gap.instance import GAPInstance, GAPSolution
+from repro.gap.ladder import solve_with_degradation
 from repro.gap.shmoys_tardos import shmoys_tardos
 from repro.gap.exact import exact_gap
 from repro.market.compiled import CompiledMarket, resolve_compiled
@@ -289,6 +290,7 @@ def appro(
     representation: str = "compiled",
     compiled: Optional[CompiledMarket] = None,
     warm_start: Optional[CachingAssignment] = None,
+    lp_time_limit_s: Optional[float] = None,
 ) -> CachingAssignment:
     """Run Algorithm 1 on a market.
 
@@ -328,6 +330,14 @@ def appro(
         split/GAP solve is skipped entirely — see :func:`_warm_appro`.
         The result is a repaired greedy continuation of the seed, not a
         re-run of the LP rounding.
+    lp_time_limit_s:
+        Time budget for the Shmoys–Tardos LP solve. When set, the solve
+        runs through the degradation ladder (:func:`repro.gap.ladder.
+        solve_with_degradation`): a timeout falls back to the greedy
+        solver and the substitution is surfaced as
+        ``info["degradation"]`` (a :class:`~repro.gap.ladder.
+        DegradationEvent`) instead of silently swapping. Only meaningful
+        with ``gap_solver="shmoys_tardos"``.
 
     Returns a :class:`CachingAssignment` whose ``info`` carries the LP lower
     bound, ``delta``/``kappa``, the Lemma 2 ratio bound, and repair stats.
@@ -351,9 +361,15 @@ def appro(
         # The object representation keeps the whole pre-compiled pipeline,
         # including the per-pair LP assembly; the relaxation (and hence the
         # rounding) is bit-identical either way.
-        solve = partial(
-            shmoys_tardos, assemble="vectorized" if cm is not None else "scalar"
-        )
+        assemble = "vectorized" if cm is not None else "scalar"
+        if lp_time_limit_s is not None:
+            solve = partial(
+                solve_with_degradation,
+                time_limit_s=lp_time_limit_s,
+                assemble=assemble,
+            )
+        else:
+            solve = partial(shmoys_tardos, assemble=assemble)
     elif gap_solver == "greedy":
         # Same split for the greedy heuristic: whole-array regret rounds on
         # the compiled path, the per-item reference loop on the object path.
@@ -387,6 +403,7 @@ def appro(
             "virtual_cloudlets": len(split.virtual_cloudlets),
             "repair_moves": moves,
             "ratio_bound": 2.0 * split.delta * split.kappa,
+            "degradation": solution.degradation,
         },
     )
 

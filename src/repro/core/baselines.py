@@ -34,6 +34,7 @@ from repro.market.compiled import CompiledMarket, resolve_compiled
 from repro.market.market import ServiceMarket
 from repro.market.service import ServiceProvider
 from repro.network.elements import Cloudlet
+from repro.utils.validation import CAPACITY_EPS
 
 
 def _sequential_admission(
@@ -55,9 +56,9 @@ def _sequential_admission(
         for cl in market.network.cloudlets:
             node = cl.node_id
             if (
-                loads[node][0] + provider.compute_demand > cl.compute_capacity + 1e-9
+                loads[node][0] + provider.compute_demand > cl.compute_capacity + CAPACITY_EPS
                 or loads[node][1] + provider.bandwidth_demand
-                > cl.bandwidth_capacity + 1e-9
+                > cl.bandwidth_capacity + CAPACITY_EPS
             ):
                 continue
             # Infrastructure-level admission: forbidden (infinite fixed

@@ -113,6 +113,7 @@ def lcf(
     representation: str = "compiled",
     compiled: Optional[CompiledMarket] = None,
     warm_start: Optional[object] = None,
+    lp_time_limit_s: Optional[float] = None,
 ) -> LCFResult:
     """Run Algorithm 2 with coordination fraction ``xi`` (so ``1 - xi`` of
     the providers behave selfishly, the x-axis of Fig. 3/6a).
@@ -133,6 +134,11 @@ def lcf(
     assembly, and game tables re-evaluated from the cost callables).
     ``compiled`` optionally supplies a precompiled market (e.g. shipped to
     a sweep worker).
+
+    ``lp_time_limit_s`` bounds the leader phase's GAP LP solve through the
+    degradation ladder (see :func:`repro.core.appro.appro`): a timeout
+    falls back to the greedy solver and surfaces on the assignment's
+    ``info["degradation"]``.
 
     ``warm_start`` carries the previous epoch's result across a market
     delta: a prior :class:`LCFResult` (or any assignment with
@@ -169,6 +175,7 @@ def lcf(
             representation=representation,
             compiled=compiled,
             warm_start=seed,
+            lp_time_limit_s=lp_time_limit_s,
         )
         budget = market.coordination_budget(xi)
         coordinated_ids = select_coordinated_lcf(
@@ -283,6 +290,7 @@ def lcf(
             "appro_social_cost": zeta.social_cost,
             "is_equilibrium": equilibrium,
             "warm_start": warm_start is not None,
+            "degradation": zeta.info.get("degradation"),
         },
     )
     return LCFResult(

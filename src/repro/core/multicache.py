@@ -25,6 +25,7 @@ from repro.core.lcf import lcf
 from repro.exceptions import CapacityError, ConfigurationError
 from repro.market.market import ServiceMarket
 from repro.market.service import ServiceProvider
+from repro.utils.validation import CAPACITY_EPS
 
 #: A multi-replica placement: provider id -> frozenset of cloudlet nodes.
 ReplicaPlacement = Dict[int, FrozenSet[int]]
@@ -171,9 +172,9 @@ def check_multi_capacities(
     """Raise :class:`CapacityError` when any cloudlet is overloaded."""
     for node, (cpu, bw) in _loads(market, placement).items():
         cl = market.network.cloudlet_at(node)
-        if cpu > cl.compute_capacity + 1e-9:
+        if cpu > cl.compute_capacity + CAPACITY_EPS:
             raise CapacityError(f"{cl.name}: compute {cpu:.2f} > {cl.compute_capacity}")
-        if bw > cl.bandwidth_capacity + 1e-9:
+        if bw > cl.bandwidth_capacity + CAPACITY_EPS:
             raise CapacityError(
                 f"{cl.name}: bandwidth {bw:.2f} > {cl.bandwidth_capacity}"
             )
@@ -230,9 +231,9 @@ def greedy_multicache(
                     # at most the provider's full demand.
                     if (
                         loads[node][0] + provider.compute_demand
-                        > cl.compute_capacity + 1e-9
+                        > cl.compute_capacity + CAPACITY_EPS
                         or loads[node][1] + provider.bandwidth_demand
-                        > cl.bandwidth_capacity + 1e-9
+                        > cl.bandwidth_capacity + CAPACITY_EPS
                     ):
                         continue
                     new_replicas = replicas | {node}

@@ -29,7 +29,7 @@ from repro.core.appro import appro
 from repro.core.assignment import CachingAssignment, Stopwatch
 from repro.exceptions import ConfigurationError
 from repro.market.market import ServiceMarket
-from repro.utils.validation import check_non_negative
+from repro.utils.validation import CAPACITY_EPS, check_non_negative
 
 
 def anticipatory_tolls(market: ServiceMarket, level: float) -> Dict[int, float]:
@@ -75,9 +75,9 @@ def tolled_selfish_market(
                 node = cl.node_id
                 if (
                     loads[node][0] + provider.compute_demand
-                    > cl.compute_capacity + 1e-9
+                    > cl.compute_capacity + CAPACITY_EPS
                     or loads[node][1] + provider.bandwidth_demand
-                    > cl.bandwidth_capacity + 1e-9
+                    > cl.bandwidth_capacity + CAPACITY_EPS
                 ):
                     continue
                 price = model.cost(provider, cl, 1) + tolls.get(node, 0.0)

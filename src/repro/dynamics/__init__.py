@@ -31,6 +31,13 @@ from repro.dynamics.simulation import (
     SimulationSummary,
 )
 from repro.dynamics.failures import FailureInjector, FailureReport
+from repro.dynamics.outages import (
+    CorrelatedOutageTrace,
+    IndependentOutageTrace,
+    OutageEvent,
+    OutageTrace,
+    ScheduledOutageTrace,
+)
 from repro.dynamics.traces import DiurnalTrace
 
 __all__ = [
@@ -42,4 +49,9 @@ __all__ = [
     "FailureInjector",
     "FailureReport",
     "DiurnalTrace",
+    "OutageEvent",
+    "OutageTrace",
+    "IndependentOutageTrace",
+    "CorrelatedOutageTrace",
+    "ScheduledOutageTrace",
 ]

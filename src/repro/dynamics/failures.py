@@ -1,4 +1,4 @@
-"""Cloudlet failure injection and recovery (extension).
+"""One-shot cloudlet failure injection and recovery (extension).
 
 The testbed wires every switch to at least two others "so that network data
 can still be transmitted if one switch is down" (Section IV.C) — but the
@@ -10,21 +10,31 @@ recovers under two policies:
   onto the surviving cloudlets, everyone else stays put;
 * ``"replan"`` — the full LCF mechanism reruns on the degraded network.
 
-The report includes the displaced count, the recovery migrations, and the
-cost before / after / recovered, so resilience can be compared across
+:class:`FailureInjector` is the one-epoch counterpart of running
+:class:`~repro.dynamics.simulation.DynamicMarketSimulation` with an
+:class:`~repro.dynamics.outages.OutageTrace`: the outage is expressed as a
+:class:`~repro.market.delta.MarketDelta` (zeroing the victims' effective
+capacity through the sanctioned mutation protocol, so a cached
+:class:`~repro.market.compiled.CompiledMarket` stays coherent), the
+recovery policy runs on the genuinely degraded market, and a matching
+recovery delta restores the nominal capacities before the report is
+returned. The report includes the displaced count, the cost before /
+after, and the recovered placement, so resilience can be compared across
 topologies and load levels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.core.assignment import CachingAssignment
 from repro.core.lcf import lcf
 from repro.exceptions import ConfigurationError
+from repro.market.delta import MarketDelta
 from repro.market.market import ServiceMarket
 from repro.network.elements import Cloudlet
+from repro.utils.validation import CAPACITY_EPS
 
 _POLICIES = ("failover", "replan")
 
@@ -71,8 +81,12 @@ class FailureInjector:
     ) -> FailureReport:
         """Fail the given cloudlets and recover ``assignment``.
 
-        The market's network object is *not* mutated; failed cloudlets are
-        simply excluded from the candidate set (their capacity is gone).
+        The outage round-trips through the mutation protocol: an outage
+        delta zeroes the victims' effective capacity (patching any cached
+        compiled view along the way), the recovery policy runs on the
+        degraded market, and the matching recovery delta restores the
+        nominal capacities — the market leaves this method exactly as it
+        entered.
         """
         if policy not in _POLICIES:
             raise ConfigurationError(f"policy must be one of {_POLICIES}")
@@ -89,20 +103,27 @@ class FailureInjector:
             sorted(pid for pid, node in assignment.placement.items() if node in failed)
         )
 
-        if policy == "replan":
-            placement, rejected = self._replan(failed, xi)
-        else:
-            placement, rejected = self._failover(assignment, failed, displaced)
+        down = tuple(sorted(failed))
+        self.market.apply(MarketDelta(outages=down))
+        try:
+            if policy == "replan":
+                placement, rejected = self._replan(failed, xi)
+            else:
+                placement, rejected = self._failover(assignment, failed, displaced)
 
-        after = CachingAssignment(
-            market=self.market,
-            placement=placement,
-            rejected=frozenset(rejected),
-            algorithm=f"recovered[{policy}]",
-        )
-        after.check_capacities()
+            after = CachingAssignment(
+                market=self.market,
+                placement=placement,
+                rejected=frozenset(rejected),
+                algorithm=f"recovered[{policy}]",
+            )
+            # Checked while the market is still degraded, so a placement
+            # that leaked onto a failed (zero-capacity) cloudlet trips it.
+            after.check_capacities()
+        finally:
+            self.market.apply(MarketDelta(recoveries=down))
         return FailureReport(
-            failed_cloudlets=tuple(sorted(failed)),
+            failed_cloudlets=down,
             displaced=displaced,
             policy=policy,
             cost_before=cost_before,
@@ -142,9 +163,9 @@ class FailureInjector:
                 node = cl.node_id
                 if (
                     loads[node][0] + provider.compute_demand
-                    > cl.compute_capacity + 1e-9
+                    > cl.compute_capacity + CAPACITY_EPS
                     or loads[node][1] + provider.bandwidth_demand
-                    > cl.bandwidth_capacity + 1e-9
+                    > cl.bandwidth_capacity + CAPACITY_EPS
                 ):
                     continue
                 cost = model.cost(provider, cl, 1)
@@ -160,39 +181,14 @@ class FailureInjector:
         return placement, rejected
 
     def _replan(self, failed: Set[int], xi: float) -> Tuple[Dict[int, int], Set[int]]:
-        """Rerun LCF with the failed cloudlets' capacity zeroed out.
+        """Rerun LCF on the degraded market.
 
-        Implemented by temporarily marking the failed cloudlets as fully
-        used, so no algorithm can place anything there, then restoring.
+        The outage delta already zeroed the failed cloudlets' capacities,
+        so every algorithm layer sees them as unplaceable — no usage
+        bookkeeping tricks, no post-hoc filtering.
         """
-        network = self.market.network
-        touched = []
-        try:
-            for node in failed:
-                cl = network.cloudlet_at(node)
-                touched.append((cl, cl.compute_used, cl.bandwidth_used))
-                cl.compute_used = cl.compute_capacity
-                cl.bandwidth_used = cl.bandwidth_capacity
-            # LCF's internal feasibility uses capacities, not usage — so we
-            # instead filter through the failover path on its output.
-            result = lcf(self.market, xi=xi, allow_remote=True)
-            placement = dict(result.assignment.placement)
-            rejected = set(result.assignment.rejected)
-        finally:
-            for cl, cpu, bw in touched:
-                cl.compute_used = cpu
-                cl.bandwidth_used = bw
-        # Any placements LCF made on failed cloudlets are displaced through
-        # greedy failover.
-        fake = CachingAssignment(
-            market=self.market,
-            placement=placement,
-            rejected=frozenset(rejected),
-        )
-        displaced = tuple(
-            sorted(pid for pid, node in placement.items() if node in failed)
-        )
-        return self._failover(fake, failed, displaced)
+        result = lcf(self.market, xi=xi, allow_remote=True)
+        return dict(result.assignment.placement), set(result.assignment.rejected)
 
 
 __all__ = ["FailureReport", "FailureInjector"]

@@ -21,6 +21,23 @@ The tension between the policies is the classic caching stability trade-off
 the title alludes to; ``examples/dynamic_market.py`` and the dynamics
 benchmark quantify it.
 
+Epochs can also carry *cloudlet outages*: pass an
+:class:`~repro.dynamics.outages.OutageTrace` and each epoch's failure and
+recovery events ride the same :class:`~repro.market.delta.MarketDelta` as
+the provider churn. Providers cached on a failed cloudlet are *displaced*
+— their instances are destroyed (re-instantiated from the data center,
+so no migration is billed) and they re-enter under a ``recovery`` policy:
+
+* ``"failover"`` — displaced providers re-enter greedily at posted
+  prices, everyone else stays put (the cheap, warm path);
+* ``"replan"`` — a full (warm-started) LCF replan absorbs the outage;
+* ``"hysteresis"`` — failover until the social cost drifts past
+  ``hysteresis_threshold``, then one replan.
+
+Per-epoch availability metrics (which cloudlets are down, displacement
+churn, SLA violations, time-to-recover) land on the
+:class:`EpochRecord`/:class:`SimulationSummary` report.
+
 Epochs run on the mutation protocol: the simulation keeps **one** persistent
 :class:`~repro.market.market.ServiceMarket` and feeds each epoch's churn to
 ``market.apply(MarketDelta(...))``, which patches the cached
@@ -42,6 +59,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.lcf import LCFResult, lcf
+from repro.dynamics.outages import OutageEvent, OutageTrace
 from repro.dynamics.population import PopulationEvent, PopulationProcess
 from repro.exceptions import ConfigurationError
 from repro.market.compiled import REPRESENTATIONS
@@ -54,6 +72,7 @@ from repro.network.topology import MECNetwork
 from repro.utils.validation import CAPACITY_EPS, check_fraction
 
 _POLICIES = ("replan", "incremental", "hysteresis")
+_RECOVERY_POLICIES = ("failover", "replan", "hysteresis")
 
 #: Floor for the relative-drift denominator, so an anchor of zero social
 #: cost (an epoch the market emptied into) cannot divide by zero.
@@ -76,6 +95,18 @@ class EpochRecord:
     #: ``"replan"``, never for ``"incremental"``, drift-dependent for
     #: ``"hysteresis"``).
     replanned: bool = False
+    #: Cloudlets that went down this epoch.
+    outages: Tuple[int, ...] = ()
+    #: Cloudlets that came back up this epoch.
+    recoveries: Tuple[int, ...] = ()
+    #: Cloudlets down at the end of the epoch (after outages/recoveries).
+    failed_cloudlets: Tuple[int, ...] = ()
+    #: Providers whose cached instance was destroyed by an outage this
+    #: epoch (they re-enter under the recovery policy).
+    displaced: int = 0
+    #: Displaced providers the recovery policy could not re-place at the
+    #: edge this epoch — their service falls back to remote serving.
+    sla_violations: int = 0
 
     @property
     def total_cost(self) -> float:
@@ -88,6 +119,10 @@ class SimulationSummary:
 
     policy: str
     epochs: List[EpochRecord]
+    #: Completed outage durations, one entry per cloudlet-down incident
+    #: that recovered within the run (epochs from failure to recovery).
+    #: Incidents still open when the run ends are not counted.
+    recovery_epochs: Tuple[int, ...] = ()
 
     @property
     def total_cost(self) -> float:
@@ -112,6 +147,39 @@ class SimulationSummary:
     @property
     def mean_population(self) -> float:
         return float(np.mean([e.population for e in self.epochs]))
+
+    # ------------------------------------------------------------------ #
+    # Availability metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def total_displaced(self) -> int:
+        """Displacement churn: provider instances destroyed by outages."""
+        return sum(e.displaced for e in self.epochs)
+
+    @property
+    def total_sla_violations(self) -> int:
+        """Displaced providers that fell back to remote serving."""
+        return sum(e.sla_violations for e in self.epochs)
+
+    @property
+    def provider_downtime(self) -> int:
+        """Provider-epochs spent rejected (served remotely, not at the
+        edge) — the end-to-end availability cost of congestion *and*
+        outages together."""
+        return sum(e.rejected for e in self.epochs)
+
+    @property
+    def cloudlet_downtime(self) -> int:
+        """Cloudlet-epochs spent failed across the run."""
+        return sum(len(e.failed_cloudlets) for e in self.epochs)
+
+    @property
+    def mean_time_to_recover(self) -> float:
+        """Mean epochs from cloudlet failure to recovery over completed
+        incidents; ``nan`` when no incident completed."""
+        if not self.recovery_epochs:
+            return float("nan")
+        return float(np.mean(self.recovery_epochs))
 
 
 class DynamicMarketSimulation:
@@ -138,6 +206,16 @@ class DynamicMarketSimulation:
         ``"hysteresis"`` policy. ``0.0`` replans on any drift
         (≈ ``"replan"``); ``inf`` never re-triggers after the first
         epoch (≈ ``"incremental"``).
+    outages:
+        Optional :class:`~repro.dynamics.outages.OutageTrace`; stepped
+        once per epoch, its failure/recovery events ride the epoch's
+        :class:`~repro.market.delta.MarketDelta`.
+    recovery:
+        How displaced providers re-enter on epochs with new outages:
+        ``"failover"`` (greedy posted-price re-entry, everyone else
+        stays), ``"replan"`` (full warm LCF replan) or ``"hysteresis"``
+        (failover until drift exceeds ``hysteresis_threshold``). Ignored
+        when ``outages`` is ``None``.
     """
 
     def __init__(
@@ -154,10 +232,16 @@ class DynamicMarketSimulation:
         warm_start: bool = True,
         gap_solver: str = "shmoys_tardos",
         hysteresis_threshold: float = 0.15,
+        outages: Optional[OutageTrace] = None,
+        recovery: str = "failover",
     ) -> None:
         if policy not in _POLICIES:
             raise ConfigurationError(
                 f"policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        if recovery not in _RECOVERY_POLICIES:
+            raise ConfigurationError(
+                f"recovery must be one of {_RECOVERY_POLICIES}, got {recovery!r}"
             )
         if representation not in REPRESENTATIONS:
             raise ConfigurationError(
@@ -184,6 +268,12 @@ class DynamicMarketSimulation:
         self.warm_start = warm_start
         self.gap_solver = gap_solver
         self.hysteresis_threshold = hysteresis_threshold
+        self.outages = outages
+        self.recovery = recovery
+        #: Completed outage durations (epochs down per recovered incident).
+        self._recovery_times: List[int] = []
+        #: node -> epoch it failed, for incidents still open.
+        self._down_since: Dict[int, int] = {}
         #: provider_id -> cloudlet node of the *currently cached* instance.
         self.placement: Dict[int, int] = {}
         self.rejected: Set[int] = set()
@@ -254,12 +344,25 @@ class DynamicMarketSimulation:
         self, delta: MarketDelta, providers: List[ServiceProvider]
     ) -> ServiceMarket:
         """One epoch's market: delta-patch the persistent one (compiled)
-        or rebuild from scratch (object, the pre-refactor reference)."""
+        or rebuild from scratch (object, the pre-refactor reference).
+
+        Outages still route through the protocol on the object arm: the
+        fresh market gets one cumulative ``MarketDelta(outages=...)`` for
+        everything currently down (and :meth:`step` recovers them again
+        before the epoch ends, since the rebuilt markets share one
+        network whose cloudlets must re-enter each epoch nominal).
+        """
+        down = self.outages.failed if self.outages is not None else ()
         if self.representation != "compiled":
-            return self._market(providers)
+            market = self._market(providers)
+            if down:
+                market.apply(MarketDelta(outages=down))
+            return market
         if self.market is None:
             self.market = self._market(providers)
             self.market.compile()
+            if down:
+                self.market.apply(MarketDelta(outages=down))
         else:
             self.market.apply(delta)
         return self.market
@@ -370,11 +473,26 @@ class DynamicMarketSimulation:
             next_epoch = self.population._epoch + 1
             self.population.arrival_rate = float(self.trace(next_epoch))
         event: PopulationEvent = self.population.step()
+        outage_event: Optional[OutageEvent] = (
+            self.outages.step() if self.outages is not None else None
+        )
+        out_nodes = outage_event.outages if outage_event is not None else ()
+        rec_nodes = outage_event.recoveries if outage_event is not None else ()
+        for node in out_nodes:
+            self._down_since[node] = event.epoch
+        for node in rec_nodes:
+            self._recovery_times.append(event.epoch - self._down_since.pop(node))
+        failed_now = (
+            set(self.outages.failed) if self.outages is not None else set()
+        )
+
         providers = self.population.present
         by_id = {p.provider_id: p for p in providers}
         delta = MarketDelta(
             arrivals=tuple(by_id[pid] for pid in sorted(event.arrived)),
             departures=tuple(event.departed),
+            outages=out_nodes,
+            recoveries=rec_nodes,
         )
 
         if not providers:
@@ -396,34 +514,72 @@ class DynamicMarketSimulation:
                 migration_cost=0.0,
                 migrations=0,
                 rejected=0,
+                outages=out_nodes,
+                recoveries=rec_nodes,
+                failed_cloudlets=tuple(sorted(failed_now)),
             )
 
         market = self._advance_market(delta, providers)
-        replanned = False
-        if self.policy == "replan":
-            new_placement, new_rejected = self._replan(market)
-            replanned = True
-        else:
-            # Anyone present but unplaced must choose now — epoch-1 initial
-            # population included, not just this epoch's arrivals.
-            unplaced = {
-                p.provider_id
-                for p in providers
-                if p.provider_id not in self.placement
-                and p.provider_id not in self.rejected
+
+        # Outage displacement: instances cached on a failed cloudlet are
+        # destroyed. The provider re-enters through the recovery policy
+        # below as if newly arrived (re-instantiated from the data
+        # center), so no old->new migration is billed for them.
+        displaced = {
+            pid for pid, node in self.placement.items() if node in failed_now
+        }
+        if displaced:
+            self.placement = {
+                pid: node
+                for pid, node in self.placement.items()
+                if pid not in displaced
             }
-            if self.policy == "incremental":
+
+        replanned = False
+        # Anyone present but unplaced must choose now — epoch-1 initial
+        # population included, displaced providers included, not just this
+        # epoch's arrivals.
+        unplaced = {
+            p.provider_id
+            for p in providers
+            if p.provider_id not in self.placement
+            and p.provider_id not in self.rejected
+        }
+        if displaced:
+            # An outage epoch: the recovery policy decides how the market
+            # absorbs the displacement.
+            if self.recovery == "replan":
+                new_placement, new_rejected = self._replan(market)
+                replanned = True
+                self._anchor_cost = self._social(
+                    market, new_placement, new_rejected
+                )
+            elif self.recovery == "failover":
                 new_placement, new_rejected = self._incremental(market, unplaced)
             else:
                 new_placement, new_rejected, replanned = self._hysteresis(
                     market, unplaced
                 )
+        elif self.policy == "replan":
+            new_placement, new_rejected = self._replan(market)
+            replanned = True
+        elif self.policy == "incremental":
+            new_placement, new_rejected = self._incremental(market, unplaced)
+        else:
+            new_placement, new_rejected, replanned = self._hysteresis(
+                market, unplaced
+            )
 
         migration_cost, migrations = self._bill_migrations(market, new_placement)
         self.placement = new_placement
         self.rejected = new_rejected
 
         social = self._social(market, new_placement, new_rejected)
+        if self.representation != "compiled" and market.failed_cloudlets:
+            # The object arm rebuilds its market every epoch but shares
+            # one network: hand the borrowed cloudlets back at nominal
+            # capacity before the next rebuild saves 0.0 as "nominal".
+            market.apply(MarketDelta(recoveries=market.failed_cloudlets))
         return EpochRecord(
             epoch=event.epoch,
             population=len(providers),
@@ -434,6 +590,11 @@ class DynamicMarketSimulation:
             migrations=migrations,
             rejected=len(new_rejected),
             replanned=replanned,
+            outages=out_nodes,
+            recoveries=rec_nodes,
+            failed_cloudlets=tuple(sorted(failed_now)),
+            displaced=len(displaced),
+            sla_violations=len(displaced & new_rejected),
         )
 
     def run(self, epochs: int) -> SimulationSummary:
@@ -441,7 +602,11 @@ class DynamicMarketSimulation:
         if epochs < 1:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
         records = [self.step() for _ in range(epochs)]
-        return SimulationSummary(policy=self.policy, epochs=records)
+        return SimulationSummary(
+            policy=self.policy,
+            epochs=records,
+            recovery_epochs=tuple(self._recovery_times),
+        )
 
 
 __all__ = ["EpochRecord", "SimulationSummary", "DynamicMarketSimulation"]

@@ -22,6 +22,12 @@ from repro.experiments.parallel import (
     resolve_workers,
     sweep_task_seed,
 )
+from repro.experiments.supervisor import (
+    CheckpointJournal,
+    RetryPolicy,
+    TaskFailure,
+    supervised_map,
+)
 from repro.experiments.figures import (
     fig2_network_size,
     fig3_selfish_fraction,
@@ -44,8 +50,12 @@ __all__ = [
     "QUICK",
     "AlgorithmMetrics",
     "AssignmentRecord",
+    "CheckpointJournal",
     "ParallelSweepRunner",
+    "RetryPolicy",
     "SweepResult",
+    "TaskFailure",
+    "supervised_map",
     "evaluate_algorithms",
     "legacy_point_seed",
     "map_tasks",

@@ -97,6 +97,10 @@ class SweepResult:
     points: List[Dict[str, AlgorithmMetrics]]
     #: Free-form extras figure drivers attach (bounds, flow metrics, ...).
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Cells that exhausted their retry budget (see
+    #: :class:`repro.experiments.supervisor.TaskFailure`); their records
+    #: are excluded from ``points`` but the sweep still completed.
+    failures: List[object] = field(default_factory=list)
 
     @property
     def algorithms(self) -> List[str]:
@@ -168,6 +172,9 @@ def sweep(
     workers: Optional[int] = None,
     seed_fn: Optional[Callable[[int, int], int]] = None,
     precompile: bool = False,
+    retry: Optional[object] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run a full sweep.
 
@@ -194,6 +201,16 @@ def sweep(
         process; workers then receive the array-backed
         :class:`~repro.market.compiled.CompiledMarket` blob with the task
         instead of re-running ``make_market``. Metrics are identical.
+    retry:
+        A :class:`repro.experiments.supervisor.RetryPolicy` (attempts,
+        backoff, per-task timeout); defaults to three attempts.
+    checkpoint:
+        Path of a JSONL checkpoint journal; completed cells are durably
+        appended as they finish.
+    resume:
+        With ``checkpoint``, replay already-journaled cells from disk and
+        run only the missing ones — bit-identical to the uninterrupted
+        sweep. ``False`` (default) truncates any existing journal.
     """
     from repro.experiments.parallel import ParallelSweepRunner
 
@@ -207,6 +224,9 @@ def sweep(
         repetitions=repetitions,
         seed_fn=seed_fn if seed_fn is not None else legacy_point_seed,
         precompile=precompile,
+        retry=retry,  # type: ignore[arg-type]
+        checkpoint=checkpoint,
+        resume=resume,
     )
 
 

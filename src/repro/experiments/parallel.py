@@ -25,15 +25,23 @@ functions or ``functools.partial`` over them (closures and lambdas are
 not). The runner checks this up front and raises a
 :class:`~repro.exceptions.ConfigurationError` naming the offending object
 instead of dying inside the pool.
+
+Execution is *supervised* (see :mod:`repro.experiments.supervisor`): each
+cell gets a bounded retry budget with deterministic backoff, a worker
+crash fails only the cells it was running (the pool is rebuilt and the
+rest of the grid continues), and an optional JSONL checkpoint journal
+lets an interrupted sweep ``resume=`` bit-identically, re-running only
+the missing cells. Cells that exhaust their budget surface as structured
+:class:`~repro.experiments.supervisor.TaskFailure` entries on
+``SweepResult.failures`` instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
 
@@ -44,6 +52,12 @@ from repro.experiments.harness import (
     AssignmentRecord,
     SweepResult,
     legacy_point_seed,
+)
+from repro.experiments.supervisor import (
+    CheckpointJournal,
+    RetryPolicy,
+    TaskFailure,
+    supervised_map,
 )
 from repro.market.market import ServiceMarket
 
@@ -101,6 +115,12 @@ def map_tasks(
 
     Results come back in task order in both modes. The pool is only spun
     up when it can help (more than one worker *and* more than one task).
+
+    This is the ``pool.map``-compatible face of the supervising executor:
+    single attempt per cell, first failure re-raised. Callers that want
+    retries, crash isolation and checkpointing use
+    :func:`repro.experiments.supervisor.supervised_map` directly (as
+    :class:`ParallelSweepRunner` does).
     """
     n_workers = resolve_workers(workers)
     if n_workers <= 1 or len(tasks) <= 1:
@@ -108,10 +128,13 @@ def map_tasks(
     _check_picklable(fn, "task function")
     if tasks:
         _check_picklable(tasks[0], "task")
-    n_workers = min(n_workers, len(tasks))
-    chunksize = max(1, len(tasks) // (4 * n_workers))
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(fn, tasks, chunksize=chunksize))
+    return supervised_map(
+        fn,
+        tasks,
+        workers=n_workers,
+        retry=RetryPolicy(max_attempts=1),
+        fail_fast=True,
+    )  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
@@ -149,9 +172,23 @@ def run_point_task(task: PointTask) -> Dict[str, AssignmentRecord]:
     return records
 
 
+def encode_point_records(records: Dict[str, AssignmentRecord]) -> object:
+    """One cell's result as its JSONL checkpoint payload."""
+    return {alg: asdict(record) for alg, record in records.items()}
+
+
+def decode_point_records(payload: object) -> Dict[str, AssignmentRecord]:
+    """Inverse of :func:`encode_point_records`; bit-exact for floats
+    because JSON serialises them at shortest round-trip precision."""
+    return {
+        alg: AssignmentRecord(**fields)
+        for alg, fields in payload.items()  # type: ignore[union-attr]
+    }
+
+
 @dataclass
 class ParallelSweepRunner:
-    """Runs sweep grids serially or over a process pool.
+    """Runs sweep grids serially or over a supervised process pool.
 
     ``workers=None``/``1`` → serial in-process execution; ``workers=0`` →
     one process per CPU; ``workers=N`` → ``N`` processes. Identical
@@ -170,6 +207,9 @@ class ParallelSweepRunner:
         repetitions: int,
         seed_fn: Optional[Callable[[int, int], int]] = None,
         precompile: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ) -> SweepResult:
         """Run the grid; see :func:`repro.experiments.harness.sweep`.
 
@@ -177,6 +217,17 @@ class ParallelSweepRunner:
         compiles it before dispatch, so workers receive one array-backed
         blob per cell instead of re-running the builder. Results are
         identical either way (same seed, same market, same tables).
+
+        ``checkpoint`` names a JSONL journal; each completed ``(x_index,
+        rep)`` cell is durably appended as it finishes. With
+        ``resume=True`` an existing journal's cells are replayed from
+        disk and only the missing ones run — metrics are bit-identical
+        to the uninterrupted sweep because each cell's floats round-trip
+        JSON exactly. ``resume=False`` truncates any stale journal first.
+
+        Cells that exhaust ``retry`` (default: three attempts) are
+        reported on ``SweepResult.failures`` and excluded from the
+        aggregates; the rest of the grid still completes.
         """
         if repetitions < 1:
             raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
@@ -200,13 +251,34 @@ class ParallelSweepRunner:
                 market.compile()
                 prebuilt.append(replace(task, market=market))
             tasks = prebuilt
-        results = map_tasks(run_point_task, tasks, workers=self.workers)
 
+        if resolve_workers(self.workers) > 1 and len(tasks) > 1:
+            _check_picklable(run_point_task, "task function")
+            _check_picklable(tasks[0], "task")
+        journal = None
+        if checkpoint is not None:
+            journal = CheckpointJournal(checkpoint)
+            if not resume:
+                journal.clear()
+        results = supervised_map(
+            run_point_task,
+            tasks,
+            keys=[(task.x_index, task.rep) for task in tasks],
+            workers=self.workers,
+            retry=retry,
+            journal=journal,
+            encode=encode_point_records,
+            decode=decode_point_records,
+        )
+
+        failures: List[TaskFailure] = [
+            r for r in results if isinstance(r, TaskFailure)
+        ]
         points: List[Dict[str, AlgorithmMetrics]] = []
         for xi in range(len(x_values)):
             collected: Dict[str, List[AssignmentRecord]] = {}
             for task, records in zip(tasks, results):
-                if task.x_index != xi:
+                if task.x_index != xi or isinstance(records, TaskFailure):
                     continue
                 for alg, record in records.items():
                     collected.setdefault(alg, []).append(record)
@@ -217,13 +289,19 @@ class ParallelSweepRunner:
                 }
             )
         return SweepResult(
-            name=name, x_label=x_label, x_values=list(x_values), points=points
+            name=name,
+            x_label=x_label,
+            x_values=list(x_values),
+            points=points,
+            failures=failures,
         )
 
 
 __all__ = [
     "ParallelSweepRunner",
     "PointTask",
+    "decode_point_records",
+    "encode_point_records",
     "map_tasks",
     "resolve_workers",
     "run_point_task",

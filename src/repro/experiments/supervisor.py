@@ -1,0 +1,390 @@
+"""Fault-tolerant execution of sweep grids: the supervising executor.
+
+``pool.map`` turns one worker crash into a dead multi-hour grid: a
+``BrokenProcessPool`` aborts every cell, nothing is retried, and nothing
+can be resumed.  :func:`supervised_map` replaces it with a supervisor that
+treats each cell as an independently retriable unit of work:
+
+* **Per-task timeout.**  ``RetryPolicy.timeout_s`` arms a ``SIGALRM``
+  timer inside the worker around the task body, so a wedged cell raises
+  :class:`~repro.exceptions.TaskTimeout` instead of stalling the grid.
+* **Bounded retry, deterministic backoff.**  Each failed attempt requeues
+  the cell until ``RetryPolicy.max_attempts`` is spent.  The backoff
+  delay is a pure function of the attempt number —
+  ``base_delay_s * backoff**(attempt-1)`` — never of the wall clock, so
+  scheduling decisions replay identically (the actual sleeping is an
+  injectable side effect).
+* **Worker-crash isolation.**  A SIGKILLed worker breaks the whole
+  ``ProcessPoolExecutor``, and the supervisor cannot tell which of the
+  (at most ``workers``) in-flight cells killed it.  It refunds their
+  attempts, rebuilds the pool, and re-runs the suspects one at a time —
+  only a cell that breaks the pool while running *alone* is charged the
+  crash.  Only a cell that keeps dying exhausts its budget and surfaces
+  as a structured :class:`TaskFailure` in the result list — innocent
+  bystanders are never charged and the rest of the grid completes.
+* **Checkpoint journaling.**  With a :class:`CheckpointJournal`, every
+  completed cell is appended to a JSONL file (flushed and fsynced) the
+  moment it finishes.  A re-run that loads the journal replays completed
+  cells from disk — JSON round-trips Python floats exactly
+  (shortest-repr), so a resumed sweep is bit-identical to an
+  uninterrupted one — and executes only the missing cells.
+
+The executor is generic over the task type; the sweep integration lives
+in :mod:`repro.experiments.parallel`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from repro.exceptions import ConfigurationError, TaskTimeout
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: JSON-serialisable journal key for one cell (e.g. ``(x_index, rep)``).
+TaskKey = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor retries a failing cell.
+
+    ``delay(attempt)`` is deliberately a pure function of the attempt
+    number — retry *scheduling* never consults the wall clock, which the
+    property tests pin.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff: float = 2.0
+    #: Per-attempt time budget, enforced by a SIGALRM timer inside the
+    #: worker; ``None`` disables enforcement.
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0:
+            raise ConfigurationError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if self.backoff < 1:
+            raise ConfigurationError(f"backoff must be >= 1, got {self.backoff}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-running an attempt that just failed.
+
+        ``attempt`` is 1-based (the attempt that failed); the delay grows
+        exponentially: ``base_delay_s * backoff**(attempt-1)``.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        return self.base_delay_s * self.backoff ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A cell that exhausted its retry budget — the structured tombstone
+    that takes the place of its result instead of aborting the sweep."""
+
+    key: TaskKey
+    attempts: int
+    #: ``"exception"``, ``"timeout"`` or ``"worker-crash"``.
+    kind: str
+    error_type: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskFailure(key={self.key}, kind={self.kind}, "
+            f"attempts={self.attempts}, {self.error_type}: {self.message})"
+        )
+
+
+class CheckpointJournal:
+    """An append-only JSONL journal of completed cells.
+
+    Each line is ``{"key": [...], "value": <payload>}``; records are
+    flushed and fsynced as they complete, so a SIGKILL loses at most the
+    line being written (a truncated trailing line is ignored on load).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+
+    def load(self) -> Dict[TaskKey, object]:
+        """All intact records, ``key -> payload``; missing file -> empty."""
+        records: Dict[TaskKey, object] = {}
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves one truncated line at the
+                    # tail; the cell simply re-runs.
+                    continue
+                records[_as_key(entry["key"])] = entry["value"]
+        return records
+
+    def record(self, key: TaskKey, value: object) -> None:
+        """Durably append one completed cell."""
+        line = json.dumps({"key": list(key), "value": value}, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def clear(self) -> None:
+        """Start a fresh journal (truncate any existing file)."""
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+
+def _as_key(raw: object) -> TaskKey:
+    if isinstance(raw, (list, tuple)):
+        return tuple(raw)
+    return (raw,)
+
+
+def _invoke(fn: Callable[[T], R], task: T, timeout_s: Optional[float]) -> R:
+    """Run one attempt, optionally under a SIGALRM deadline.
+
+    Runs in the worker's main thread (both the pool workers and the
+    serial path), where ``signal`` is allowed to install handlers; the
+    timer is disarmed and the previous handler restored on every exit.
+    """
+    if not timeout_s:
+        return fn(task)
+    import signal
+
+    def _expired(signum, frame):
+        raise TaskTimeout(f"task exceeded its {timeout_s}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn(task)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _failure(key: TaskKey, attempts: int, exc: BaseException) -> TaskFailure:
+    if isinstance(exc, TaskTimeout):
+        kind = "timeout"
+    elif isinstance(exc, BrokenProcessPool):
+        kind = "worker-crash"
+    else:
+        kind = "exception"
+    return TaskFailure(
+        key=key,
+        attempts=attempts,
+        kind=kind,
+        error_type=type(exc).__name__,
+        message=str(exc),
+    )
+
+
+def supervised_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    keys: Optional[Sequence[TaskKey]] = None,
+    workers: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[CheckpointJournal] = None,
+    encode: Optional[Callable[[R], object]] = None,
+    decode: Optional[Callable[[object], R]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    fail_fast: bool = False,
+) -> List[Union[R, TaskFailure]]:
+    """Apply ``fn`` to every task under supervision.
+
+    Returns one entry per task, in task order: the result, or a
+    :class:`TaskFailure` for cells that exhausted their retry budget.
+
+    Parameters
+    ----------
+    keys:
+        One JSON-serialisable key per task (defaults to ``(index,)``);
+        identifies cells in the journal and in failures.
+    retry:
+        The :class:`RetryPolicy`; defaults to three attempts with 50 ms
+        doubling backoff and no timeout.
+    journal:
+        Optional :class:`CheckpointJournal`. Cells already present in it
+        are returned from disk without running; completed cells are
+        appended as they finish. Pass ``encode``/``decode`` to map
+        results to/from their JSON payloads (identity by default).
+    sleep:
+        The side-effect used to realise backoff delays. Injectable so
+        tests (and the purity property) can run without waiting.
+    fail_fast:
+        Re-raise the original exception when a cell exhausts its retry
+        budget, instead of recording a :class:`TaskFailure` — the
+        ``pool.map``-compatible contract :func:`repro.experiments.
+        parallel.map_tasks` keeps.
+    """
+    retry = retry if retry is not None else RetryPolicy()
+    encode = encode if encode is not None else (lambda r: r)
+    decode = decode if decode is not None else (lambda p: p)
+    if keys is None:
+        keys = [(i,) for i in range(len(tasks))]
+    if len(keys) != len(tasks):
+        raise ConfigurationError(
+            f"got {len(keys)} keys for {len(tasks)} tasks"
+        )
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError("task keys must be unique")
+
+    from repro.experiments.parallel import resolve_workers
+
+    results: List[Union[R, TaskFailure, None]] = [None] * len(tasks)
+    remaining = deque(range(len(tasks)))
+
+    if journal is not None:
+        completed = journal.load()
+        remaining = deque(
+            i for i in remaining if keys[i] not in completed
+        )
+        for i, key in enumerate(keys):
+            if key in completed:
+                results[i] = decode(completed[key])
+
+    def _finish(i: int, value: R) -> None:
+        results[i] = value
+        if journal is not None:
+            journal.record(keys[i], encode(value))
+
+    attempts = [0] * len(tasks)
+    n_workers = resolve_workers(workers)
+
+    if n_workers <= 1 or len(remaining) <= 1:
+        while remaining:
+            i = remaining.popleft()
+            attempts[i] += 1
+            try:
+                _finish(i, _invoke(fn, tasks[i], retry.timeout_s))
+            except Exception as exc:
+                if attempts[i] < retry.max_attempts:
+                    sleep(retry.delay(attempts[i]))
+                    remaining.append(i)
+                elif fail_fast:
+                    raise
+                else:
+                    results[i] = _failure(keys[i], attempts[i], exc)
+        return results  # type: ignore[return-value]
+
+    n_workers = min(n_workers, len(remaining))
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+    inflight: Dict[object, int] = {}
+    # Cells that were in flight when the pool broke. The supervisor
+    # cannot tell which of them killed the worker, so their attempts are
+    # refunded and they re-run one at a time — only a cell that breaks
+    # the pool while running alone is charged the crash.
+    quarantine: deque = deque()
+
+    def _handle_error(i: int, error: BaseException, requeue: deque) -> None:
+        if attempts[i] < retry.max_attempts:
+            sleep(retry.delay(attempts[i]))
+            requeue.append(i)
+        elif fail_fast:
+            raise error
+        else:
+            results[i] = _failure(keys[i], attempts[i], error)
+
+    try:
+        while remaining or inflight or quarantine:
+            while quarantine:
+                i = quarantine.popleft()
+                attempts[i] += 1
+                fut = pool.submit(_invoke, fn, tasks[i], retry.timeout_s)
+                try:
+                    _finish(i, fut.result())
+                except BrokenProcessPool as exc:
+                    # Proven killer: it broke the pool running alone.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=n_workers)
+                    _handle_error(i, exc, quarantine)
+                except Exception as exc:
+                    _handle_error(i, exc, remaining)
+            while remaining and len(inflight) < n_workers:
+                i = remaining.popleft()
+                attempts[i] += 1
+                fut = pool.submit(_invoke, fn, tasks[i], retry.timeout_s)
+                inflight[fut] = i
+            if not inflight:
+                continue
+            done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for fut in done:
+                i = inflight.pop(fut)
+                try:
+                    _finish(i, fut.result())
+                except BrokenProcessPool:
+                    pool_broken = True
+                    attempts[i] -= 1
+                    quarantine.append(i)
+                except Exception as exc:
+                    _handle_error(i, exc, remaining)
+            if pool_broken:
+                # Every other in-flight future of a broken pool fails
+                # with it too; refund and quarantine them all, then start
+                # a fresh pool for the isolation re-runs.
+                for fut, i in list(inflight.items()):
+                    exc: Optional[BaseException] = None
+                    try:
+                        exc = fut.exception(timeout=60.0)
+                        if exc is None:
+                            # Raced to completion before the pool died.
+                            _finish(i, fut.result())
+                            continue
+                    except Exception as wait_exc:
+                        exc = wait_exc
+                    if isinstance(exc, BrokenProcessPool):
+                        attempts[i] -= 1
+                        quarantine.append(i)
+                    else:
+                        _handle_error(i, exc, remaining)
+                inflight.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=n_workers)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results  # type: ignore[return-value]
+
+
+__all__ = [
+    "CheckpointJournal",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskKey",
+    "supervised_map",
+]

@@ -14,7 +14,7 @@ from typing import Hashable, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.exceptions import ConfigurationError, InfeasibleError, ReproError
 from repro.game.best_response import best_response_dynamics, greedy_feasible_profile
 from repro.game.congestion import Profile, SingletonCongestionGame
 from repro.game.equilibrium import is_nash_equilibrium
@@ -42,7 +42,10 @@ def enumerate_equilibria(
         profile: Profile = dict(zip(game.players, combo))
         try:
             game.validate_profile(profile)
-        except Exception:
+        except ReproError:
+            # Overloaded or malformed profiles are simply not equilibria
+            # candidates; anything outside the library hierarchy is a bug
+            # and must propagate.
             continue
         if is_nash_equilibrium(game, profile, movable=movable):
             yield profile

@@ -14,13 +14,18 @@ reduction, but the library is generic).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 from scipy.sparse import csr_matrix
 
-from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleError,
+    SolverError,
+    SolverTimeout,
+)
 from repro.gap.instance import GAPInstance
 
 #: The two LP assembly paths. ``"vectorized"`` builds the constraint
@@ -114,22 +119,33 @@ def _assemble_vectorized(
 
 
 def solve_lp_relaxation(
-    instance: GAPInstance, assemble: str = "vectorized"
+    instance: GAPInstance,
+    assemble: str = "vectorized",
+    time_limit_s: Optional[float] = None,
 ) -> LPRelaxationResult:
     """Solve the GAP LP relaxation; raises :class:`InfeasibleError` when the
     relaxation (hence the GAP) has no solution.
 
     ``assemble`` picks the constraint-construction path (see
     :data:`ASSEMBLIES`); the solved relaxation is bit-identical either way.
+
+    ``time_limit_s`` bounds the HiGHS solve; exceeding it raises
+    :class:`~repro.exceptions.SolverTimeout` (the degradation ladder in
+    :mod:`repro.gap.ladder` catches this and falls back to greedy).
     """
     if assemble not in ASSEMBLIES:
         raise ConfigurationError(
             f"unknown assemble {assemble!r}; choose from {ASSEMBLIES}"
         )
+    if time_limit_s is not None and time_limit_s <= 0:
+        raise ConfigurationError(
+            f"time_limit_s must be positive, got {time_limit_s}"
+        )
     builder = _assemble_vectorized if assemble == "vectorized" else _assemble_scalar
     rows, cols, a_eq, a_ub, c, b_eq = builder(instance)
     b_ub = instance.capacities
 
+    options = {} if time_limit_s is None else {"time_limit": float(time_limit_s)}
     result = linprog(
         c,
         A_eq=a_eq,
@@ -138,7 +154,14 @@ def solve_lp_relaxation(
         b_ub=b_ub,
         bounds=(0.0, 1.0),
         method="highs",
+        options=options,
     )
+    if result.status == 1:
+        # HiGHS reports hitting the time (or iteration) limit as status 1.
+        raise SolverTimeout(
+            f"GAP LP relaxation exceeded its {time_limit_s}s budget: "
+            f"{result.message}"
+        )
     if result.status == 2:
         raise InfeasibleError("GAP LP relaxation is infeasible")
     if not result.success:

@@ -23,7 +23,7 @@ the load is below twice the capacity: the "2-approximation" the paper cites.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -78,18 +78,28 @@ def _build_slots(
     return slots
 
 
-def shmoys_tardos(instance: GAPInstance, assemble: str = "vectorized") -> GAPSolution:
+def shmoys_tardos(
+    instance: GAPInstance,
+    assemble: str = "vectorized",
+    time_limit_s: Optional[float] = None,
+) -> GAPSolution:
     """Round the GAP LP optimum to an integral assignment (see module doc).
 
     ``assemble`` selects the LP constraint-assembly path (see
     :data:`repro.gap.lp.ASSEMBLIES`); the relaxation — and therefore the
     rounding — is bit-identical either way.
 
+    ``time_limit_s`` bounds the LP solve; exceeding it raises
+    :class:`~repro.exceptions.SolverTimeout` (callers wanting a fallback
+    instead use :func:`repro.gap.ladder.solve_with_degradation`).
+
     Raises :class:`repro.exceptions.InfeasibleError` when the LP relaxation
     is infeasible and :class:`SolverError` if the matching step fails (which
     would indicate a bug — the fractional matching guarantees existence).
     """
-    relaxation = solve_lp_relaxation(instance, assemble=assemble)
+    relaxation = solve_lp_relaxation(
+        instance, assemble=assemble, time_limit_s=time_limit_s
+    )
     slots = _build_slots(relaxation)
 
     graph = nx.Graph()

@@ -347,7 +347,12 @@ class CompiledMarket:
         rather than assume ``row i == i-th provider``.
         """
         # Validate against current state before mutating anything.
-        for node in (*delta.price_changes, *delta.capacity_changes):
+        for node in (
+            *delta.price_changes,
+            *delta.capacity_changes,
+            *delta.outages,
+            *delta.recoveries,
+        ):
             self.cloudlet_col(node)
         missing = [pid for pid in delta.departures if pid not in self.provider_index]
         if missing:
@@ -372,6 +377,14 @@ class CompiledMarket:
             j = self.cloudlet_index[node]
             self.capacity[j, 0] = cpu
             self.capacity[j, 1] = bw
+        # Outages/recoveries are capacity patches too: ``market`` already
+        # reflects the delta (zeroed on outage, nominal restored on
+        # recovery), so the cloudlet's live capacities are the new truth.
+        for node in (*delta.outages, *delta.recoveries):
+            j = self.cloudlet_index[node]
+            cl = market.network.cloudlet_at(node)
+            self.capacity[j, 0] = cl.compute_capacity
+            self.capacity[j, 1] = cl.bandwidth_capacity
 
         for pid in delta.departures:
             row = self.provider_index.pop(pid)

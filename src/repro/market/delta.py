@@ -1,14 +1,23 @@
 """The market mutation protocol: :class:`MarketDelta`.
 
-A market changes in exactly four ways — providers arrive, providers depart,
-cloudlet capacities change, and cloudlet congestion prices change.
-Historically every mutation site poked the object graph directly and (at
-best) called ``ServiceMarket.invalidate_compiled()``, turning each epoch of
-a dynamic run into a full recompilation.  :class:`MarketDelta` makes the
-mutation itself a value: call :meth:`ServiceMarket.apply
+A market changes in exactly six ways — providers arrive, providers depart,
+cloudlet capacities change, cloudlet congestion prices change, cloudlets
+*fail*, and failed cloudlets *recover*.  Historically every mutation site
+poked the object graph directly and (at best) called
+``ServiceMarket.invalidate_compiled()``, turning each epoch of a dynamic
+run into a full recompilation.  :class:`MarketDelta` makes the mutation
+itself a value: call :meth:`ServiceMarket.apply
 <repro.market.market.ServiceMarket.apply>` with a delta and both the object
 graph and the cached :class:`~repro.market.compiled.CompiledMarket` are
 patched in O(changed rows) instead of being rebuilt from scratch.
+
+Outages and recoveries are distinct from capacity changes because they are
+*reversible* without the caller remembering anything: an outage zeroes the
+cloudlet's effective capacity while the market records its nominal
+capacity, and the matching recovery restores it exactly.  That keeps outage
+traces (see :mod:`repro.dynamics.outages`) expressible as pure event
+streams — the testbed's "still transmitting if one switch is down"
+redundancy story (Section IV.C), exercised rather than assumed.
 
 Deltas are immutable and self-validating; they deliberately cover only the
 mutations the compiled tables capture.  Anything else (pricing policy,
@@ -43,12 +52,22 @@ class MarketDelta:
     price_changes:
         ``cloudlet node_id -> (alpha, beta)`` — the cloudlet's new
         congestion price coefficients (Eq. 1–2).
+    outages:
+        Cloudlet node ids going *down* this delta.  The market zeroes
+        their effective capacity and remembers the nominal values; at
+        apply time the node must be up, and at least one cloudlet must
+        survive the delta (the testbed's redundancy assumption).
+    recoveries:
+        Cloudlet node ids coming *back up*; their nominal capacities are
+        restored.  At apply time the node must currently be failed.
     """
 
     arrivals: Tuple[ServiceProvider, ...] = ()
     departures: Tuple[int, ...] = ()
     capacity_changes: Mapping[int, Tuple[float, float]] = field(default_factory=dict)
     price_changes: Mapping[int, Tuple[float, float]] = field(default_factory=dict)
+    outages: Tuple[int, ...] = ()
+    recoveries: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "arrivals", tuple(self.arrivals))
@@ -70,6 +89,12 @@ class MarketDelta:
                 int(node): (float(alpha), float(beta))
                 for node, (alpha, beta) in dict(self.price_changes).items()
             },
+        )
+        object.__setattr__(
+            self, "outages", tuple(sorted(int(node) for node in self.outages))
+        )
+        object.__setattr__(
+            self, "recoveries", tuple(sorted(int(node) for node in self.recoveries))
         )
 
         arriving = [p.provider_id for p in self.arrivals]
@@ -94,6 +119,24 @@ class MarketDelta:
                     f"price change for cloudlet {node} must be non-negative, "
                     f"got {(alpha, beta)}"
                 )
+        if len(set(self.outages)) != len(self.outages):
+            raise ConfigurationError("delta outages carry duplicate cloudlets")
+        if len(set(self.recoveries)) != len(self.recoveries):
+            raise ConfigurationError("delta recoveries carry duplicate cloudlets")
+        flapping = set(self.outages) & set(self.recoveries)
+        if flapping:
+            raise ConfigurationError(
+                f"cloudlets {sorted(flapping)} both fail and recover in one delta"
+            )
+        ambiguous = (set(self.outages) | set(self.recoveries)) & set(
+            self.capacity_changes
+        )
+        if ambiguous:
+            raise ConfigurationError(
+                f"cloudlets {sorted(ambiguous)} carry both an outage/recovery "
+                f"and a capacity change in one delta; order is ambiguous — "
+                f"split them across two deltas"
+            )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -106,6 +149,8 @@ class MarketDelta:
             or self.departures
             or self.capacity_changes
             or self.price_changes
+            or self.outages
+            or self.recoveries
         )
 
     def __bool__(self) -> bool:
@@ -126,7 +171,9 @@ class MarketDelta:
             f"MarketDelta(arrivals={len(self.arrivals)}, "
             f"departures={len(self.departures)}, "
             f"capacity_changes={len(self.capacity_changes)}, "
-            f"price_changes={len(self.price_changes)})"
+            f"price_changes={len(self.price_changes)}, "
+            f"outages={len(self.outages)}, "
+            f"recoveries={len(self.recoveries)})"
         )
 
 

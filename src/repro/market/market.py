@@ -7,7 +7,7 @@ providers are coordinated (set ``S``) versus selfish (``N \\ S``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.market.costs import CongestionFunction, CostModel
@@ -70,6 +70,9 @@ class ServiceMarket:
             p.provider_id: p for p in self.providers
         }
         self._compiled: Optional["CompiledMarket"] = None
+        #: node -> nominal (compute, bandwidth) capacity saved at outage
+        #: time; a node is "failed" exactly while it has an entry here.
+        self._failed: Dict[int, Tuple[float, float]] = {}
 
     # ------------------------------------------------------------------ #
     # Compiled (array-backed) representation
@@ -129,8 +132,37 @@ class ServiceMarket:
             raise ConfigurationError(
                 f"arriving provider ids {sorted(dup)} already present"
             )
-        for node in (*delta.capacity_changes, *delta.price_changes):
+        for node in (
+            *delta.capacity_changes,
+            *delta.price_changes,
+            *delta.outages,
+            *delta.recoveries,
+        ):
             self.network.cloudlet_at(node)
+        already_down = [node for node in delta.outages if node in self._failed]
+        if already_down:
+            raise ConfigurationError(
+                f"cloudlets {already_down} are already failed"
+            )
+        not_down = [node for node in delta.recoveries if node not in self._failed]
+        if not_down:
+            raise ConfigurationError(
+                f"cloudlets {not_down} are not failed and cannot recover"
+            )
+        failed_cap = [
+            node for node in delta.capacity_changes if node in self._failed
+        ]
+        if failed_cap:
+            raise ConfigurationError(
+                f"cloudlets {failed_cap} are failed; recover them before "
+                f"changing capacities"
+            )
+        down_after = (set(self._failed) | set(delta.outages)) - set(delta.recoveries)
+        if len(down_after) >= len(self.network.cloudlets):
+            raise ConfigurationError(
+                "delta would fail every cloudlet; the testbed guarantees at "
+                "least one survivor (Section IV.C)"
+            )
 
         for pid in delta.departures:
             del self._by_id[pid]
@@ -153,9 +185,33 @@ class ServiceMarket:
             cl = self.network.cloudlet_at(node)
             cl.alpha = alpha
             cl.beta = beta
+        for node in delta.outages:
+            cl = self.network.cloudlet_at(node)
+            self._failed[node] = (cl.compute_capacity, cl.bandwidth_capacity)
+            cl.compute_capacity = 0.0
+            cl.bandwidth_capacity = 0.0
+        for node in delta.recoveries:
+            cpu, bw = self._failed.pop(node)
+            cl = self.network.cloudlet_at(node)
+            cl.compute_capacity = cpu
+            cl.bandwidth_capacity = bw
 
         if self._compiled is not None:
             self._compiled.apply_delta(delta, self)
+
+    @property
+    def failed_cloudlets(self) -> Tuple[int, ...]:
+        """Node ids of currently-failed cloudlets, in id order."""
+        return tuple(sorted(self._failed))
+
+    def nominal_capacity(self, node: int) -> Tuple[float, float]:
+        """The cloudlet's nominal ``(compute, bandwidth)`` capacity — the
+        saved pre-outage values while it is failed, the live ones otherwise."""
+        saved = self._failed.get(node)
+        if saved is not None:
+            return saved
+        cl = self.network.cloudlet_at(node)
+        return (cl.compute_capacity, cl.bandwidth_capacity)
 
     # ------------------------------------------------------------------ #
     # Provider access

@@ -8,6 +8,7 @@ from repro.core.optimal import optimal_caching
 from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.market.market import ServiceMarket
 from repro.market.pricing import Pricing
+from repro.utils.validation import CAPACITY_EPS
 
 from tests.conftest import build_line_network, build_provider
 
@@ -26,8 +27,8 @@ def brute_force_cost(market: ServiceMarket) -> float:
             loads[node][1] += p.bandwidth_demand
         for c in cloudlets:
             if (
-                loads[c.node_id][0] > c.compute_capacity + 1e-9
-                or loads[c.node_id][1] > c.bandwidth_capacity + 1e-9
+                loads[c.node_id][0] > c.compute_capacity + CAPACITY_EPS
+                or loads[c.node_id][1] > c.bandwidth_capacity + CAPACITY_EPS
             ):
                 ok = False
         if ok:

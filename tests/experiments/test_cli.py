@@ -31,6 +31,17 @@ class TestParser:
         args = build_parser().parse_args(["poa", "--providers", "6"])
         assert args.providers == 6
 
+    def test_outages_defaults(self):
+        args = build_parser().parse_args(["outages"])
+        assert args.policy == "failover"
+        assert args.mttf == 5.0
+        assert args.mttr == 2.0
+        assert not args.correlated
+
+    def test_outages_policy_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["outages", "--policy", "pray"])
+
     def test_bench_scale_exists(self):
         assert BENCH.repetitions < PAPER.repetitions or (
             BENCH.n_providers < PAPER.n_providers
@@ -61,6 +72,14 @@ class TestMain:
         out = capsys.readouterr().out
         assert "rejected services" in out
         assert "running time" not in out
+
+    def test_outages_runs(self, capsys):
+        code = main(["outages", "--nodes", "40", "--epochs", "6",
+                     "--mttf", "3", "--mttr", "2", "--policy", "replan"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cloudlet downtime" in out
+        assert "mean time to recover" in out
 
     def test_chart_flag(self, capsys):
         code = main(["fig2", "--scale", "quick", "--chart"])

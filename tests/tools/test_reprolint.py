@@ -140,6 +140,37 @@ class TestCapacityEpsilon:
         """
         assert rule_ids(lint(code, path="tests/test_x.py", rules=["R2"])) == ["R2"]
 
+    def test_flags_strict_gt_with_raw_epsilon(self):
+        code = """
+            def overloaded(load, demand, capacity):
+                return load + demand > capacity + 1e-9
+        """
+        diags = lint(code, rules=["R2"])
+        assert rule_ids(diags) == ["R2"]
+        assert "raw epsilon" in diags[0].message
+
+    def test_flags_strict_lt_with_raw_epsilon(self):
+        code = """
+            def has_headroom(capacity, used):
+                return 1e-9 < capacity - used
+        """
+        assert rule_ids(lint(code, rules=["R2"])) == ["R2"]
+
+    def test_strict_ordering_without_epsilon_passes(self):
+        code = """
+            def cheaper(cost_a, cost_b):
+                return cost_a < cost_b
+        """
+        assert lint(code, rules=["R2"]) == []
+
+    def test_strict_gt_against_named_eps_passes(self):
+        code = """
+            CAPACITY_EPS = 1e-9
+            def has_headroom(capacity, used):
+                return capacity - used > CAPACITY_EPS
+        """
+        assert lint(code, rules=["R2"]) == []
+
 
 # --------------------------------------------------------------------- #
 # R3 — sweep-pickle
@@ -397,6 +428,108 @@ class TestMarketMutation:
 
 
 # --------------------------------------------------------------------- #
+# R7 — swallowed-error
+# --------------------------------------------------------------------- #
+class TestSwallowedError:
+    def test_flags_broad_except_continue(self):
+        code = """
+            def scan(items):
+                for item in items:
+                    try:
+                        item.check()
+                    except Exception:
+                        continue
+        """
+        diags = lint(code, rules=["R7"])
+        assert rule_ids(diags) == ["R7"]
+        assert "swallows" in diags[0].message
+
+    def test_flags_bare_except_pass(self):
+        code = """
+            def best_effort(fn):
+                try:
+                    fn()
+                except:
+                    pass
+        """
+        diags = lint(code, rules=["R7"])
+        assert rule_ids(diags) == ["R7"]
+        assert "bare except" in diags[0].message
+
+    def test_flags_broad_except_in_tuple(self):
+        code = """
+            def best_effort(fn):
+                try:
+                    fn()
+                except (ValueError, Exception):
+                    return None
+        """
+        assert rule_ids(lint(code, rules=["R7"])) == ["R7"]
+
+    def test_narrow_except_passes(self):
+        code = """
+            from repro.exceptions import InfeasibleError
+            def scan(items):
+                for item in items:
+                    try:
+                        item.check()
+                    except InfeasibleError:
+                        continue
+        """
+        assert lint(code, rules=["R7"]) == []
+
+    def test_reraise_passes(self):
+        code = """
+            def wrap(fn):
+                try:
+                    fn()
+                except Exception:
+                    raise RuntimeError("wrapped")
+        """
+        assert lint(code, rules=["R7"]) == []
+
+    def test_using_bound_exception_passes(self):
+        code = """
+            def report(fn, failures):
+                try:
+                    fn()
+                except Exception as exc:
+                    failures.append(str(exc))
+        """
+        assert lint(code, rules=["R7"]) == []
+
+    def test_logging_passes(self):
+        code = """
+            def tolerate(fn, logger):
+                try:
+                    fn()
+                except Exception:
+                    logger.warning("fn failed; continuing")
+        """
+        assert lint(code, rules=["R7"]) == []
+
+    def test_test_files_exempt(self):
+        code = """
+            def test_teardown(resource):
+                try:
+                    resource.close()
+                except Exception:
+                    pass
+        """
+        assert lint(code, path="tests/test_x.py", rules=["R7"]) == []
+
+    def test_escape_hatch_silences(self):
+        code = """
+            def cleanup(path):
+                try:
+                    path.unlink()
+                except Exception:  # reprolint: ok[R7] best-effort temp cleanup
+                    pass
+        """
+        assert lint(code, rules=["R7"]) == []
+
+
+# --------------------------------------------------------------------- #
 # Suppressions (escape hatch + R0 hygiene)
 # --------------------------------------------------------------------- #
 class TestSuppressions:
@@ -477,7 +610,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R0"):
+        for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R0"):
             assert rule in out
 
     def test_select_restricts_rules(self, tmp_path):

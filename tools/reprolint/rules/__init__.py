@@ -15,6 +15,7 @@ from reprolint.rules.epsilon import CapacityEpsilonRule
 from reprolint.rules.pickling import SweepPickleRule
 from reprolint.rules.mutability import StableOrderRule
 from reprolint.rules.market_mutation import MarketMutationRule
+from reprolint.rules.swallowed import SwallowedErrorRule
 
 ALL_RULES: List[Type[Rule]] = [
     RawRandomRule,
@@ -23,6 +24,7 @@ ALL_RULES: List[Type[Rule]] = [
     StableOrderRule,
     RngPlumbingRule,
     MarketMutationRule,
+    SwallowedErrorRule,
 ]
 
 __all__ = ["ALL_RULES", "Rule"]

@@ -40,6 +40,24 @@ _TOLERANT_CALLS: Set[str] = {"isclose", "allclose", "isfinite", "approx"}
 
 _CHECKED_OPS = (ast.Eq, ast.LtE, ast.GtE)
 
+#: Strict comparisons (``<``/``>``) are usually legitimate orderings, but a
+#: strict comparison against a *raw* tiny float literal (``residual > 1e-9``)
+#: is a hand-rolled tolerance that drifts from the shared constant.  Any
+#: non-zero float literal at or below this magnitude counts as one.
+_RAW_EPSILON_LIMIT = 1e-6
+
+
+def _has_raw_epsilon(node: ast.expr) -> bool:
+    """Does the expression contain a literal tiny non-zero float?"""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, float)
+            and 0.0 < abs(sub.value) <= _RAW_EPSILON_LIMIT
+        ):
+            return True
+    return False
+
 
 class CapacityEpsilonRule(Rule):
     """R2: flag exact float comparisons on capacity/cost expressions."""
@@ -74,20 +92,31 @@ class CapacityEpsilonRule(Rule):
                 for op_node, (lhs, rhs) in zip(
                     node.ops, zip(operands[:-1], operands[1:])
                 ):
-                    if not isinstance(op_node, _CHECKED_OPS):
-                        continue
-                    if self._operand_is_trivial(lhs) and self._operand_is_trivial(rhs):
-                        continue
-                    pretty = {"Eq": "==", "LtE": "<=", "GtE": ">="}[
-                        type(op_node).__name__
-                    ]
-                    self.report(
-                        node,
-                        f"exact float '{pretty}' on a capacity/cost expression; "
-                        f"compare with repro.utils.validation.CAPACITY_EPS slack "
-                        f"(or mark integer semantics with '# reprolint: ok[R2] ...')",
-                    )
-                    break  # one diagnostic per comparison is enough
+                    if isinstance(op_node, _CHECKED_OPS):
+                        if self._operand_is_trivial(lhs) and self._operand_is_trivial(rhs):
+                            continue
+                        pretty = {"Eq": "==", "LtE": "<=", "GtE": ">="}[
+                            type(op_node).__name__
+                        ]
+                        self.report(
+                            node,
+                            f"exact float '{pretty}' on a capacity/cost expression; "
+                            f"compare with repro.utils.validation.CAPACITY_EPS slack "
+                            f"(or mark integer semantics with '# reprolint: ok[R2] ...')",
+                        )
+                        break  # one diagnostic per comparison is enough
+                    if isinstance(op_node, (ast.Lt, ast.Gt)) and (
+                        _has_raw_epsilon(lhs) or _has_raw_epsilon(rhs)
+                    ):
+                        pretty = {"Lt": "<", "Gt": ">"}[type(op_node).__name__]
+                        self.report(
+                            node,
+                            f"strict '{pretty}' against a raw epsilon literal on a "
+                            f"capacity/cost expression; use "
+                            f"repro.utils.validation.CAPACITY_EPS as the shared "
+                            f"tolerance (or '# reprolint: ok[R2] ...')",
+                        )
+                        break
         self.generic_visit(node)
 
 
