@@ -15,7 +15,8 @@ Usage::
 Section IV.A scale). ``--workers N`` fans each sweep's (x, repetition)
 grid over ``N`` worker processes (``0`` = one per CPU) with bit-identical
 results; ``--engine`` switches the best-response engine between the
-compiled incremental implementation and the naive reference loops.
+compiled incremental implementation, the batch-vectorized kernel and the
+naive reference loops (all bit-identical in outcome).
 ``--csv DIR`` additionally writes each figure's rows as CSV files for
 external plotting.
 """
@@ -43,6 +44,7 @@ from repro.experiments.figures import (
 from repro.experiments.harness import SweepResult
 from repro.experiments.report import METRIC_LABELS, render_sweep, sweep_to_csv
 from repro.experiments.settings import PAPER, QUICK, ExperimentConfig
+from repro.game.best_response import ENGINES
 from repro.utils.ascii_plot import line_chart
 
 #: The benchmark-harness scale (mirrors benchmarks/conftest.py).
@@ -144,7 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
             "1 = serial, N = that many (results identical at any value)",
         )
         p.add_argument(
-            "--engine", choices=("incremental", "naive"), default="incremental",
+            "--engine", choices=ENGINES, default="incremental",
             help="best-response engine (default: incremental)",
         )
 

@@ -123,8 +123,11 @@ def lcf(
 
     ``engine`` selects the game engine driving the selfish phase:
     ``"incremental"`` (compiled cost tables, vectorised entry scans and
-    delta-maintained best-response state) or ``"naive"`` (the reference
-    per-resource Python loops). Both produce identical placements.
+    delta-maintained best-response state), ``"batch"`` (the
+    batch-vectorized kernel — all providers' candidate moves priced as one
+    delta-cost matrix per round, Jacobi-propose/Gauss-Seidel-commit; see
+    :mod:`repro.game.batch`) or ``"naive"`` (the reference per-resource
+    Python loops). All produce identical placements.
 
     ``representation`` selects the instance representation for the leader
     phase (Appro's GAP build and repair): ``"compiled"`` (default, the
@@ -216,7 +219,7 @@ def lcf(
             else (lambda pid: float("inf"))
         )
 
-        if engine == "incremental":
+        if engine in ("incremental", "batch"):
             compiled = game_all.compile()
             occ_vec = compiled.occupancy_vector(profile)
             load_mat = compiled.load_matrix(profile)

@@ -60,6 +60,7 @@ import numpy as np
 
 from repro.core.lcf import LCFResult, lcf
 from repro.dynamics.outages import OutageEvent, OutageTrace
+from repro.game.best_response import ENGINES
 from repro.dynamics.population import PopulationEvent, PopulationProcess
 from repro.exceptions import ConfigurationError
 from repro.market.compiled import REPRESENTATIONS
@@ -216,6 +217,12 @@ class DynamicMarketSimulation:
         stays), ``"replan"`` (full warm LCF replan) or ``"hysteresis"``
         (failover until drift exceeds ``hysteresis_threshold``). Ignored
         when ``outages`` is ``None``.
+    engine:
+        The best-response engine driving each replan's selfish phase:
+        ``"batch"`` (default — the batch-vectorized kernel, the fast path
+        for warm-started epoch replans), ``"incremental"`` or ``"naive"``.
+        All engines replay the identical move sequence, so the billed
+        costs are engine-independent bit for bit.
     """
 
     def __init__(
@@ -234,6 +241,7 @@ class DynamicMarketSimulation:
         hysteresis_threshold: float = 0.15,
         outages: Optional[OutageTrace] = None,
         recovery: str = "failover",
+        engine: str = "batch",
     ) -> None:
         if policy not in _POLICIES:
             raise ConfigurationError(
@@ -251,6 +259,10 @@ class DynamicMarketSimulation:
         if hysteresis_threshold < 0:
             raise ConfigurationError(
                 f"hysteresis_threshold must be >= 0, got {hysteresis_threshold}"
+            )
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
             )
         check_fraction(xi, "xi")
         self.network = network
@@ -270,6 +282,7 @@ class DynamicMarketSimulation:
         self.hysteresis_threshold = hysteresis_threshold
         self.outages = outages
         self.recovery = recovery
+        self.engine = engine
         #: Completed outage durations (epochs down per recovered incident).
         self._recovery_times: List[int] = []
         #: node -> epoch it failed, for incidents still open.
@@ -379,6 +392,7 @@ class DynamicMarketSimulation:
             gap_solver=self.gap_solver,
             representation=self.representation,
             warm_start=warm,
+            engine=self.engine,
         )
         self._last_result = result
         return dict(result.assignment.placement), set(result.assignment.rejected)

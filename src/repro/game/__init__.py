@@ -9,6 +9,7 @@ Nash-equilibrium verification, the Stackelberg wrapper used by algorithm
 """
 
 from repro.game.congestion import Profile, SingletonCongestionGame
+from repro.game.batch import batch_best_response
 from repro.game.best_response import BestResponseResult, best_response_dynamics, greedy_feasible_profile
 from repro.game.equilibrium import best_deviation, is_nash_equilibrium
 from repro.game.stackelberg import StackelbergOutcome, play_stackelberg
@@ -19,6 +20,7 @@ __all__ = [
     "Profile",
     "SingletonCongestionGame",
     "BestResponseResult",
+    "batch_best_response",
     "best_response_dynamics",
     "greedy_feasible_profile",
     "best_deviation",

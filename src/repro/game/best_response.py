@@ -7,12 +7,18 @@ potential, every improving move strictly decreases the potential, so the
 dynamics terminate at a (constrained) Nash equilibrium of the movable
 players (Lemma 3).
 
-Two engines implement the same dynamics:
+Three engines implement the same dynamics:
 
 * ``"incremental"`` (default) — the compiled-table engine of
   :mod:`repro.game.engine`: costs are precomputed into numpy arrays,
   loads/occupancy/potential are maintained by per-move deltas, and each
   scan is a vectorised argmin. Fast, and move-for-move equivalent.
+* ``"batch"`` — the batch-vectorized kernel of :mod:`repro.game.batch`:
+  every round prices **all** players' candidate moves as one
+  (players x resources) delta-cost matrix with masked infeasibility, and
+  commits proposals in deterministic priority order (Jacobi propose,
+  Gauss-Seidel commit). Replays the serial move sequence bit for bit;
+  the fastest path at 1000-node / 10^4-provider scale.
 * ``"naive"`` — the reference implementation below: per-resource Python
   scans and a full Rosenthal-potential recomputation every round. Kept as
   the differential-testing oracle.
@@ -26,6 +32,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError, InfeasibleError
+from repro.game.batch import batch_best_response
 from repro.game.congestion import Profile, SingletonCongestionGame
 from repro.game.engine import CompiledGame, incremental_best_response
 from repro.utils.contracts import (
@@ -35,7 +42,13 @@ from repro.utils.contracts import (
 
 _IMPROVEMENT_EPS = 1e-9
 
-ENGINES = ("incremental", "naive")
+ENGINES = ("incremental", "naive", "batch")
+
+#: The engines backed by compiled tables (accept a prebuilt ``compiled=``).
+_COMPILED_ENGINES = {
+    "incremental": incremental_best_response,
+    "batch": batch_best_response,
+}
 
 
 @dataclass
@@ -153,10 +166,14 @@ def best_response_dynamics(
         When ``True``, raises :class:`ConvergenceError` instead of returning
         ``converged=False``.
     engine:
-        ``"incremental"`` (compiled tables, per-move deltas — the default)
-        or ``"naive"`` (the reference full-recompute implementation). Both
-        produce the same profiles, move counts and convergence flags; the
-        potentials agree to floating-point accumulation accuracy.
+        ``"incremental"`` (compiled tables, per-move deltas — the
+        default), ``"batch"`` (one vectorised delta-cost matrix per round
+        with Jacobi-propose/Gauss-Seidel-commit conflict resolution; see
+        :mod:`repro.game.batch`) or ``"naive"`` (the reference
+        full-recompute implementation). All three produce the same
+        profiles, move counts and convergence flags; the potentials agree
+        to floating-point accumulation accuracy — and the two compiled
+        engines agree with each other bit for bit.
     compiled:
         An optional pre-built :class:`CompiledGame` for the incremental
         engine (lets callers amortise table construction across runs).
@@ -166,8 +183,8 @@ def best_response_dynamics(
     """
     if engine not in ENGINES:
         raise ConfigurationError(f"unknown engine {engine!r}; choose from {ENGINES}")
-    if engine == "incremental":
-        profile, converged, rounds, moves, trace, move_log = incremental_best_response(
+    if engine in _COMPILED_ENGINES:
+        profile, converged, rounds, moves, trace, move_log = _COMPILED_ENGINES[engine](
             game,
             initial_profile,
             movable=movable,

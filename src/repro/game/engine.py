@@ -325,6 +325,7 @@ def warm_started_best_response(
     max_rounds: int = 1000,
     compiled: Optional[CompiledGame] = None,
     record_moves: bool = False,
+    engine: str = "incremental",
 ) -> Tuple[Profile, bool, int, int, List[float], List[Tuple[Hashable, Hashable, Hashable, float]]]:
     """Carry an equilibrium across a market delta instead of restarting cold.
 
@@ -344,12 +345,22 @@ def warm_started_best_response(
        survivors are *pinned*: the dynamics only settle the players the
        delta actually disturbed, which is what makes warm epochs cheap.
 
+    ``engine`` selects the dynamics kernel settling the queue:
+    ``"incremental"`` (the per-turn serial engine above, the default) or
+    ``"batch"`` (the batch-vectorized kernel of :mod:`repro.game.batch`
+    — the same moves bit for bit, priced in bulk; the right choice when
+    an epoch replan disturbs many players at once).
+
     Returns the same ``(profile, converged, rounds, moves, trace,
     move_log)`` tuple as :func:`incremental_best_response`.
     """
     if scope not in ("queue", "all"):
         raise InfeasibleError(
             f"scope must be 'queue' or 'all', got {scope!r}"
+        )
+    if engine not in ("incremental", "batch"):
+        raise ConfigurationError(
+            f"engine must be 'incremental' or 'batch', got {engine!r}"
         )
     c = compiled if compiled is not None else game.compile()
     resources = set(game.resources)
@@ -396,6 +407,17 @@ def warm_started_best_response(
             live_loads[j] += c.demand[pi, j]
 
     movable = queue if scope == "queue" else None
+    if engine == "batch":
+        from repro.game.batch import batch_best_response  # cycle guard
+
+        return batch_best_response(
+            game,
+            profile,
+            movable=movable,
+            max_rounds=max_rounds,
+            compiled=c,
+            record_moves=record_moves,
+        )
     return incremental_best_response(
         game,
         profile,

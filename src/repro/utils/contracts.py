@@ -42,6 +42,12 @@ ENV_FLAG = "REPRO_DEBUG_INVARIANTS"
 #: the engines' 1e-9 improvement threshold).
 POTENTIAL_SLACK = 1e-7
 
+#: The engines' strict-improvement threshold, mirrored here (contracts sit
+#: below the game layer, so importing ``repro.game.engine.IMPROVEMENT_EPS``
+#: would create a cycle). A committed move whose recorded delta does not
+#: clear this bound was never a legal best response.
+COMMIT_IMPROVEMENT_EPS = 1e-9
+
 F = TypeVar("F", bound=Callable[..., Any])
 
 #: Extractor signature: ``(args, kwargs, result) -> value``.
@@ -118,6 +124,74 @@ def check_potential_descends(trace: Sequence[float]) -> None:
             )
 
 
+def check_no_conflicting_commits(
+    game: Any,
+    start_profile: Mapping[Any, Any],
+    commit_rounds: Sequence[Sequence[tuple]],
+) -> None:
+    """The Gauss-Seidel commit phase never committed conflicting moves.
+
+    ``commit_rounds`` holds, per committed round, the ordered
+    ``(player, old_resource, new_resource, cost_delta)`` records the batch
+    kernel applied. Replaying them from ``start_profile`` checks that:
+
+    * no player commits more than one move per round (each is scanned once
+      in the round-robin priority order);
+    * every commit's source matches the replayed live profile — a mismatch
+      means a stale Jacobi proposal was committed without re-validation;
+    * every commit strictly improved at commit time (the recorded delta
+      clears :data:`COMMIT_IMPROVEMENT_EPS`);
+    * capacity stays feasible after **every** commit, not just at round
+      end — two Jacobi proposals that individually fit but jointly
+      overload a resource must have been re-resolved, never co-committed.
+    """
+    profile = dict(start_profile)
+    capacitated = getattr(game, "capacitated", False)
+    loads = game.loads(profile) if capacitated else {}
+    for round_no, commits in enumerate(commit_rounds, start=1):
+        seen = set()
+        for player, old, new, delta in commits:
+            if player in seen:
+                raise InvariantViolation(
+                    f"conflicting commits in round {round_no}: player "
+                    f"{player!r} committed more than one move"
+                )
+            seen.add(player)
+            if profile.get(player) != old:
+                raise InvariantViolation(
+                    f"conflicting commits in round {round_no}: player "
+                    f"{player!r} moved from {old!r} but the live profile "
+                    f"has it on {profile.get(player)!r} — a stale Jacobi "
+                    f"proposal was committed without re-validation"
+                )
+            if old == new:
+                raise InvariantViolation(
+                    f"round {round_no}: player {player!r} committed a "
+                    f"no-op move to {new!r}"
+                )
+            if not delta < -COMMIT_IMPROVEMENT_EPS:
+                raise InvariantViolation(
+                    f"round {round_no}: player {player!r} committed a "
+                    f"non-improving move ({old!r} -> {new!r}, "
+                    f"delta={delta!r})"
+                )
+            profile[player] = new
+            if capacitated:
+                d_old = np.asarray(game.demand_of(player, old), dtype=float)
+                d_new = np.asarray(game.demand_of(player, new), dtype=float)
+                loads[old] = loads[old] - d_old
+                loads[new] = loads.get(new, np.zeros_like(d_new)) + d_new
+                capacity = np.asarray(game.capacity_of(new), dtype=float)
+                if np.any(loads[new] - capacity > CAPACITY_EPS):
+                    raise InvariantViolation(
+                        f"conflicting commits in round {round_no}: moving "
+                        f"{player!r} to {new!r} overloads it (load "
+                        f"{loads[new].tolist()} > capacity "
+                        f"{capacity.tolist()} beyond "
+                        f"CAPACITY_EPS={CAPACITY_EPS})"
+                    )
+
+
 def check_potential_accumulator(game: Any, profile: Mapping[Any, Any], phi: float) -> None:
     """The engine's delta-maintained potential matches a full recomputation."""
     recomputed = game.potential(profile)
@@ -181,6 +255,52 @@ def invariant_capacity_feasible(
     return decorate
 
 
+def _second_arg(args: tuple, kwargs: dict, result: Any) -> Any:
+    return args[1] if len(args) > 1 else None
+
+
+def _commit_rounds_of(args: tuple, kwargs: dict, result: Any) -> Any:
+    if hasattr(result, "commit_rounds"):
+        return result.commit_rounds
+    if isinstance(result, tuple):
+        return result[-1]
+    return result
+
+
+def invariant_no_conflicting_commits(
+    get_subject: Extractor = _first_arg,
+    get_start: Extractor = _second_arg,
+    get_commits: Extractor = _commit_rounds_of,
+) -> Callable[[F], F]:
+    """Post-condition for a Jacobi-propose/Gauss-Seidel-commit round loop:
+    the per-round commit lists replay conflict-free from the start profile
+    (see :func:`check_no_conflicting_commits`).
+
+    ``get_subject`` extracts the game (default: first positional argument),
+    ``get_start`` the starting profile (default: second positional
+    argument) and ``get_commits`` the per-round commit lists (default: a
+    ``commit_rounds`` attribute, or the last element of a tuple result).
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = fn(*args, **kwargs)
+            if invariants_active():
+                commits = get_commits(args, kwargs, result)
+                if commits is not None:
+                    check_no_conflicting_commits(
+                        get_subject(args, kwargs, result),
+                        get_start(args, kwargs, result),
+                        commits,
+                    )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
 def invariant_potential_descends(
     get_trace: Extractor = _trace_of,
 ) -> Callable[[F], F]:
@@ -202,14 +322,17 @@ def invariant_potential_descends(
 
 
 __all__ = [
+    "COMMIT_IMPROVEMENT_EPS",
     "ENV_FLAG",
     "POTENTIAL_SLACK",
     "check_capacity",
+    "check_no_conflicting_commits",
     "check_placement_capacity",
     "check_potential_accumulator",
     "check_potential_descends",
     "check_profile_capacity",
     "invariant_capacity_feasible",
+    "invariant_no_conflicting_commits",
     "invariant_potential_descends",
     "invariants_active",
 ]

@@ -10,7 +10,7 @@ tests pin the three phases — restriction, eviction, queue entry — and the
 import numpy as np
 import pytest
 
-from repro.exceptions import InfeasibleError
+from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.game.congestion import SingletonCongestionGame
 from repro.game.engine import (
     incremental_best_response,
@@ -103,6 +103,89 @@ class TestWarmStartedBestResponse:
         game = make_game([0, 1, 2], n_resources=2, cap=1.0)
         with pytest.raises(InfeasibleError, match="no feasible resource"):
             warm_started_best_response(game, {})
+
+    @pytest.mark.parametrize("engine", ["incremental", "batch"])
+    def test_all_scope_with_capacity_evictions(self, engine):
+        # Shrunk capacity evicts the largest occupant of r0 AND survivors
+        # are free to move: scope="all" must both repair feasibility and
+        # land at a full equilibrium of every player.
+        weights = {0: 3.0, 1: 2.0, 2: 1.0, 3: 1.0}
+        fixed = {(1, "r1"): -4.0}  # survivor 1 prefers r1 when free to move
+        game = make_game([0, 1, 2, 3], cap=3.5, weights=weights, fixed=fixed)
+        prior = {0: "r0", 1: "r0", 2: "r0", 3: "r1"}
+        profile, converged, _, moves, _, _ = warm_started_best_response(
+            game, prior, scope="all", engine=engine
+        )
+        assert converged
+        assert set(profile) == {0, 1, 2, 3}
+        assert profile[0] == "r2"  # evicted (w=3 no longer fits anywhere else)
+        assert profile[1] == "r1"  # survivor escaped under scope="all"
+        assert moves >= 1
+        assert is_nash_equilibrium(game, profile)
+        c = game.compile()
+        assert np.all(c.load_matrix(profile) <= c.capacity + CAPACITY_EPS)
+
+    @pytest.mark.parametrize("engine", ["incremental", "batch"])
+    def test_empty_queue_is_a_noop_under_queue_scope(self, engine):
+        # Prior covers every player and nothing was evicted: the queue is
+        # empty, so no dynamics run and the prior survives untouched.
+        fixed = {(p, "r1"): -5.0 for p in (0, 1)}
+        game = make_game([0, 1], fixed=fixed)
+        prior = {0: "r0", 1: "r0"}
+        profile, converged, rounds, moves, trace, log = warm_started_best_response(
+            game, prior, scope="queue", engine=engine, record_moves=True
+        )
+        assert converged
+        assert profile == prior
+        assert moves == 0
+        assert log == []
+        assert rounds == 1
+        assert len(trace) == 2
+
+    @pytest.mark.parametrize("engine", ["incremental", "batch"])
+    @pytest.mark.parametrize("scope", ["queue", "all"])
+    def test_all_providers_displaced_after_outage(self, engine, scope):
+        # An outage zeroes the capacity of the only occupied resource:
+        # every provider is displaced at once and must re-enter through
+        # the eviction queue onto the surviving resources.
+        weights = {p: 1.0 for p in range(4)}
+        game = SingletonCongestionGame(
+            list(range(4)),
+            ["r0", "r1", "r2"],
+            lambda r, k: float(k),
+            lambda p, r: 0.0,
+            demand=lambda p, r: np.array([weights[p]]),
+            capacity=lambda r: np.array([0.0 if r == "r0" else 3.0]),
+        )
+        prior = {p: "r0" for p in range(4)}
+        profile, converged, _, _, _, _ = warm_started_best_response(
+            game, prior, scope=scope, engine=engine
+        )
+        assert converged
+        assert set(profile) == set(range(4))
+        assert all(node != "r0" for node in profile.values())
+        c = game.compile()
+        assert np.all(c.load_matrix(profile) <= c.capacity + CAPACITY_EPS)
+        assert is_nash_equilibrium(game, profile)
+
+    @pytest.mark.parametrize("scope", ["queue", "all"])
+    def test_batch_engine_matches_incremental_warm_start(self, scope):
+        weights = {0: 3.0, 1: 2.0, 2: 1.0, 3: 1.5, 4: 0.5}
+        fixed = {(0, "r1"): -1.0, (3, "r2"): -2.0, (4, "r0"): 0.5}
+        game = make_game([0, 1, 2, 3, 4], cap=5.0, weights=weights, fixed=fixed)
+        prior = {0: "r0", 1: "r0", 2: "r1"}
+        incr = warm_started_best_response(
+            game, prior, scope=scope, engine="incremental", record_moves=True
+        )
+        batch = warm_started_best_response(
+            game, prior, scope=scope, engine="batch", record_moves=True
+        )
+        assert batch == incr  # full 6-tuple, floats compared with ==
+
+    def test_rejects_unknown_engine(self):
+        game = make_game([0, 1])
+        with pytest.raises(ConfigurationError, match="engine"):
+            warm_started_best_response(game, {}, engine="turbo")
 
     def test_matches_incremental_best_response_contract(self):
         game = make_game([0, 1, 2, 3])

@@ -584,6 +584,16 @@ class TestEngine:
         diags = lint(textwrap.dedent(code))
         assert [d.line for d in diags] == sorted(d.line for d in diags)
 
+    def test_batch_kernel_module_lints_clean(self):
+        # The batch best-response kernel is pure deterministic numpy: no
+        # raw randomness (R1), no bare epsilon compares (R2 — every
+        # comparison goes through IMPROVEMENT_EPS / CAPACITY_EPS), and no
+        # unplumbed stochastic API (R5).
+        target = REPO_ROOT / "src" / "repro" / "game" / "batch.py"
+        assert target.exists()
+        diags = lint_paths([str(target)], rules=["R1", "R2", "R5"])
+        assert diags == [], "\n".join(d.format() for d in diags)
+
     def test_src_tree_lints_clean(self):
         diags = lint_paths([str(REPO_ROOT / "src")])
         assert diags == [], "\n".join(d.format() for d in diags)
