@@ -16,16 +16,21 @@ __path__ = [
 ]
 
 from reprolint.diagnostics import Diagnostic
-from reprolint.engine import lint_file, lint_paths, lint_source
-from reprolint.rules import ALL_RULES
+from reprolint.engine import lint_file, lint_paths, lint_source, lint_sources
+from reprolint.project import ProjectContext, build_project
+from reprolint.rules import ALL_RULES, TREE_RULES
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ALL_RULES",
+    "TREE_RULES",
     "Diagnostic",
+    "ProjectContext",
     "__version__",
+    "build_project",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
 ]

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig6 --csv out/
     python -m repro poa
     python -m repro outages --mttf 4 --mttr 2 --policy hysteresis
+    python -m repro lint --format sarif --output reprolint.sarif
     python -m repro all --scale quick
 
 ``--scale`` picks the experiment configuration: ``quick`` (seconds),
@@ -173,7 +174,44 @@ def build_parser() -> argparse.ArgumentParser:
     out.add_argument("--correlated", action="store_true",
                      help="regional outages (neighbourhoods fail together)")
     out.add_argument("--seed", type=int, default=1)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the reprolint static analyzer (R1-R10) over the tree",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument("--select", metavar="RULES", default=None,
+                      help="comma-separated rule ids (e.g. R8,R9)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", dest="fmt",
+                      help="output format (default: text)")
+    lint.add_argument("--output", metavar="FILE", default=None,
+                      help="write the report to FILE instead of stdout")
     return parser
+
+
+def _run_lint(args) -> int:
+    """Delegate to the reprolint CLI (which lives in ``tools/``, outside
+    ``src``, so library code can never import analyzer internals)."""
+    repo_root = Path(__file__).resolve().parent.parent.parent
+    tools_dir = repo_root / "tools"
+    if str(tools_dir) not in sys.path and (tools_dir / "reprolint").is_dir():
+        sys.path.insert(0, str(tools_dir))
+    try:
+        from reprolint.cli import main as lint_main
+    except ImportError as exc:  # pragma: no cover - broken checkout only
+        print(f"error: reprolint is not importable ({exc})", file=sys.stderr)
+        return 2
+    argv: List[str] = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    argv += ["--format", args.fmt]
+    if args.output:
+        argv += ["--output", args.output]
+    return lint_main(argv)
 
 
 def _run_outages(args) -> int:
@@ -226,6 +264,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "outages":
         return _run_outages(args)
+
+    if args.command == "lint":
+        return _run_lint(args)
 
     try:
         config = _SCALES[args.scale].with_(workers=args.workers, engine=args.engine)

@@ -46,13 +46,14 @@ return the same float, not merely the same value within tolerance.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Mapping, NamedTuple, Optional, TYPE_CHECKING
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, NamedTuple, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.market.costs import CongestionFunction
-from repro.utils.contracts import invariants_active
+from repro.utils.contracts import invariants_active, sanitize_active
 from repro.utils.validation import CAPACITY_EPS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (market imports us)
@@ -241,6 +242,74 @@ class CompiledMarket:
         # and the cached active-row gather (see :meth:`apply_delta`).
         self._free_rows: List[int] = []
         self._active_rows: Optional[np.ndarray] = None
+        # Write sanitizer (REPRO_SANITIZE=1): freeze the tables outside the
+        # internal writable context the build/patch paths run under, so a
+        # stray in-place write raises at the write site (reprolint R9's
+        # runtime witness). Latched at construction; per-instance.
+        self._sanitize = sanitize_active()
+        self._writable_depth = 0
+        self._freeze_tables()
+
+    # ------------------------------------------------------------------ #
+    # Write sanitizer
+    # ------------------------------------------------------------------ #
+    #: The numpy tables the sanitizer freezes/thaws as one unit.
+    _TABLE_FIELDS = (
+        "fixed",
+        "instantiation",
+        "access",
+        "update",
+        "coeff",
+        "g",
+        "shared",
+        "demand",
+        "capacity",
+        "remote",
+        "user_delay",
+    )
+
+    def _set_tables_writeable(self, writeable: bool) -> None:
+        for name in self._TABLE_FIELDS:
+            getattr(self, name).flags.writeable = writeable
+
+    def _freeze_tables(self) -> None:
+        if self._sanitize and self._writable_depth == 0:
+            self._set_tables_writeable(False)
+
+    @contextmanager
+    def _writable_tables(self) -> Iterator[None]:
+        """Temporarily thaw the tables for a sanctioned patch path.
+
+        Reentrant (``apply_delta`` calls ``_grow_rows``/``compact`` inside
+        its own context): a depth counter thaws on first entry and
+        re-freezes on last exit. The exit freeze iterates the *current*
+        attribute values, so paths that rebind a table (``np.vstack``
+        growth, compaction gathers) leave the new arrays frozen too.
+        """
+        if not self._sanitize:
+            yield
+            return
+        if self._writable_depth == 0:
+            self._set_tables_writeable(True)
+        self._writable_depth += 1
+        try:
+            yield
+        finally:
+            self._writable_depth -= 1
+            if self._writable_depth == 0:
+                self._set_tables_writeable(False)
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        # Pickles cross process boundaries (the sweep harness ships
+        # compiled blobs to workers) and may predate the sanitizer fields:
+        # re-evaluate the flag in the receiving process and normalise the
+        # writeable flags, which numpy does not reliably round-trip.
+        self._sanitize = sanitize_active()
+        self._writable_depth = 0
+        self._set_tables_writeable(not self._sanitize)
+        if self._active_rows is not None:
+            self._active_rows.flags.writeable = False
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -369,61 +438,64 @@ class CompiledMarket:
         if dup:
             raise ConfigurationError(f"arriving provider ids {dup} already present")
 
-        for node, (alpha, beta) in delta.price_changes.items():
-            j = self.cloudlet_index[node]
-            self.coeff[j] = alpha + beta
-            self.shared[j, :] = self.coeff[j] * self.g
-        for node, (cpu, bw) in delta.capacity_changes.items():
-            j = self.cloudlet_index[node]
-            self.capacity[j, 0] = cpu
-            self.capacity[j, 1] = bw
-        # Outages/recoveries are capacity patches too: ``market`` already
-        # reflects the delta (zeroed on outage, nominal restored on
-        # recovery), so the cloudlet's live capacities are the new truth.
-        for node in (*delta.outages, *delta.recoveries):
-            j = self.cloudlet_index[node]
-            cl = market.network.cloudlet_at(node)
-            self.capacity[j, 0] = cl.compute_capacity
-            self.capacity[j, 1] = cl.bandwidth_capacity
+        with self._writable_tables():
+            for node, (alpha, beta) in delta.price_changes.items():
+                j = self.cloudlet_index[node]
+                self.coeff[j] = alpha + beta
+                self.shared[j, :] = self.coeff[j] * self.g
+            for node, (cpu, bw) in delta.capacity_changes.items():
+                j = self.cloudlet_index[node]
+                self.capacity[j, 0] = cpu
+                self.capacity[j, 1] = bw
+            # Outages/recoveries are capacity patches too: ``market``
+            # already reflects the delta (zeroed on outage, nominal
+            # restored on recovery), so the cloudlet's live capacities are
+            # the new truth.
+            for node in (*delta.outages, *delta.recoveries):
+                j = self.cloudlet_index[node]
+                cl = market.network.cloudlet_at(node)
+                self.capacity[j, 0] = cl.compute_capacity
+                self.capacity[j, 1] = cl.bandwidth_capacity
 
-        for pid in delta.departures:
-            row = self.provider_index.pop(pid)
-            self.provider_ids.remove(pid)
-            self._free_rows.append(row)
-            self.fixed[row, :] = np.inf
-            self.remote[row] = np.inf
-            self.demand[row, :] = 0.0
+            for pid in delta.departures:
+                row = self.provider_index.pop(pid)
+                self.provider_ids.remove(pid)
+                self._free_rows.append(row)
+                self.fixed[row, :] = np.inf
+                self.remote[row] = np.inf
+                self.demand[row, :] = 0.0
 
-        arrivals = sorted(delta.arrivals, key=lambda p: p.provider_id)
-        if arrivals:
-            grow = len(arrivals) - len(self._free_rows)
-            if grow > 0:
-                self._grow_rows(grow)
-            builder = _ProviderRowBuilder(market)
-            for p in arrivals:
-                row = self._free_rows.pop()
-                built = builder.build(p)
-                self.instantiation[row] = built.instantiation
-                self.remote[row] = built.remote
-                self.demand[row] = built.demand
-                self.access[row] = built.access
-                self.update[row] = built.update
-                self.user_delay[row] = built.user_delay
-                self.fixed[row] = builder.fixed_row(built)
-                bisect.insort(self.provider_ids, p.provider_id)
-                self.provider_index[p.provider_id] = row
+            arrivals = sorted(delta.arrivals, key=lambda p: p.provider_id)
+            if arrivals:
+                grow = len(arrivals) - len(self._free_rows)
+                if grow > 0:
+                    self._grow_rows(grow)
+                builder = _ProviderRowBuilder(market)
+                for p in arrivals:
+                    row = self._free_rows.pop()
+                    built = builder.build(p)
+                    self.instantiation[row] = built.instantiation
+                    self.remote[row] = built.remote
+                    self.demand[row] = built.demand
+                    self.access[row] = built.access
+                    self.update[row] = built.update
+                    self.user_delay[row] = built.user_delay
+                    self.fixed[row] = builder.fixed_row(built)
+                    bisect.insort(self.provider_ids, p.provider_id)
+                    self.provider_index[p.provider_id] = row
 
-        self._active_rows = None
+            self._active_rows = None
 
-        n = len(self.provider_ids)
-        if n + 1 > len(self.g):
-            new_g = np.array(
-                [self.congestion(k) for k in range(len(self.g), n + 1)], dtype=float
-            )
-            self.g = np.concatenate([self.g, new_g])
-            self.shared = np.concatenate(
-                [self.shared, self.coeff[:, None] * new_g[None, :]], axis=1
-            )
+            n = len(self.provider_ids)
+            if n + 1 > len(self.g):
+                new_g = np.array(
+                    [self.congestion(k) for k in range(len(self.g), n + 1)],
+                    dtype=float,
+                )
+                self.g = np.concatenate([self.g, new_g])
+                self.shared = np.concatenate(
+                    [self.shared, self.coeff[:, None] * new_g[None, :]], axis=1
+                )
 
         if len(self._free_rows) > max(COMPACTION_SLACK, n):
             self.compact()
@@ -432,36 +504,38 @@ class CompiledMarket:
 
     def _grow_rows(self, k: int) -> None:
         """Append ``k`` blank physical rows (pushed onto the free list)."""
-        old = self.fixed.shape[0]
-        m = self.n_cloudlets
-        self.fixed = np.vstack([self.fixed, np.full((k, m), np.inf)])
-        self.access = np.vstack([self.access, np.zeros((k, m))])
-        self.update = np.vstack([self.update, np.zeros((k, m))])
-        self.user_delay = np.vstack([self.user_delay, np.zeros((k, m))])
-        self.instantiation = np.concatenate([self.instantiation, np.zeros(k)])
-        self.remote = np.concatenate([self.remote, np.full(k, np.inf)])
-        self.demand = np.vstack([self.demand, np.zeros((k, 2))])
-        self._free_rows.extend(range(old, old + k))
+        with self._writable_tables():
+            old = self.fixed.shape[0]
+            m = self.n_cloudlets
+            self.fixed = np.vstack([self.fixed, np.full((k, m), np.inf)])
+            self.access = np.vstack([self.access, np.zeros((k, m))])
+            self.update = np.vstack([self.update, np.zeros((k, m))])
+            self.user_delay = np.vstack([self.user_delay, np.zeros((k, m))])
+            self.instantiation = np.concatenate([self.instantiation, np.zeros(k)])
+            self.remote = np.concatenate([self.remote, np.full(k, np.inf)])
+            self.demand = np.vstack([self.demand, np.zeros((k, 2))])
+            self._free_rows.extend(range(old, old + k))
 
     def compact(self) -> None:
         """Rewrite the tables dense — row ``i`` is again the ``i``-th
         provider in id order — dropping tombstoned rows and trimming the
         congestion prefix back to the active occupancy range."""
-        rows = self.active_rows
-        self.fixed = self.fixed[rows]
-        self.access = self.access[rows]
-        self.update = self.update[rows]
-        self.user_delay = self.user_delay[rows]
-        self.instantiation = self.instantiation[rows]
-        self.remote = self.remote[rows]
-        self.demand = self.demand[rows]
-        self.provider_index = {pid: i for i, pid in enumerate(self.provider_ids)}
-        self._free_rows = []
-        self._active_rows = None
-        n = len(self.provider_ids)
-        if len(self.g) > n + 1:
-            self.g = self.g[: n + 1].copy()
-            self.shared = np.ascontiguousarray(self.shared[:, : n + 1])
+        with self._writable_tables():
+            rows = self.active_rows
+            self.fixed = self.fixed[rows]
+            self.access = self.access[rows]
+            self.update = self.update[rows]
+            self.user_delay = self.user_delay[rows]
+            self.instantiation = self.instantiation[rows]
+            self.remote = self.remote[rows]
+            self.demand = self.demand[rows]
+            self.provider_index = {pid: i for i, pid in enumerate(self.provider_ids)}
+            self._free_rows = []
+            self._active_rows = None
+            n = len(self.provider_ids)
+            if len(self.g) > n + 1:
+                self.g = self.g[: n + 1].copy()
+                self.shared = np.ascontiguousarray(self.shared[:, : n + 1])
 
     # ------------------------------------------------------------------ #
     # Shapes and id↔index maps
@@ -489,6 +563,9 @@ class CompiledMarket:
                 dtype=np.int64,
                 count=len(self.provider_ids),
             )
+            # Handed out by reference on every call: freeze the cache so no
+            # caller can scramble the gather order under every other holder.
+            self._active_rows.flags.writeable = False
         return self._active_rows
 
     @property

@@ -36,6 +36,14 @@ from repro.utils.validation import CAPACITY_EPS
 #: Environment variable enabling the contracts.
 ENV_FLAG = "REPRO_DEBUG_INVARIANTS"
 
+#: Environment variable enabling the compiled-table write sanitizer: with
+#: ``REPRO_SANITIZE=1`` every ``CompiledMarket`` freezes its numpy tables
+#: (``flags.writeable = False``) outside the internal writable-context the
+#: build/patch paths use, so a stray in-place write raises *at the write
+#: site* instead of corrupting every holder of the shared arrays.  This is
+#: the runtime witness for reprolint rule R9 (array-escape).
+SANITIZE_ENV_FLAG = "REPRO_SANITIZE"
+
 #: Relative slack allowed for an apparent potential *increase* between
 #: trace samples: covers float error of from-scratch recomputation without
 #: masking a genuine ascent (every real improving move descends by at least
@@ -58,6 +66,13 @@ def invariants_active() -> bool:
     """Whether contract checking is switched on (checked per call, so tests
     can flip the flag without re-importing)."""
     return os.environ.get(ENV_FLAG, "") == "1"
+
+
+def sanitize_active() -> bool:
+    """Whether the compiled-table write sanitizer is armed (checked at
+    ``CompiledMarket`` construction/unpickling, so tests can flip the flag
+    per-instance without re-importing)."""
+    return os.environ.get(SANITIZE_ENV_FLAG, "") == "1"
 
 
 # --------------------------------------------------------------------- #
@@ -325,6 +340,7 @@ __all__ = [
     "COMMIT_IMPROVEMENT_EPS",
     "ENV_FLAG",
     "POTENTIAL_SLACK",
+    "SANITIZE_ENV_FLAG",
     "check_capacity",
     "check_no_conflicting_commits",
     "check_placement_capacity",
@@ -335,4 +351,5 @@ __all__ = [
     "invariant_no_conflicting_commits",
     "invariant_potential_descends",
     "invariants_active",
+    "sanitize_active",
 ]

@@ -1,0 +1,277 @@
+"""Whole-tree analysis: project context, call resolution, cross-module R8.
+
+The per-rule shapes live in ``test_reprolint.py``; this file covers what
+only multiple files can witness — import resolution across modules, the
+call-graph closure crossing module boundaries, suppression filtering in
+the *defining* file — plus the lint-latency budget that keeps the tree
+pass from silently blowing up CI.
+"""
+
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from reprolint import build_project, lint_paths  # noqa: E402
+from reprolint.engine import lint_sources  # noqa: E402
+
+
+def _sources(**files):
+    """``name="code"`` pairs -> dedented (path, source) tuples."""
+    return [
+        (path.replace("__", "/"), textwrap.dedent(code))
+        for path, code in files.items()
+    ]
+
+
+def rule_ids(diags):
+    return [d.rule for d in diags]
+
+
+# --------------------------------------------------------------------- #
+# ProjectContext resolution
+# --------------------------------------------------------------------- #
+class TestProjectResolution:
+    def test_resolve_module_by_suffix(self):
+        project, errors = build_project(
+            _sources(**{"src__repro__game__engine.py": "def solve(): pass\n"})
+        )
+        assert errors == []
+        mod = project.resolve_module(("repro", "game", "engine"))
+        assert mod is not None and mod.path == "src/repro/game/engine.py"
+        assert project.resolve_module(("other", "engine")) is None
+
+    def test_resolve_from_import(self):
+        project, _ = build_project(
+            _sources(
+                **{
+                    "pkg__tasks.py": "def run_point(p):\n    return p\n",
+                    "pkg__runner.py": "from pkg.tasks import run_point\n",
+                }
+            )
+        )
+        runner = project.by_path["pkg/runner.py"]
+        ref = project.resolve_function(runner, "run_point")
+        assert ref is not None
+        mod, fn = ref
+        assert mod.path == "pkg/tasks.py" and fn.name == "run_point"
+
+    def test_resolve_relative_import(self):
+        project, _ = build_project(
+            _sources(
+                **{
+                    "pkg__tasks.py": "def run_point(p):\n    return p\n",
+                    "pkg__runner.py": "from .tasks import run_point\n",
+                }
+            )
+        )
+        runner = project.by_path["pkg/runner.py"]
+        ref = project.resolve_function(runner, "run_point")
+        assert ref is not None and ref[0].path == "pkg/tasks.py"
+
+    def test_resolve_module_attribute_call(self):
+        import ast
+
+        project, _ = build_project(
+            _sources(
+                **{
+                    "pkg__tasks.py": "def run_point(p):\n    return p\n",
+                    "pkg__runner.py": (
+                        "from pkg import tasks\n"
+                        "def go(points):\n"
+                        "    return [tasks.run_point(p) for p in points]\n"
+                    ),
+                }
+            )
+        )
+        runner = project.by_path["pkg/runner.py"]
+        calls = [
+            n for n in ast.walk(runner.tree)
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)
+        ]
+        assert calls
+        ref = project.resolve_call(runner, calls[0])
+        assert ref is not None and ref[1].name == "run_point"
+
+    def test_syntax_error_files_sit_out(self):
+        project, errors = build_project(
+            _sources(
+                **{
+                    "pkg__good.py": "X = 1\n",
+                    "pkg__bad.py": "def broken(:\n",
+                }
+            )
+        )
+        assert [p for p, _ in errors] == ["pkg/bad.py"]
+        assert list(project.by_path) == ["pkg/good.py"]
+
+
+# --------------------------------------------------------------------- #
+# R8 across module boundaries
+# --------------------------------------------------------------------- #
+class TestCrossModuleWorkerPurity:
+    def test_impurity_in_imported_helper_is_flagged_at_definition(self):
+        diags = lint_sources(
+            _sources(
+                **{
+                    "pkg__state.py": (
+                        "_CACHE = {}\n"
+                        "def remember(point):\n"
+                        "    global _CACHE\n"
+                        "    _CACHE = dict(point)\n"
+                        "    return point\n"
+                    ),
+                    "pkg__tasks.py": (
+                        "from pkg.state import remember\n"
+                        "def run_point(p):\n"
+                        "    return remember(p)\n"
+                    ),
+                    "pkg__runner.py": (
+                        "from pkg.tasks import run_point\n"
+                        "def go(points):\n"
+                        "    return map_tasks(run_point, points)\n"
+                    ),
+                }
+            ),
+            rules=["R8"],
+        )
+        assert rule_ids(diags) == ["R8"]
+        assert diags[0].path == "pkg/state.py"
+        assert "run_point" in diags[0].message  # names the task root
+
+    def test_partial_wrapped_task_is_resolved(self):
+        diags = lint_sources(
+            _sources(
+                **{
+                    "pkg__tasks.py": (
+                        "_rng = object()\n"
+                        "def run_point(p, scale):\n"
+                        "    return _rng.normal() * scale\n"
+                    ),
+                    "pkg__runner.py": (
+                        "from functools import partial\n"
+                        "from pkg.tasks import run_point\n"
+                        "def go(points, pool):\n"
+                        "    return pool.map(partial(run_point, scale=2), points)\n"
+                    ),
+                }
+            ),
+            rules=["R8"],
+        )
+        assert rule_ids(diags) == ["R8"]
+        assert diags[0].path == "pkg/tasks.py"
+
+    def test_clean_cross_module_closure(self):
+        diags = lint_sources(
+            _sources(
+                **{
+                    "pkg__maths.py": (
+                        "def square(x):\n"
+                        "    return x * x\n"
+                    ),
+                    "pkg__tasks.py": (
+                        "from pkg.maths import square\n"
+                        "def run_point(p, rng):\n"
+                        "    return square(p) + rng.normal()\n"
+                    ),
+                    "pkg__runner.py": (
+                        "from pkg.tasks import run_point\n"
+                        "def go(points):\n"
+                        "    return map_tasks(run_point, points)\n"
+                    ),
+                }
+            ),
+            rules=["R8"],
+        )
+        assert diags == []
+
+    def test_suppression_in_defining_file_filters_tree_diagnostic(self):
+        diags = lint_sources(
+            _sources(
+                **{
+                    "pkg__state.py": (
+                        "_CACHE = {}\n"
+                        # Global mutation reports at the def; the suppression
+                        # lives where the diagnostic lands.
+                        "def remember(point):"
+                        "  # reprolint: ok[R8] per-process memo, reset per task\n"
+                        "    global _CACHE\n"
+                        "    _CACHE = dict(point)\n"
+                        "    return point\n"
+                    ),
+                    "pkg__runner.py": (
+                        "from pkg.state import remember\n"
+                        "def go(points):\n"
+                        "    return map_tasks(remember, points)\n"
+                    ),
+                }
+            ),
+            rules=["R8"],
+        )
+        assert diags == []
+
+    def test_dispatch_in_test_files_is_ignored(self):
+        diags = lint_sources(
+            _sources(
+                **{
+                    "pkg__state.py": (
+                        "_CACHE = {}\n"
+                        "def remember(point):\n"
+                        "    global _CACHE\n"
+                        "    _CACHE = dict(point)\n"
+                        "    return point\n"
+                    ),
+                    "tests__test_state.py": (
+                        "from pkg.state import remember\n"
+                        "def test_go():\n"
+                        "    assert map_tasks(remember, [1]) is not None\n"
+                    ),
+                }
+            ),
+            rules=["R8"],
+        )
+        assert diags == []
+
+    def test_lint_paths_end_to_end(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "state.py").write_text(
+            "_CACHE = {}\n"
+            "def remember(point):\n"
+            "    global _CACHE\n"
+            "    _CACHE = dict(point)\n"
+            "    return point\n"
+        )
+        (pkg / "runner.py").write_text(
+            "from pkg.state import remember\n"
+            "def go(points):\n"
+            "    return map_tasks(remember, points)\n"
+        )
+        diags = lint_paths([str(tmp_path)], rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert diags[0].path.endswith("state.py")
+
+
+# --------------------------------------------------------------------- #
+# Lint latency budget
+# --------------------------------------------------------------------- #
+class TestLintBudget:
+    #: Full-tree wall-time bar. The tree currently lints in well under 3 s
+    #: on the benchmark box; 15 s leaves headroom for slow CI machines
+    #: while still catching a call-graph pass gone superlinear.
+    BUDGET_S = 15.0
+
+    def test_full_tree_lint_within_budget(self):
+        t0 = time.perf_counter()
+        diags = lint_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+        elapsed = time.perf_counter() - t0
+        assert diags == [], "\n".join(d.format() for d in diags)
+        assert elapsed < self.BUDGET_S, (
+            f"full-tree lint took {elapsed:.1f}s (budget {self.BUDGET_S}s); "
+            "the whole-tree pass has regressed"
+        )

@@ -627,3 +627,465 @@ class TestCli:
         bad = tmp_path / "bad.py"
         bad.write_text("import random\n")
         assert main(["--select", "R2", str(bad)]) == 0
+
+
+# --------------------------------------------------------------------- #
+# R8 — worker-purity (single-file shapes; cross-module in test_callgraph)
+# --------------------------------------------------------------------- #
+class TestWorkerPurity:
+    def test_flags_global_mutation_in_task(self):
+        code = """
+            _CACHE = {}
+
+            def task(point):
+                global _CACHE
+                _CACHE = dict(point)
+                return point
+
+            def run(points):
+                return map_tasks(task, points)
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert "global" in diags[0].message
+
+    def test_flags_nonlocal_mutation_reachable_from_task(self):
+        code = """
+            def task(point):
+                return helper(point)
+
+            def helper(point):
+                total = 0
+                def bump(v):
+                    nonlocal total
+                    total += v
+                bump(point)
+                return total
+
+            def run(points):
+                return map_tasks(task, points)
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert "nonlocal" in diags[0].message
+
+    def test_flags_module_level_rng_draw(self):
+        code = """
+            from repro.utils.rng import as_rng
+
+            _rng = as_rng(7)
+
+            def task(point):
+                return _rng.normal()
+
+            def run(points):
+                return map_tasks(task, points)
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert "_rng" in diags[0].message
+
+    def test_flags_legacy_global_stream_in_closure(self):
+        code = """
+            import numpy as np
+
+            def task(point):
+                return np.random.uniform()
+
+            def run(points):
+                return map_tasks(task, points)
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert "np.random" in diags[0].message
+
+    def test_flags_lambda_dispatch(self):
+        code = """
+            def run(points, pool):
+                return pool.map(lambda p: p * 2, points)
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert "lambda" in diags[0].message
+
+    def test_flags_nested_task_function_and_unpicklable_capture(self):
+        code = """
+            from threading import Lock
+
+            def run(points):
+                guard = Lock()
+                def task(point):
+                    with guard:
+                        return point
+                return map_tasks(task, points)
+        """
+        diags = lint(code, rules=["R8"])
+        assert len(diags) == 2
+        messages = " | ".join(d.message for d in diags)
+        assert "module level" in messages
+        assert "guard" in messages
+
+    def test_clean_pure_module_level_task(self):
+        code = """
+            def task(point, rng):
+                return rng.normal() + point
+
+            def run(points):
+                return map_tasks(task, points)
+        """
+        assert lint(code, rules=["R8"]) == []
+
+    def test_builder_keyword_roots_the_graph(self):
+        code = """
+            COUNTER = [0]
+
+            def make_market(seed):
+                global COUNTER
+                COUNTER = [seed]
+                return seed
+
+            def run(runner):
+                return runner.submit_sweep(task_fn=make_market)
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+
+    def test_local_rng_parameter_is_not_module_stream(self):
+        code = """
+            def task(point, rng):
+                rng = rng.spawn(1)[0]
+                return rng.normal()
+
+            def run(points):
+                return map_tasks(task, points)
+        """
+        assert lint(code, rules=["R8"]) == []
+
+    def test_suppression_covers_r8(self):
+        code = """
+            _rng = object()
+
+            def task(point):
+                return _rng.normal()  # reprolint: ok[R8] deliberately shared fixture stream
+
+            def run(points):
+                return map_tasks(task, points)
+        """
+        assert lint(code, rules=["R8"]) == []
+
+
+# --------------------------------------------------------------------- #
+# R9 — array-mutation escape
+# --------------------------------------------------------------------- #
+class TestArrayEscape:
+    def test_flags_subscript_store_through_compiled_attr(self):
+        code = """
+            def hack(cm):
+                cm.capacity[3] = 0.0
+        """
+        diags = lint(code, rules=["R9"])
+        assert rule_ids(diags) == ["R9"]
+        assert "capacity" in diags[0].message
+
+    def test_flags_aug_assign_through_alias(self):
+        code = """
+            def hack(cm):
+                cap = cm.capacity
+                cap[0] += 1.0
+        """
+        diags = lint(code, rules=["R9"])
+        assert rule_ids(diags) == ["R9"]
+
+    def test_flags_whole_array_aug_assign_alias(self):
+        code = """
+            def hack(market):
+                cm = market.compiled()
+                tbl = cm.fixed
+                tbl += 1.0
+        """
+        diags = lint(code, rules=["R9"])
+        assert rule_ids(diags) == ["R9"]
+        assert "alias" in diags[0].message
+
+    def test_flags_mutating_method(self):
+        code = """
+            def hack(compiled_market):
+                compiled_market.fixed.sort()
+        """
+        diags = lint(code, rules=["R9"])
+        assert rule_ids(diags) == ["R9"]
+        assert ".sort()" in diags[0].message
+
+    def test_flags_out_kwarg(self):
+        code = """
+            import numpy as np
+
+            def hack(cm, a, b):
+                np.add(a, b, out=cm.shared)
+        """
+        diags = lint(code, rules=["R9"])
+        assert rule_ids(diags) == ["R9"]
+        assert "out=" in diags[0].message
+
+    def test_flags_leaky_accessor(self):
+        code = """
+            class CompiledThing:
+                def capacity_view(self):
+                    return self.capacity
+        """
+        diags = lint(code, rules=["R9"])
+        assert rule_ids(diags) == ["R9"]
+        assert "accessor" in diags[0].message
+
+    def test_accessor_with_readonly_view_is_clean(self):
+        code = """
+            class CompiledThing:
+                def capacity_view(self):
+                    view = self.capacity
+                    view.flags.writeable = False
+                    return self.capacity
+        """
+        assert lint(code, rules=["R9"]) == []
+
+    def test_copy_then_write_is_clean(self):
+        code = """
+            def tweak(cm):
+                cap = cm.capacity.copy()
+                cap[0] = 99.0
+                return cap
+        """
+        assert lint(code, rules=["R9"]) == []
+
+    def test_sanctioned_methods_write_freely(self):
+        code = """
+            import numpy as np
+
+            class CompiledMarket:
+                def __init__(self, n, m):
+                    self.fixed = np.zeros((n, m))
+                    self.fixed[0, 0] = 1.0
+
+                def apply_delta(self, delta):
+                    self.fixed[1, :] = np.inf
+
+                def _grow(self):
+                    self.capacity[0] = 0.0
+        """
+        assert lint(code, rules=["R9"]) == []
+
+    def test_public_method_writing_self_table_is_flagged(self):
+        code = """
+            class CompiledMarket:
+                def zero_out(self, j):
+                    self.capacity[j] = 0.0
+        """
+        diags = lint(code, rules=["R9"])
+        assert rule_ids(diags) == ["R9"]
+
+    def test_suppression_covers_r9(self):
+        code = """
+            def hack(cm):
+                cm.capacity[3] = 0.0  # reprolint: ok[R9] scratch copy owned by this test harness
+        """
+        assert lint(code, rules=["R9"]) == []
+
+
+# --------------------------------------------------------------------- #
+# R10 — delta-atomicity
+# --------------------------------------------------------------------- #
+class TestDeltaAtomicity:
+    def test_flags_write_before_raise(self):
+        code = """
+            class ServiceMarket:
+                def apply(self, delta):
+                    self.epoch = delta.epoch
+                    if delta.bad:
+                        raise ValueError("rejected")
+        """
+        diags = lint(code, rules=["R10"])
+        assert rule_ids(diags) == ["R10"]
+        assert "half-applied" in diags[0].message
+
+    def test_flags_subscript_write_before_validator_call(self):
+        code = """
+            class CompiledMarket:
+                def apply_delta(self, delta, market):
+                    self.capacity[0, 0] = delta.cpu
+                    self._check_delta(delta)
+        """
+        diags = lint(code, rules=["R10"])
+        assert rule_ids(diags) == ["R10"]
+
+    def test_flags_container_mutation_before_raise(self):
+        code = """
+            class ServiceMarket:
+                def apply(self, delta):
+                    self._free_rows.append(delta.row)
+                    for pid in delta.departures:
+                        if pid not in self.index:
+                            raise KeyError(pid)
+        """
+        diags = lint(code, rules=["R10"])
+        assert rule_ids(diags) == ["R10"]
+
+    def test_flags_del_before_raise(self):
+        code = """
+            class ServiceMarket:
+                def apply(self, delta):
+                    del self._by_id[delta.pid]
+                    if delta.bad:
+                        raise ValueError("rejected")
+        """
+        diags = lint(code, rules=["R10"])
+        assert rule_ids(diags) == ["R10"]
+
+    def test_validate_then_mutate_is_clean(self):
+        code = """
+            class ServiceMarket:
+                def apply(self, delta):
+                    if delta.bad:
+                        raise ValueError("rejected")
+                    self.epoch = delta.epoch
+                    self._by_id[delta.pid] = delta
+        """
+        assert lint(code, rules=["R10"]) == []
+
+    def test_post_commit_verify_does_not_retro_flag(self):
+        code = """
+            class CompiledMarket:
+                def apply_delta(self, delta, market):
+                    if delta.bad:
+                        raise ValueError("rejected")
+                    self.capacity[0, 0] = delta.cpu
+                    self.verify_against(market)
+        """
+        assert lint(code, rules=["R10"]) == []
+
+    def test_non_market_class_apply_is_ignored(self):
+        code = """
+            class Widget:
+                def apply(self, patch):
+                    self.state = patch.state
+                    if patch.bad:
+                        raise ValueError("rejected")
+        """
+        assert lint(code, rules=["R10"]) == []
+
+    def test_suppression_covers_r10(self):
+        code = """
+            class ServiceMarket:
+                def apply(self, delta):
+                    self.epoch = delta.epoch  # reprolint: ok[R10] rollback write, restored in except
+                    if delta.bad:
+                        raise ValueError("rejected")
+        """
+        assert lint(code, rules=["R10"]) == []
+
+
+# --------------------------------------------------------------------- #
+# R0 hygiene over the new rules
+# --------------------------------------------------------------------- #
+class TestSuppressionHygieneNewRules:
+    # Markers are assembled at runtime so that linting THIS file does not
+    # see an unjustified escape hatch in the fixture text.
+    @staticmethod
+    def _marker(rule):
+        return "# " + "reprolint" + f": ok[{rule}]"
+
+    def test_unjustified_r8_suppression_is_flagged(self):
+        code = f"""
+            _rng = object()
+
+            def task(point):
+                return _rng.normal()  {self._marker('R8')}
+
+            def run(points):
+                return map_tasks(task, points)
+        """
+        ids = rule_ids(lint(code))
+        assert "R0" in ids
+        assert "R8" not in ids  # ...but it does suppress
+
+    def test_unjustified_r9_suppression_is_flagged(self):
+        code = f"""
+            def hack(cm):
+                cm.capacity[3] = 0.0  {self._marker('R9')}
+        """
+        ids = rule_ids(lint(code))
+        assert "R0" in ids
+        assert "R9" not in ids
+
+    def test_unjustified_r10_suppression_is_flagged(self):
+        code = f"""
+            class ServiceMarket:
+                def apply(self, delta):
+                    self.epoch = delta.epoch  {self._marker('R10')}
+                    if delta.bad:
+                        raise ValueError("no")
+        """
+        ids = rule_ids(lint(code))
+        assert "R0" in ids
+        assert "R10" not in ids
+
+
+# --------------------------------------------------------------------- #
+# CLI formats and exit codes
+# --------------------------------------------------------------------- #
+class TestCliFormats:
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["--format", "json", str(bad)]) == 1
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload and payload[0]["rule"] == "R1"
+        assert payload[0]["line"] == 1
+
+    def test_sarif_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["--format", "sarif", str(bad)]) == 1
+        import json
+
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        results = run["results"]
+        assert results and results[0]["ruleId"] == "R1"
+        loc = results[0]["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == 1
+
+    def test_sarif_clean_run_has_empty_results(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("X = 1\n")
+        assert main(["--format", "sarif", str(good)]) == 0
+        import json
+
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["runs"][0]["results"] == []
+
+    def test_output_file(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        dest = tmp_path / "report.json"
+        assert main(["--format", "json", "--output", str(dest), str(bad)]) == 1
+        import json
+
+        assert json.loads(dest.read_text())[0]["rule"] == "R1"
+
+    def test_crash_exits_three(self, tmp_path, monkeypatch, capsys):
+        import reprolint.cli as cli_mod
+
+        def boom(paths, rules=None):
+            raise RuntimeError("analyzer bug")
+
+        monkeypatch.setattr(cli_mod, "lint_paths", boom)
+        assert main([str(tmp_path)]) == 3
+        assert "internal error" in capsys.readouterr().err
+
+    def test_exit_codes_are_distinct(self):
+        from reprolint.cli import EXIT_CLEAN, EXIT_CRASH, EXIT_FINDINGS, EXIT_USAGE
+
+        assert len({EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, EXIT_CRASH}) == 4

@@ -26,6 +26,17 @@ R4  stable-order      mutable default arguments; iteration over
                       ``set(...)`` of players/cloudlets/resources
 R5  rng-plumbing      public stochastic APIs without an ``rng``/``seed``
                       parameter
+R6  market-mutation   direct market/cloudlet attribute writes that bypass
+                      ``ServiceMarket.apply(MarketDelta(...))``
+R7  swallowed-error   bare/broad ``except`` that silences failures
+R8  worker-purity     impurity (global/nonlocal mutation, module RNG,
+                      unpicklable captures) reachable from worker dispatch
+                      — a whole-tree call-graph rule
+R9  array-escape      in-place writes to ``CompiledMarket``/``CompiledGame``
+                      tables off the build/``apply_delta`` path; accessors
+                      leaking writable internals
+R10 delta-atomicity   state writes preceding validation inside
+                      ``apply``/``apply_delta``
 R0  suppression       a ``# reprolint: ok`` escape hatch without a
                       justification
 
@@ -37,16 +48,21 @@ See ``docs/static_analysis.md`` for the full rule catalogue.
 """
 
 from reprolint.diagnostics import Diagnostic
-from reprolint.engine import lint_file, lint_paths, lint_source
-from reprolint.rules import ALL_RULES
+from reprolint.engine import lint_file, lint_paths, lint_source, lint_sources
+from reprolint.project import ProjectContext, build_project
+from reprolint.rules import ALL_RULES, TREE_RULES
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ALL_RULES",
+    "TREE_RULES",
     "Diagnostic",
+    "ProjectContext",
     "__version__",
+    "build_project",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
 ]

@@ -1,12 +1,29 @@
-"""``python -m reprolint`` command line."""
+"""``python -m reprolint`` command line.
+
+Exit codes are CI-diagnosable at a glance:
+
+* ``0`` — clean (no findings);
+* ``1`` — findings reported (the lint *worked*; the tree is dirty);
+* ``2`` — usage error (argparse's own convention);
+* ``3`` — the analyzer itself crashed (a reprolint bug or unreadable
+  input, never a property of the linted code).
+"""
 
 from __future__ import annotations
 
 import argparse
+import sys
+import traceback
 from typing import List, Optional
 
 from reprolint.engine import lint_paths
-from reprolint.rules import ALL_RULES
+from reprolint.output import FORMATS, render
+from reprolint.rules import ALL_RULES, TREE_RULES
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2  # argparse's own exit code for bad invocations
+EXIT_CRASH = 3
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -15,7 +32,10 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Project-specific AST lint for the repro codebase: determinism "
             "(R1/R5), capacity-epsilon discipline (R2), sweep picklability "
-            "(R3) and stable iteration order (R4)."
+            "(R3), stable iteration order (R4), mutation protocol (R6), "
+            "error hygiene (R7), worker-closure purity (R8, whole-tree "
+            "call graph), compiled-table write escapes (R9) and delta "
+            "atomicity (R10)."
         ),
     )
     parser.add_argument(
@@ -27,7 +47,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         metavar="RULES",
-        help="comma-separated rule ids to run (e.g. R1,R2); default: all",
+        help="comma-separated rule ids to run (e.g. R1,R8); default: all",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        dest="fmt",
+        help="output format (default: text); sarif feeds GitHub code scanning",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--list-rules",
@@ -37,17 +69,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--statistics",
         action="store_true",
-        help="print a per-rule diagnostic count after the findings",
+        help="print a per-rule diagnostic count after the findings (text only)",
     )
     return parser
 
 
 def _list_rules() -> str:
     lines = ["reprolint rules:"]
-    for cls in ALL_RULES:
+    for cls in (*ALL_RULES, *TREE_RULES):
         doc = (cls.__doc__ or "").strip().splitlines()[0]
-        lines.append(f"  {cls.rule_id}  {cls.symbol:<18} {doc}")
-    lines.append("  R0  suppression        '# reprolint: ok' comments must carry a reason")
+        lines.append(f"  {cls.rule_id:<3} {cls.symbol:<18} {doc}")
+    lines.append(
+        "  R0  suppression        '# reprolint: ok' comments must carry a reason"
+    )
     return "\n".join(lines)
 
 
@@ -55,22 +89,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         print(_list_rules())
-        return 0
+        return EXIT_CLEAN
     rules = args.select.split(",") if args.select else None
-    diagnostics = lint_paths(args.paths, rules=rules)
-    for diag in diagnostics:
-        print(diag.format())
-    if args.statistics and diagnostics:
+
+    try:
+        diagnostics = lint_paths(args.paths, rules=rules)
+        report = render(diagnostics, args.fmt)
+    except Exception:  # noqa: BLE001 - the crash path IS the feature here
+        traceback.print_exc()
+        print("reprolint: internal error (exit 3)", file=sys.stderr)
+        return EXIT_CRASH
+
+    if args.fmt == "text" and not diagnostics:
+        report = ""  # a clean text run stays silent, as before
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + ("\n" if report else ""))
+    elif report:
+        print(report)
+
+    if args.fmt == "text" and args.statistics and diagnostics:
         counts: dict = {}
         for diag in diagnostics:
             counts[diag.rule] = counts.get(diag.rule, 0) + 1
         for rule in sorted(counts):
             print(f"{counts[rule]:5d}  {rule}")
-    if diagnostics:
-        n = len(diagnostics)
-        print(f"reprolint: {n} finding{'s' if n != 1 else ''}")
-        return 1
-    return 0
+
+    return EXIT_FINDINGS if diagnostics else EXIT_CLEAN
 
 
-__all__ = ["main"]
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_CRASH",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "main",
+]

@@ -1,15 +1,24 @@
-"""File discovery, rule execution and suppression filtering."""
+"""File discovery, rule execution and suppression filtering.
+
+The engine parses each file exactly once: the resulting trees feed both
+the per-file rules (R1–R7, R9, R10) and, through
+:class:`reprolint.project.ProjectContext`, the whole-tree rules (R8)
+that need resolved call edges across module boundaries.  Suppression
+comments are honoured uniformly — a tree rule's diagnostic lands in the
+file that contains the flagged node, and that file's
+``# reprolint: ok[Rn]`` table is what filters it.
+"""
 
 from __future__ import annotations
 
-import ast
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Type
+from typing import Iterable, List, Optional, Sequence, Tuple, Type
 
 from reprolint.diagnostics import Diagnostic
-from reprolint.rules import ALL_RULES
-from reprolint.rules.base import LintContext, Rule
-from reprolint.suppress import SuppressionTable, parse_suppressions
+from reprolint.project import ProjectContext, build_project
+from reprolint.rules import ALL_RULES, TREE_RULES
+from reprolint.rules.base import Rule
+from reprolint.suppress import SuppressionTable
 
 #: Directory names never descended into.
 _SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build", "dist"}
@@ -34,36 +43,62 @@ def _select(rules: Optional[Sequence[str]]) -> List[Type[Rule]]:
     return [cls for cls in ALL_RULES if cls.rule_id in wanted]
 
 
+def _select_tree(rules: Optional[Sequence[str]]) -> list:
+    if not rules:
+        return list(TREE_RULES)
+    wanted = {r.upper() for r in rules}
+    return [cls for cls in TREE_RULES if cls.rule_id in wanted]
+
+
+def lint_sources(
+    sources: Sequence[Tuple[str, str]],
+    rules: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint ``(path, source)`` pairs as one project; the core entry point.
+
+    Files that fail to parse produce an E0 diagnostic and sit out both
+    passes; everything else is parsed once and shared between the
+    per-file rules and the whole-tree pass.
+    """
+    project, parse_errors = build_project(sources)
+
+    diagnostics: List[Diagnostic] = [
+        Diagnostic(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule="E0",
+            symbol="syntax-error",
+            message=f"cannot parse: {exc.msg}",
+        )
+        for path, exc in parse_errors
+    ]
+
+    per_file = _select(rules)
+    for module in project.modules:
+        for rule_cls in per_file:
+            for diag in rule_cls(module.ctx).run():
+                if not module.suppressions.covers(diag.line, diag.rule):
+                    diagnostics.append(diag)
+        diagnostics.extend(_suppression_hygiene(module.path, module.suppressions))
+
+    for tree_cls in _select_tree(rules):
+        for diag in tree_cls(project).run():
+            owner = project.by_path.get(diag.path)
+            if owner is None or not owner.suppressions.covers(diag.line, diag.rule):
+                diagnostics.append(diag)
+
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[str]] = None,
 ) -> List[Diagnostic]:
-    """Lint one source string; the core entry point the CLI and tests share."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                rule="E0",
-                symbol="syntax-error",
-                message=f"cannot parse: {exc.msg}",
-            )
-        ]
-    ctx = LintContext.build(path, source, tree)
-    table = parse_suppressions(source)
-
-    diagnostics: List[Diagnostic] = []
-    for rule_cls in _select(rules):
-        for diag in rule_cls(ctx).run():
-            if not table.covers(diag.line, diag.rule):
-                diagnostics.append(diag)
-    diagnostics.extend(_suppression_hygiene(path, table))
-    diagnostics.sort(key=Diagnostic.sort_key)
-    return diagnostics
+    """Lint one source string as a single-file project."""
+    return lint_sources([(path, source)], rules=rules)
 
 
 def _suppression_hygiene(path: str, table: SuppressionTable) -> List[Diagnostic]:
@@ -90,11 +125,16 @@ def lint_file(path: Path, rules: Optional[Sequence[str]] = None) -> List[Diagnos
 
 
 def lint_paths(paths: Sequence[str], rules: Optional[Sequence[str]] = None) -> List[Diagnostic]:
-    diagnostics: List[Diagnostic] = []
-    for path in iter_python_files(paths):
-        diagnostics.extend(lint_file(path, rules=rules))
-    diagnostics.sort(key=Diagnostic.sort_key)
-    return diagnostics
+    sources = [
+        (str(p), p.read_text(encoding="utf-8")) for p in iter_python_files(paths)
+    ]
+    return lint_sources(sources, rules=rules)
 
 
-__all__ = ["iter_python_files", "lint_file", "lint_paths", "lint_source"]
+__all__ = [
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+]

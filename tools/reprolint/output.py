@@ -1,0 +1,131 @@
+"""Diagnostic renderers: human text, machine JSON, and SARIF 2.1.0.
+
+The text form is what a developer reads in a terminal; JSON is for ad-hoc
+scripting (one object per diagnostic, stable keys); SARIF is the
+interchange format GitHub code scanning ingests, so CI can surface
+reprolint findings as inline PR annotations instead of a log to scroll.
+Only the minimal SARIF subset those consumers need is emitted — one run,
+one rule descriptor per distinct rule, one result per diagnostic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from reprolint.diagnostics import Diagnostic
+
+FORMATS = ("text", "json", "sarif")
+
+#: One-line rule descriptions for SARIF rule metadata; derived lazily from
+#: the registry so new rules never need a second catalogue entry here.
+_EXTRA_RULE_DOCS = {
+    "R0": "'# reprolint: ok' comments must carry a reason",
+    "E0": "file does not parse",
+}
+
+
+def _rule_docs() -> Dict[str, str]:
+    from reprolint.rules import ALL_RULES, TREE_RULES
+
+    docs = dict(_EXTRA_RULE_DOCS)
+    for cls in (*ALL_RULES, *TREE_RULES):
+        doc = (cls.__doc__ or "").strip().splitlines()
+        docs[cls.rule_id] = doc[0] if doc else cls.symbol
+    return docs
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    lines = [diag.format() for diag in diagnostics]
+    n = len(diagnostics)
+    lines.append(f"reprolint: {n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    payload = [
+        {
+            "path": d.path,
+            "line": d.line,
+            "col": d.col,
+            "rule": d.rule,
+            "symbol": d.symbol,
+            "message": d.message,
+        }
+        for d in diagnostics
+    ]
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    from reprolint import __version__
+
+    docs = _rule_docs()
+    rule_ids = sorted({d.rule for d in diagnostics} | set(docs))
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules: List[dict] = [
+        {
+            "id": rid,
+            "shortDescription": {"text": docs.get(rid, rid)},
+            "defaultConfiguration": {
+                "level": "error" if rid == "E0" else "warning",
+            },
+        }
+        for rid in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": d.rule,
+            "ruleIndex": rule_index[d.rule],
+            "level": "error" if d.rule == "E0" else "warning",
+            "message": {"text": f"{d.symbol}: {d.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": d.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": d.line,
+                            "startColumn": d.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diagnostics
+    ]
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)
+
+
+def render(diagnostics: Sequence[Diagnostic], fmt: str) -> str:
+    if fmt == "text":
+        return render_text(diagnostics)
+    if fmt == "json":
+        return render_json(diagnostics)
+    if fmt == "sarif":
+        return render_sarif(diagnostics)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+__all__ = ["FORMATS", "render", "render_json", "render_sarif", "render_text"]

@@ -1,0 +1,293 @@
+"""Whole-tree analysis context: the resolved-module and call-graph layer.
+
+The R1–R7 rules are per-file: each sees one ``ast.Module`` and nothing
+else.  That is enough for lexical discipline (raw randomness, bare
+epsilon compares) but not for *flow* properties — "every function a
+worker can reach is pure" is a statement about the transitive closure of
+calls across module boundaries, which no single file can witness.
+
+:class:`ProjectContext` parses every file under analysis exactly once
+(the per-file rules re-use the same trees, so the whole-tree pass adds no
+second parse) and indexes, per module:
+
+* module-level function and class definitions,
+* names bound at module scope (the globals a worker-reachable function
+  might mutate or draw randomness from),
+* the import table — which local names denote which modules/objects.
+
+Resolution is deliberately *suffix-based*: ``from repro.experiments.
+parallel import run_point_task`` resolves to any indexed module whose
+dotted path ends in ``repro.experiments.parallel``.  That makes the
+analysis independent of where the lint roots sit (``src/`` layouts,
+test fixture trees under a tmp dir) without configuring package roots,
+at the cost of theoretical ambiguity that does not occur in practice
+(ties resolve to the lexicographically first path, deterministically).
+
+The call graph itself is resolved on demand by
+:meth:`ProjectContext.resolve_call`: direct names (module-local or
+``from``-imported functions), ``module.attr`` calls through an imported
+module alias, and ``functools.partial`` unwrapping.  Unresolvable calls
+(methods on objects, higher-order parameters) are skipped — the analysis
+is a sound-for-what-it-sees heuristic, not a type system.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from reprolint.rules.base import LintContext
+from reprolint.suppress import SuppressionTable, parse_suppressions
+
+#: One function definition, addressed by its defining module.
+FunctionRef = Tuple["ModuleInfo", ast.FunctionDef]
+
+
+@dataclass(frozen=True)
+class ImportTarget:
+    """What one locally-bound import name denotes."""
+
+    #: ``"module"`` (``import x.y as m`` / ``from pkg import mod``) or
+    #: ``"object"`` (``from x.y import f``).
+    kind: str
+    #: Dotted path parts of the source module.
+    module: Tuple[str, ...]
+    #: Object name within the module, for ``kind="object"``.
+    name: Optional[str] = None
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the whole-tree pass knows about one parsed module."""
+
+    path: str
+    #: Dotted module path parts derived from the file path
+    #: (``src/repro/game/engine.py`` -> ``("src", "repro", "game", "engine")``;
+    #: ``__init__.py`` maps to its package).
+    parts: Tuple[str, ...]
+    tree: ast.Module
+    ctx: LintContext
+    suppressions: SuppressionTable
+    #: Module-level ``def``s (including async), by name.
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: Module-level ``class``es, by name.
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: Names bound by assignment at module scope (candidate mutable globals
+    #: and module-level RNG streams).
+    module_level_names: Set[str] = field(default_factory=set)
+    #: Import table: local name -> :class:`ImportTarget`.
+    imports: Dict[str, ImportTarget] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls, path: str, source: str, tree: ast.Module, ctx: LintContext,
+        suppressions: SuppressionTable,
+    ) -> "ModuleInfo":
+        info = cls(
+            path=path,
+            parts=_module_parts(path),
+            tree=tree,
+            ctx=ctx,
+            suppressions=suppressions,
+        )
+        info._index_top_level()
+        info._index_imports()
+        return info
+
+    def _index_top_level(self) -> None:
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[stmt.name] = stmt  # type: ignore[assignment]
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes[stmt.name] = stmt
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for tgt in targets:
+                    for node in ast.walk(tgt):
+                        if isinstance(node, ast.Name):
+                            self.module_level_names.add(node.id)
+
+    def _index_imports(self) -> None:
+        """Bind import names anywhere in the module (function-local imports
+        included — a lazily imported callee is still a call edge)."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    dotted = tuple(alias.name.split("."))
+                    if alias.asname:
+                        self.imports[alias.asname] = ImportTarget("module", dotted)
+                    else:
+                        # ``import a.b.c`` binds ``a``; only a single-part
+                        # module is then resolvable through the bare name.
+                        self.imports[dotted[0]] = ImportTarget("module", dotted[:1])
+            elif isinstance(node, ast.ImportFrom):
+                base: Tuple[str, ...]
+                if node.level == 0:
+                    base = tuple(node.module.split(".")) if node.module else ()
+                else:
+                    # Relative import: resolve against this module's path.
+                    anchor = self.parts[: len(self.parts) - node.level]
+                    extra = tuple(node.module.split(".")) if node.module else ()
+                    base = anchor + extra
+                if not base:
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    # ``from pkg import mod`` may bind a submodule; record
+                    # both readings and let resolution try object first.
+                    self.imports[bound] = ImportTarget("object", base, alias.name)
+
+
+def _module_parts(path: str) -> Tuple[str, ...]:
+    posix = PurePosixPath(path.replace("\\", "/"))
+    parts = posix.with_suffix("").parts
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    # Drop filesystem-root markers so suffix matching sees clean names.
+    return tuple(p for p in parts if p not in ("/", "."))
+
+
+class ProjectContext:
+    """All modules under analysis, with import and call resolution."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules: List[ModuleInfo] = sorted(modules, key=lambda m: m.path)
+        self.by_path: Dict[str, ModuleInfo] = {m.path: m for m in self.modules}
+        self._by_tail: Dict[str, List[ModuleInfo]] = {}
+        for m in self.modules:
+            if m.parts:
+                self._by_tail.setdefault(m.parts[-1], []).append(m)
+
+    # ------------------------------------------------------------------ #
+    # Module / function resolution
+    # ------------------------------------------------------------------ #
+    def resolve_module(self, dotted: Sequence[str]) -> Optional[ModuleInfo]:
+        """The indexed module whose path ends in ``dotted``, if any."""
+        dotted = tuple(dotted)
+        if not dotted:
+            return None
+        for cand in self._by_tail.get(dotted[-1], ()):
+            if cand.parts[-len(dotted):] == dotted:
+                return cand
+        return None
+
+    def resolve_function(
+        self, module: ModuleInfo, name: str
+    ) -> Optional[FunctionRef]:
+        """Resolve a bare name used in ``module`` to a function definition:
+        a module-level def, or a ``from``-imported module-level def."""
+        fn = module.functions.get(name)
+        if fn is not None:
+            return (module, fn)
+        tgt = module.imports.get(name)
+        if tgt is not None and tgt.kind == "object" and tgt.name is not None:
+            src = self.resolve_module(tgt.module)
+            if src is not None:
+                fn = src.functions.get(tgt.name)
+                if fn is not None:
+                    return (src, fn)
+            # ``from pkg import mod`` — the bound name may itself be a module.
+            sub = self.resolve_module(tgt.module + (tgt.name,))
+            if sub is not None:
+                return None  # a module, not a function
+        return None
+
+    def resolve_call(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> Optional[FunctionRef]:
+        """Resolve a call expression to the function it invokes, if the
+        target is statically evident (see module docstring for scope)."""
+        return self.resolve_callable(module, call.func)
+
+    def resolve_callable(
+        self, module: ModuleInfo, expr: ast.expr
+    ) -> Optional[FunctionRef]:
+        """Resolve a callable-valued expression: a name, a ``mod.attr``
+        chain through an imported module alias, or ``functools.partial``
+        over either."""
+        expr = unwrap_partial(expr)
+        if isinstance(expr, ast.Name):
+            return self.resolve_function(module, expr.id)
+        if isinstance(expr, ast.Attribute):
+            dotted = _attribute_parts(expr)
+            if dotted is None:
+                return None
+            head, attr = dotted[:-1], dotted[-1]
+            # First segment must be an imported module alias.
+            tgt = module.imports.get(head[0]) if head else None
+            if tgt is None:
+                return None
+            if tgt.kind == "module":
+                src = self.resolve_module(tgt.module + head[1:])
+            else:
+                src = self.resolve_module(
+                    tgt.module + ((tgt.name,) if tgt.name else ()) + head[1:]
+                )
+            if src is not None:
+                fn = src.functions.get(attr)
+                if fn is not None:
+                    return (src, fn)
+        return None
+
+
+def unwrap_partial(expr: ast.expr) -> ast.expr:
+    """``functools.partial(f, ...)`` (or bare ``partial``) -> ``f``."""
+    if isinstance(expr, ast.Call) and expr.args:
+        fn = expr.func
+        name = (
+            fn.id if isinstance(fn, ast.Name)
+            else fn.attr if isinstance(fn, ast.Attribute)
+            else None
+        )
+        if name == "partial":
+            return unwrap_partial(expr.args[0])
+    return expr
+
+
+def _attribute_parts(expr: ast.Attribute) -> Optional[Tuple[str, ...]]:
+    parts: List[str] = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def build_project(
+    sources: Sequence[Tuple[str, str]],
+) -> Tuple[ProjectContext, List[Tuple[str, SyntaxError]]]:
+    """Parse ``(path, source)`` pairs into a :class:`ProjectContext`.
+
+    Returns the project plus the files that failed to parse (reported as
+    E0 diagnostics by the engine; they simply do not take part in the
+    whole-tree pass).
+    """
+    modules: List[ModuleInfo] = []
+    errors: List[Tuple[str, SyntaxError]] = []
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            errors.append((path, exc))
+            continue
+        ctx = LintContext.build(path, source, tree)
+        table = parse_suppressions(source)
+        modules.append(ModuleInfo.build(path, source, tree, ctx, table))
+    return ProjectContext(modules), errors
+
+
+__all__ = [
+    "FunctionRef",
+    "ImportTarget",
+    "ModuleInfo",
+    "ProjectContext",
+    "build_project",
+    "unwrap_partial",
+]

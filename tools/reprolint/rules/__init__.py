@@ -1,8 +1,12 @@
 """Rule registry.
 
-Each rule is a subclass of :class:`reprolint.rules.base.Rule`; the engine
-instantiates every entry of :data:`ALL_RULES` per file.  Order here is the
-order diagnostics tie-break on equal locations.
+Two kinds of rule live here.  *Per-file* rules subclass
+:class:`reprolint.rules.base.Rule`; the engine instantiates every entry
+of :data:`ALL_RULES` per file.  *Tree* rules (:data:`TREE_RULES`) take
+the whole :class:`reprolint.project.ProjectContext` and run once per
+lint invocation — they see call edges across module boundaries that no
+single file can witness.  Order here is the order diagnostics tie-break
+on equal locations.
 """
 
 from __future__ import annotations
@@ -16,6 +20,9 @@ from reprolint.rules.pickling import SweepPickleRule
 from reprolint.rules.mutability import StableOrderRule
 from reprolint.rules.market_mutation import MarketMutationRule
 from reprolint.rules.swallowed import SwallowedErrorRule
+from reprolint.rules.array_escape import ArrayEscapeRule
+from reprolint.rules.delta_atomicity import DeltaAtomicityRule
+from reprolint.rules.worker_purity import WorkerPurityRule
 
 ALL_RULES: List[Type[Rule]] = [
     RawRandomRule,
@@ -25,6 +32,13 @@ ALL_RULES: List[Type[Rule]] = [
     RngPlumbingRule,
     MarketMutationRule,
     SwallowedErrorRule,
+    ArrayEscapeRule,
+    DeltaAtomicityRule,
 ]
 
-__all__ = ["ALL_RULES", "Rule"]
+#: Whole-tree rules, instantiated once with the ProjectContext.
+TREE_RULES = [
+    WorkerPurityRule,
+]
+
+__all__ = ["ALL_RULES", "TREE_RULES", "Rule"]

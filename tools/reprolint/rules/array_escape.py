@@ -1,0 +1,259 @@
+"""R9 (array-mutation escape): compiled tables are immutable outside the patch path.
+
+``CompiledMarket``/``CompiledGame`` are structure-of-arrays views shared
+by every algorithm layer, the dynamics loop, and (next on the roadmap)
+shared-memory workers and market shards.  The whole design rests on one
+invariant: the *only* code that writes those arrays in place is the
+build/patch machinery (``__init__``, ``apply_delta``, ``compact`` and
+their private helpers).  An in-place write anywhere else corrupts every
+other holder of the same table silently — no exception, just wrong
+equilibria three calls later.
+
+Flagged shapes, outside tests:
+
+* subscript stores and augmented assigns whose base is a compiled-table
+  expression — ``cm.capacity[j] = 0``, ``tbl = cm.fixed`` then
+  ``tbl[i] += 1`` (simple aliases are tracked);
+* mutating ndarray methods on such arrays — ``cm.fixed.sort()``,
+  ``.fill()``, ``.partition()``, ``.put()``, ``.resize()``;
+* handing a compiled table to a numpy ``out=`` kwarg —
+  ``np.add(a, b, out=cm.shared)``;
+* inside a ``Compiled*`` class: the same write shapes on bare
+  ``self.<table>`` in any *public, non-sanctioned* method (the build and
+  patch paths — ``__init__``, ``apply_delta``, ``compact``,
+  ``from_market``, ``__setstate__`` and ``_``-private helpers — are the
+  sanctioned home of direct writes);
+* public accessors of a ``Compiled*`` class that ``return`` an internal
+  table attribute outright, without taking a copy or marking the array
+  read-only (a body that touches ``.flags.writeable`` counts as the
+  read-only-view idiom).
+
+A compiled-table expression is recognised lexically: an attribute named
+like a table (``fixed``, ``coeff``, ``shared``, ``capacity``, …) reached
+through a receiver that is compiled-flavoured (``cm``, ``cg``, anything
+containing ``compiled``) or through a variable assigned from
+``.compiled()`` / ``CompiledMarket(...)`` / ``CompiledGame(...)`` /
+``from_market(...)``.  The runtime witness for this rule is the
+``REPRO_SANITIZE=1`` sanitizer, which freezes the same arrays so any
+shape the heuristic misses raises at the faulting write.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set
+
+from reprolint.rules.base import Rule, identifier_tokens
+
+#: Receiver identifiers that denote a compiled instance.
+_COMPILED_RECV_RE = re.compile(r"^cm$|^cg$|compiled")
+#: Structure-of-arrays attributes mirrored across holders.
+_TABLE_ATTRS = {
+    "fixed", "instantiation", "access", "update", "coeff", "g", "shared",
+    "demand", "capacity", "remote", "user_delay", "provider_index",
+    "cloudlet_index", "active_rows",
+}
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = {"sort", "fill", "partition", "put", "resize", "itemset"}
+#: Constructors/factories whose result is a compiled instance.
+_COMPILED_FACTORIES = {"compiled", "CompiledMarket", "CompiledGame", "from_market"}
+#: Methods of ``Compiled*`` classes sanctioned to write tables directly.
+_SANCTIONED_METHODS = {"__init__", "__setstate__", "apply_delta", "compact", "from_market"}
+
+
+class ArrayEscapeRule(Rule):
+    """R9: in-place writes to compiled tables must stay on the patch path."""
+
+    rule_id = "R9"
+    symbol = "array-escape"
+
+    def __init__(self, ctx) -> None:  # type: ignore[no-untyped-def]
+        super().__init__(ctx)
+        #: Alias name -> human-readable origin (``cm.fixed``).
+        self._aliases: Dict[str, str] = {}
+        #: Variables holding a compiled instance (from factory calls).
+        self._compiled_vars: Set[str] = set()
+        self._class_stack: List[str] = []
+        self._func_stack: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Recognising compiled-table expressions
+    # ------------------------------------------------------------------ #
+    def _is_compiled_receiver(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name) and expr.id in self._compiled_vars:
+            return True
+        return any(
+            _COMPILED_RECV_RE.search(tok) for tok in identifier_tokens(expr)
+        )
+
+    def _in_sanctioned_method(self) -> bool:
+        if not self._func_stack:
+            return False
+        name = self._func_stack[-1]
+        return name in _SANCTIONED_METHODS or name.startswith("_")
+
+    def _internal_array(self, expr: ast.expr) -> Optional[str]:
+        """If ``expr`` denotes a compiled table, its display name."""
+        if isinstance(expr, ast.Name):
+            return self._aliases.get(expr.id)
+        if not isinstance(expr, ast.Attribute):
+            return None
+        attr = expr.attr
+        if attr.lstrip("_") not in _TABLE_ATTRS:
+            return None
+        base = expr.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id == "self"
+            and self._class_stack
+            and self._class_stack[-1].startswith("Compiled")
+        ):
+            # Bare-self table writes are the patch path's own business —
+            # but only inside the sanctioned build/patch methods.
+            return None if self._in_sanctioned_method() else f"self.{attr}"
+        if self._is_compiled_receiver(base):
+            return f"{_display(base)}.{attr}"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Scope + taint bookkeeping
+    # ------------------------------------------------------------------ #
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        if not self.ctx.is_test_file:
+            self._check_accessor(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _track_binding(self, target: ast.expr, value: Optional[ast.expr]) -> None:
+        if not isinstance(target, ast.Name) or value is None:
+            return
+        origin = self._internal_array(value)
+        if origin is not None:
+            self._aliases[target.id] = origin
+            return
+        self._aliases.pop(target.id, None)
+        self._compiled_vars.discard(target.id)
+        if isinstance(value, ast.Call):
+            fn = value.func
+            name = (
+                fn.id if isinstance(fn, ast.Name)
+                else fn.attr if isinstance(fn, ast.Attribute)
+                else None
+            )
+            if name in _COMPILED_FACTORIES:
+                self._compiled_vars.add(target.id)
+
+    # ------------------------------------------------------------------ #
+    # Write shapes
+    # ------------------------------------------------------------------ #
+    def _check_store(self, stmt: ast.stmt, target: ast.expr) -> None:
+        if isinstance(target, ast.Subscript):
+            origin = self._internal_array(target.value)
+            if origin is not None:
+                self.report(
+                    stmt,
+                    f"in-place write to compiled table '{origin}'; these "
+                    "arrays are shared across holders — route the change "
+                    "through apply_delta, or operate on a .copy()",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self.ctx.is_test_file:
+            for target in node.targets:
+                self._check_store(node, target)
+        for target in node.targets:
+            self._track_binding(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self.ctx.is_test_file:
+            self._check_store(node, node.target)
+        self._track_binding(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not self.ctx.is_test_file:
+            self._check_store(node, node.target)
+            # ``tbl += 1`` on an alias mutates the underlying table too.
+            if isinstance(node.target, ast.Name):
+                origin = self._aliases.get(node.target.id)
+                if origin is not None:
+                    self.report(
+                        node,
+                        f"augmented assignment mutates compiled table "
+                        f"'{origin}' through an alias; take a .copy() first",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self.ctx.is_test_file:
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr in _MUTATING_METHODS:
+                origin = self._internal_array(fn.value)
+                if origin is not None:
+                    self.report(
+                        node,
+                        f".{fn.attr}() mutates compiled table '{origin}' in "
+                        "place; sort/fill a .copy() instead",
+                    )
+            for kw in node.keywords:
+                if kw.arg == "out":
+                    origin = self._internal_array(kw.value)
+                    if origin is not None:
+                        self.report(
+                            node,
+                            f"out= targets compiled table '{origin}'; numpy "
+                            "will write the shared array in place",
+                        )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    # Leaky accessors
+    # ------------------------------------------------------------------ #
+    def _check_accessor(self, fn: ast.FunctionDef) -> None:
+        if not (self._class_stack and self._class_stack[-1].startswith("Compiled")):
+            return
+        if fn.name.startswith("_") or fn.name in _SANCTIONED_METHODS:
+            return
+        # A body that touches .flags.writeable is the read-only-view idiom.
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Attribute) and sub.attr == "writeable":
+                return
+        for sub in ast.walk(fn):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and sub is not fn:
+                continue
+            if not isinstance(sub, ast.Return) or sub.value is None:
+                continue
+            ret = sub.value
+            if (
+                isinstance(ret, ast.Attribute)
+                and isinstance(ret.value, ast.Name)
+                and ret.value.id == "self"
+                and ret.attr.lstrip("_") in _TABLE_ATTRS
+            ):
+                self.report(
+                    sub,
+                    f"public accessor '{fn.name}' returns internal array "
+                    f"'self.{ret.attr}' by reference; return a .copy() or "
+                    "mark the array read-only (flags.writeable = False)",
+                )
+
+
+def _display(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return f"{_display(expr.value)}.{expr.attr}"
+    return "<expr>"
+
+
+__all__ = ["ArrayEscapeRule"]

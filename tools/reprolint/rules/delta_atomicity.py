@@ -1,0 +1,157 @@
+"""R10 (delta-atomicity): validate everything, then mutate — never interleave.
+
+``ServiceMarket.apply`` and ``CompiledMarket.apply_delta`` are the
+transaction boundary of the mutation protocol: callers (the dynamics
+loop, the supervisor's replay path, soon per-shard reconcilers) rely on
+a failed delta leaving the market exactly as it was.  That guarantee
+holds only if every validator that can raise runs *before* the first
+state write.  A write that sneaks ahead of a later ``raise`` turns a
+rejected delta into a half-applied one — tombstoned rows with their
+provider index still live, a capacity patched while its outage was
+refused.
+
+The rule scans ``apply``/``apply_delta`` methods of market-flavoured
+classes (class name containing ``Market`` or starting with ``Compiled``)
+and flags any state write — assignment, augmented assignment or
+subscript store on ``self``, ``del`` of ``self`` state, or a mutating
+container-method call (``.pop``/``.append``/… ) on ``self`` state —
+whose line precedes a subsequent validation point.  Validation points
+are ``raise`` statements and calls to ``_validate*``/``_check*``/
+``require*`` helpers; post-commit verification hooks (``verify_*``,
+e.g. ``verify_against`` under ``REPRO_DEBUG_INVARIANTS``) are *not*
+validation and do not retro-flag the writes before them.  Rollback code
+that deliberately writes before re-raising carries the usual
+``# reprolint: ok[R10] reason`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from reprolint.rules.base import Rule
+
+#: Method names forming the delta transaction boundary.
+_APPLY_METHODS = {"apply", "apply_delta"}
+#: Enclosing class names the rule cares about.
+_MARKET_CLASS_RE = re.compile(r"Market|^Compiled")
+#: Validator helper calls that count as validation points.
+_VALIDATOR_NAME_RE = re.compile(r"^_?(validate|check)|^require")
+#: Container methods that mutate their receiver.
+_MUTATOR_METHODS = {
+    "pop", "append", "extend", "remove", "clear", "insert", "add",
+    "update", "setdefault", "popitem", "insort",
+}
+
+
+def _self_rooted(expr: ast.expr) -> bool:
+    """Is this expression an attribute/subscript chain hanging off ``self``?"""
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+class DeltaAtomicityRule(Rule):
+    """R10: in apply/apply_delta, all validation precedes the first write."""
+
+    rule_id = "R10"
+    symbol = "delta-atomicity"
+
+    def __init__(self, ctx) -> None:  # type: ignore[no-untyped-def]
+        super().__init__(ctx)
+        self._class_stack: List[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if (
+            not self.ctx.is_test_file
+            and node.name in _APPLY_METHODS
+            and self._class_stack
+            and _MARKET_CLASS_RE.search(self._class_stack[-1])
+        ):
+            self._check_apply(node)
+        # Do not descend: nested defs are helpers, not the transaction body.
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------ #
+    def _check_apply(self, fn: ast.FunctionDef) -> None:
+        writes: List[ast.stmt] = []
+        last_validation_line: Optional[int] = None
+
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+                continue
+            stmt = self._as_write(node)
+            if stmt is not None:
+                writes.append(stmt)
+                continue
+            line = self._as_validation(node)
+            if line is not None:
+                if last_validation_line is None or line > last_validation_line:
+                    last_validation_line = line
+
+        if last_validation_line is None:
+            return
+        for stmt in writes:
+            if stmt.lineno < last_validation_line:
+                self.report(
+                    stmt,
+                    f"state write at line {stmt.lineno} precedes validation "
+                    f"at line {last_validation_line}; a raised validator "
+                    "would leave the delta half-applied — hoist all "
+                    "validation above the first mutation",
+                )
+
+    def _as_write(self, node: ast.AST) -> Optional[ast.stmt]:
+        if isinstance(node, ast.Assign):
+            if any(
+                _self_rooted(t) and isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in node.targets
+            ):
+                return node
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            t = node.target
+            if isinstance(t, (ast.Attribute, ast.Subscript)) and _self_rooted(t):
+                if not (isinstance(node, ast.AnnAssign) and node.value is None):
+                    return node
+        elif isinstance(node, ast.Delete):
+            if any(_self_rooted(t) for t in node.targets):
+                return node
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            fnode = call.func
+            if isinstance(fnode, ast.Attribute) and fnode.attr in _MUTATOR_METHODS:
+                # ``self.x.pop(...)`` — or ``bisect.insort(self.x, ...)``
+                # style where self-state is the first argument.
+                if _self_rooted(fnode.value):
+                    return node
+                if call.args and _self_rooted(call.args[0]):
+                    return node
+            elif isinstance(fnode, ast.Name) and fnode.id in _MUTATOR_METHODS:
+                if call.args and _self_rooted(call.args[0]):
+                    return node
+        return None
+
+    def _as_validation(self, node: ast.AST) -> Optional[int]:
+        if isinstance(node, ast.Raise):
+            return node.lineno
+        if isinstance(node, ast.Call):
+            fnode = node.func
+            name = (
+                fnode.id if isinstance(fnode, ast.Name)
+                else fnode.attr if isinstance(fnode, ast.Attribute)
+                else None
+            )
+            if name is not None and _VALIDATOR_NAME_RE.search(name):
+                return node.lineno
+        return None
+
+
+__all__ = ["DeltaAtomicityRule"]
