@@ -14,9 +14,44 @@ configuration instead.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.settings import PAPER, ExperimentConfig
+
+#: Where ``BENCH_*.json`` artifacts live. Every benchmark module resolves
+#: its artifact through :func:`bench_path`, so one environment variable —
+#: ``REPRO_BENCH_DIR`` — relocates the whole set (CI points it at the
+#: workspace artifact directory; the default keeps them next to the code).
+BENCH_DIR = Path(
+    os.environ.get("REPRO_BENCH_DIR", Path(__file__).resolve().parent)
+)
+
+
+def bench_path(name: str) -> Path:
+    """The canonical location of one ``BENCH_*.json`` artifact."""
+    return BENCH_DIR / name
+
+
+def record_bench(name: str, section: str, payload: dict) -> None:
+    """Fold one benchmark section into its artifact.
+
+    Read-modify-write keyed by ``section``, so the modules of a suite (and
+    repeated runs of one module) accumulate into a single document; the
+    host's CPU count is stamped alongside for later interpretation of any
+    parallel numbers.
+    """
+    path = bench_path(name)
+    data = {}
+    if path.exists():
+        data = json.loads(path.read_text())
+    data["cpu_count"] = os.cpu_count()
+    data[section] = payload
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 #: Benchmark-scale configuration: full code paths, reduced repetitions.
 BENCH = ExperimentConfig(

@@ -23,17 +23,16 @@ perf trajectory is recorded from this PR onward (partial ``-k`` selections
 merge instead of clobbering).
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.core.appro import appro
 from repro.core.lcf import lcf
 from repro.market.workload import generate_market
 from repro.network.generators import random_mec_network
 
-RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_compiled.json"
+from benchmarks.conftest import bench_path, record_bench
+
+RESULTS_PATH = bench_path("BENCH_compiled.json")
 
 N_NODES = 150
 N_PROVIDERS = 60
@@ -42,12 +41,7 @@ REPETITIONS = 2
 
 
 def _record(section: str, payload: dict) -> None:
-    data = {}
-    if RESULTS_PATH.exists():
-        data = json.loads(RESULTS_PATH.read_text())
-    data["cpu_count"] = os.cpu_count()
-    data[section] = payload
-    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_bench("BENCH_compiled.json", section, payload)
 
 
 def _best_of(fn, repeats: int = 3) -> float:

@@ -14,16 +14,15 @@ Two questions, one per test:
 Results land in ``BENCH_dynamics.json`` next to this file.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.dynamics import DynamicMarketSimulation, PopulationProcess
 from repro.network.generators import random_mec_network
 from repro.utils.tables import Table
 
-RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_dynamics.json"
+from benchmarks.conftest import bench_path, record_bench
+
+RESULTS_PATH = bench_path("BENCH_dynamics.json")
 
 N_NODES = 100
 EPOCHS = 12
@@ -33,12 +32,7 @@ INITIAL_POPULATION = 40
 
 
 def _record(section: str, payload: dict) -> None:
-    data = {}
-    if RESULTS_PATH.exists():
-        data = json.loads(RESULTS_PATH.read_text())
-    data["cpu_count"] = os.cpu_count()
-    data[section] = payload
-    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_bench("BENCH_dynamics.json", section, payload)
 
 
 def _best_of(fn, repeats: int = 2) -> float:

@@ -19,10 +19,8 @@ numbers survive the run (and partial ``-k`` selections merge instead of
 clobbering).
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro.core.bridge import market_game
 from repro.experiments.figures import fig2_network_size
@@ -30,19 +28,16 @@ from repro.game.best_response import best_response_dynamics, greedy_feasible_pro
 from repro.market.workload import generate_market
 from repro.network.generators import random_mec_network
 
-RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+from benchmarks.conftest import bench_path, record_bench
+
+RESULTS_PATH = bench_path("BENCH_engine.json")
 
 #: Comparable (non-wall-clock) fields of AlgorithmMetrics.
 _METRIC_FIELDS = ("social_cost", "coordinated_cost", "selfish_cost", "rejected", "samples")
 
 
 def _record(section: str, payload: dict) -> None:
-    data = {}
-    if RESULTS_PATH.exists():
-        data = json.loads(RESULTS_PATH.read_text())
-    data["cpu_count"] = os.cpu_count()
-    data[section] = payload
-    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_bench("BENCH_engine.json", section, payload)
 
 
 def _best_of(fn, repeats: int = 3) -> float:

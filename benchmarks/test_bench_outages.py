@@ -20,10 +20,7 @@ outages mutate the shared cloudlet objects in place.
 Results land in ``BENCH_outages.json`` next to this file.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.dynamics import (
     DynamicMarketSimulation,
@@ -33,7 +30,9 @@ from repro.dynamics import (
 from repro.network.generators import random_mec_network
 from repro.utils.tables import Table
 
-RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_outages.json"
+from benchmarks.conftest import bench_path, record_bench
+
+RESULTS_PATH = bench_path("BENCH_outages.json")
 
 N_NODES = 100
 EPOCHS = 12
@@ -45,12 +44,7 @@ MTTR = 2.0
 
 
 def _record(section: str, payload: dict) -> None:
-    data = {}
-    if RESULTS_PATH.exists():
-        data = json.loads(RESULTS_PATH.read_text())
-    data["cpu_count"] = os.cpu_count()
-    data[section] = payload
-    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_bench("BENCH_outages.json", section, payload)
 
 
 def _best_of(fn, repeats: int = 2):

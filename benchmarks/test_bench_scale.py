@@ -22,19 +22,19 @@ providers; the game is restricted to the placed players, exactly as the
 """
 
 import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
+
+from benchmarks.conftest import bench_path, record_bench
 
 from repro.core.bridge import market_game
 from repro.game.best_response import best_response_dynamics
 from repro.market.workload import generate_market
 from repro.network.generators import random_mec_network
 
-RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_scale.json"
+RESULTS_PATH = bench_path("BENCH_scale.json")
 
 #: (network nodes, providers) tiers; the last is the CI regression tier.
 TIERS = ((400, 4000), (700, 7000), (1000, 10000))
@@ -45,12 +45,7 @@ REGRESSION_SLACK = 0.9
 
 
 def _record(section: str, payload: dict) -> None:
-    data = {}
-    if RESULTS_PATH.exists():
-        data = json.loads(RESULTS_PATH.read_text())
-    data["cpu_count"] = os.cpu_count()
-    data[section] = payload
-    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_bench("BENCH_scale.json", section, payload)
 
 
 def _prior_batch_pps(section: str) -> float:

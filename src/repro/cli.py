@@ -47,6 +47,7 @@ from repro.experiments.report import METRIC_LABELS, render_sweep, sweep_to_csv
 from repro.experiments.settings import PAPER, QUICK, ExperimentConfig
 from repro.game.best_response import ENGINES
 from repro.utils.ascii_plot import line_chart
+from repro.utils.validation import CAPACITY_EPS
 
 #: The benchmark-harness scale (mirrors benchmarks/conftest.py).
 BENCH = ExperimentConfig(
@@ -175,6 +176,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="regional outages (neighbourhoods fail together)")
     out.add_argument("--seed", type=int, default=1)
 
+    shard = sub.add_parser(
+        "shard",
+        help="region-sharded equilibrium demo (partitioned dynamics)",
+    )
+    shard.add_argument("--nodes", type=int, default=200, metavar="N",
+                       help="network size (default 200)")
+    shard.add_argument("--providers", type=int, default=300,
+                       help="provider population (default 300)")
+    shard.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="shard count (default: one per region)")
+    shard.add_argument("--epochs", type=int, default=5,
+                       help="churn epochs to simulate (default 5)")
+    shard.add_argument("--boundary-rounds", type=int, default=8,
+                       help="interior/boundary reconciliation cap (default 8)")
+    shard.add_argument("--workers", type=int, default=1,
+                       help="shard worker processes (default 1 = serial)")
+    shard.add_argument("--latency-budget", type=float, default=3.0,
+                       metavar="MS",
+                       help="per-provider latency budget in ms — what makes "
+                       "most providers interior to one region (default 3.0)")
+    shard.add_argument("--seed", type=int, default=3)
+
     lint = sub.add_parser(
         "lint",
         help="run the reprolint static analyzer (R1-R10) over the tree",
@@ -248,6 +271,99 @@ def _run_outages(args) -> int:
     return 0
 
 
+def _run_shard(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.dynamics import DynamicMarketSimulation, PopulationProcess
+    from repro.game.batch import batch_best_response
+    from repro.game.partitioned import (
+        game_from_compiled,
+        partitioned_best_response,
+    )
+    from repro.market.shard import classify_providers, partition_market
+    from repro.market.workload import generate_market
+    from repro.network.generators import random_mec_network
+
+    network = random_mec_network(args.nodes, rng=args.seed)
+    market = generate_market(
+        network, args.providers, rng=args.seed + 1,
+        latency_budget_ms=args.latency_budget,
+    )
+    cm = market.compile()
+    partition = partition_market(market, args.shards)
+    classification = classify_providers(cm, partition)
+    interior = sum(len(v) for v in classification.interior.values())
+    print(f"partition:             {partition.n_shards} shards over "
+          f"{len(partition.shard_of_cloudlet)} cloudlets")
+    print(f"providers:             {interior} interior, "
+          f"{len(classification.boundary)} boundary, "
+          f"{len(classification.unreachable)} unreachable")
+
+    # Greedy start: cheapest feasible cloudlet at posted occupancy.
+    occ = np.zeros(cm.n_cloudlets, dtype=np.int64)
+    loads = np.zeros_like(cm.capacity)
+    start: Dict[int, int] = {}
+    for pid in cm.provider_ids:
+        row = cm.provider_index[pid]
+        fits = np.isfinite(cm.fixed[row]) & np.all(
+            loads + cm.demand[row] <= cm.capacity + CAPACITY_EPS, axis=1
+        )
+        if not fits.any():
+            continue
+        cost = cm.shared[
+            np.arange(cm.n_cloudlets), np.minimum(occ + 1, len(cm.g) - 1)
+        ] + cm.fixed[row]
+        cost[~fits] = np.inf
+        j = int(np.argmin(cost))
+        start[pid] = cm.cloudlet_nodes[j]
+        occ[j] += 1
+        loads[j] += cm.demand[row]
+
+    t0 = time.perf_counter()
+    game = game_from_compiled(cm, players=sorted(start))
+    g_profile, _, _, g_moves, _, _ = batch_best_response(
+        game, start, max_rounds=1000, compiled=game.compile()
+    )
+    t_global = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result = partitioned_best_response(
+        market, start, partition=partition, classification=classification,
+        boundary_rounds=args.boundary_rounds,
+    )
+    t_shard = time.perf_counter() - t0
+    gap = abs(result.social_cost - cm.social_cost(g_profile)) / max(
+        abs(cm.social_cost(g_profile)), 1e-12
+    )
+    print(f"global settle:         {g_moves} moves in {t_global*1e3:.1f} ms")
+    print(f"sharded settle:        {result.moves} moves in {t_shard*1e3:.1f} ms "
+          f"({result.rounds} reconciliation rounds)")
+    print(f"certified equilibrium: {result.certified}")
+    print(f"social-cost gap:       {gap:.2e} relative")
+
+    population = PopulationProcess(
+        network, arrival_rate=max(2.0, args.providers / 20),
+        mean_lifetime=8.0, rng=args.seed + 2,
+        initial_population=args.providers,
+    )
+    with DynamicMarketSimulation(
+        network, population, policy="incremental",
+        sharding="region", n_shards=args.shards,
+        boundary_rounds=args.boundary_rounds,
+        shard_workers=args.workers,
+    ) as sim:
+        summary = sim.run(args.epochs)
+    certified = sum(
+        1 for e in summary.epochs if e.equilibrium_certified
+    )
+    print(f"dynamic run:           {len(summary.epochs)} epochs, "
+          f"{summary.total_settle_moves} settle moves, "
+          f"{certified}/{len(summary.epochs)} epochs certified")
+    print(f"total cost:            {summary.total_cost:.1f}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -264,6 +380,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "outages":
         return _run_outages(args)
+
+    if args.command == "shard":
+        try:
+            return _run_shard(args)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "lint":
         return _run_lint(args)

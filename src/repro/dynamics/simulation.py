@@ -54,13 +54,14 @@ setting the two representations bill bit-identical costs every epoch, which
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.core.lcf import LCFResult, lcf
 from repro.dynamics.outages import OutageEvent, OutageTrace
 from repro.game.best_response import ENGINES
+from repro.game.partitioned import partitioned_best_response
 from repro.dynamics.population import PopulationEvent, PopulationProcess
 from repro.exceptions import ConfigurationError
 from repro.market.compiled import REPRESENTATIONS
@@ -69,11 +70,16 @@ from repro.market.delta import MarketDelta
 from repro.market.market import ServiceMarket
 from repro.market.pricing import Pricing
 from repro.market.service import ServiceProvider
+from repro.market.shard import MarketPartition, ShardLog, partition_market
 from repro.network.topology import MECNetwork
 from repro.utils.validation import CAPACITY_EPS, check_fraction
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.experiments.supervisor import CheckpointJournal
+
 _POLICIES = ("replan", "incremental", "hysteresis")
 _RECOVERY_POLICIES = ("failover", "replan", "hysteresis")
+_SHARDING = ("none", "region")
 
 #: Floor for the relative-drift denominator, so an anchor of zero social
 #: cost (an epoch the market emptied into) cannot divide by zero.
@@ -108,6 +114,12 @@ class EpochRecord:
     #: Displaced providers the recovery policy could not re-place at the
     #: edge this epoch — their service falls back to remote serving.
     sla_violations: int = 0
+    #: Best-response moves the sharded settle committed after the policy
+    #: ran (``sharding="region"`` only; zero otherwise).
+    settle_moves: int = 0
+    #: Whether the sharded settle certified the final placement as a
+    #: global Nash equilibrium; ``None`` when sharding is off.
+    equilibrium_certified: Optional[bool] = None
 
     @property
     def total_cost(self) -> float:
@@ -140,6 +152,11 @@ class SimulationSummary:
     @property
     def total_replans(self) -> int:
         return sum(1 for e in self.epochs if e.replanned)
+
+    @property
+    def total_settle_moves(self) -> int:
+        """Moves committed by the sharded settle across the run."""
+        return sum(e.settle_moves for e in self.epochs)
 
     @property
     def mean_social_cost(self) -> float:
@@ -223,6 +240,34 @@ class DynamicMarketSimulation:
         for warm-started epoch replans), ``"incremental"`` or ``"naive"``.
         All engines replay the identical move sequence, so the billed
         costs are engine-independent bit for bit.
+    sharding:
+        ``"none"`` (default) bills each epoch's policy output as-is;
+        ``"region"`` partitions the market into transit-stub region
+        shards and, after the policy runs, settles the placement to a
+        certified equilibrium with
+        :func:`~repro.game.partitioned.partitioned_best_response` —
+        epoch churn rides the sequence-numbered
+        :class:`~repro.market.shard.ShardLog` replication log alongside
+        the compiled-table deltas. Requires
+        ``representation="compiled"``.
+    n_shards / boundary_rounds:
+        Shard count for :func:`~repro.market.shard.partition_market`
+        (default: one shard per cloudlet-bearing region) and the cap on
+        interior/boundary reconciliation iterations per settle.
+    shard_workers:
+        Settle shard interiors on a
+        :class:`~repro.experiments.supervisor.ShardExecutor` process
+        pool of this size (``None``/``1`` = serial, the deterministic
+        reference). Call :meth:`close` (or use the simulation as a
+        context manager) to release the pool.
+    shard_journal:
+        Optional :class:`~repro.experiments.supervisor.CheckpointJournal`
+        handed to the :class:`~repro.market.shard.ShardLog`: every routed
+        :class:`~repro.market.shard.ShardDelta` is durably checkpointed
+        under ``(seq, shard_id)`` before the epoch settles, and
+        :meth:`ShardLog.replay <repro.market.shard.ShardLog.replay>`
+        rebuilds the delta stream deterministically from it after a
+        crash.
     """
 
     def __init__(
@@ -242,10 +287,27 @@ class DynamicMarketSimulation:
         outages: Optional[OutageTrace] = None,
         recovery: str = "failover",
         engine: str = "batch",
+        sharding: str = "none",
+        n_shards: Optional[int] = None,
+        boundary_rounds: int = 8,
+        shard_workers: Optional[int] = None,
+        shard_journal: Optional["CheckpointJournal"] = None,
     ) -> None:
         if policy not in _POLICIES:
             raise ConfigurationError(
                 f"policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        if sharding not in _SHARDING:
+            raise ConfigurationError(
+                f"sharding must be one of {_SHARDING}, got {sharding!r}"
+            )
+        if sharding == "region" and representation != "compiled":
+            raise ConfigurationError(
+                "sharding='region' runs on the compiled representation only"
+            )
+        if boundary_rounds < 1:
+            raise ConfigurationError(
+                f"boundary_rounds must be >= 1, got {boundary_rounds}"
             )
         if recovery not in _RECOVERY_POLICIES:
             raise ConfigurationError(
@@ -295,6 +357,20 @@ class DynamicMarketSimulation:
         self.market: Optional[ServiceMarket] = None
         self._last_result: Optional[LCFResult] = None
         self._anchor_cost: Optional[float] = None
+        self.sharding = sharding
+        self.n_shards = n_shards
+        self.boundary_rounds = boundary_rounds
+        self.shard_workers = shard_workers
+        self.shard_journal = shard_journal
+        #: Region partition + replication log, built lazily with the
+        #: persistent market (``sharding="region"`` only).
+        self._partition: Optional[MarketPartition] = None
+        self._shard_log: Optional[ShardLog] = None
+        #: Settle-layer cache (shard sub-views, global boundary game),
+        #: keyed by the log's sequence number — cleared whenever a delta
+        #: advances the tables, so entries never go stale.
+        self._shard_cache: Dict[object, object] = {}
+        self._shard_executor = None
 
     # ------------------------------------------------------------------ #
     # Cost helpers
@@ -353,6 +429,33 @@ class DynamicMarketSimulation:
     # ------------------------------------------------------------------ #
     # Market maintenance (the mutation protocol)
     # ------------------------------------------------------------------ #
+    def _init_sharding(self, market: ServiceMarket) -> None:
+        """Build the region partition and seed the replication log with
+        the market's founding population (later churn arrives as deltas
+        through :meth:`_apply_delta`)."""
+        if self.sharding != "region" or self._partition is not None:
+            return
+        self._partition = partition_market(market, self.n_shards)
+        self._shard_log = ShardLog(
+            self._partition,
+            providers=market.providers,
+            journal=self.shard_journal,
+        )
+        if self.shard_workers is not None and self.shard_workers > 1:
+            from repro.experiments.supervisor import ShardExecutor
+
+            self._shard_executor = ShardExecutor(workers=self.shard_workers)
+
+    def _apply_delta(self, delta: MarketDelta) -> None:
+        """Patch the persistent market and, when sharding, append the
+        delta to the replication log (advancing its sequence number and
+        invalidating the settle-layer cache)."""
+        assert self.market is not None
+        self.market.apply(delta)
+        if self._shard_log is not None:
+            self._shard_log.append(delta)
+            self._shard_cache.clear()
+
     def _advance_market(
         self, delta: MarketDelta, providers: List[ServiceProvider]
     ) -> ServiceMarket:
@@ -374,10 +477,11 @@ class DynamicMarketSimulation:
         if self.market is None:
             self.market = self._market(providers)
             self.market.compile()
+            self._init_sharding(self.market)
             if down:
-                self.market.apply(MarketDelta(outages=down))
+                self._apply_delta(MarketDelta(outages=down))
         else:
-            self.market.apply(delta)
+            self._apply_delta(delta)
         return self.market
 
     # ------------------------------------------------------------------ #
@@ -514,7 +618,7 @@ class DynamicMarketSimulation:
             # tables in sync (it may refill later) and reset the warm state
             # — the next population starts a fresh history.
             if self.market is not None and self.representation == "compiled":
-                self.market.apply(delta)
+                self._apply_delta(delta)
             self.placement = {}
             self.rejected = set()
             self._last_result = None
@@ -584,6 +688,13 @@ class DynamicMarketSimulation:
                 market, unplaced
             )
 
+        settle_moves = 0
+        certified: Optional[bool] = None
+        if self._partition is not None:
+            new_placement, settle_moves, certified = self._settle_sharded(
+                market, new_placement
+            )
+
         migration_cost, migrations = self._bill_migrations(market, new_placement)
         self.placement = new_placement
         self.rejected = new_rejected
@@ -609,7 +720,30 @@ class DynamicMarketSimulation:
             failed_cloudlets=tuple(sorted(failed_now)),
             displaced=len(displaced),
             sla_violations=len(displaced & new_rejected),
+            settle_moves=settle_moves,
+            equilibrium_certified=certified,
         )
+
+    def _settle_sharded(
+        self, market: ServiceMarket, placement: Dict[int, int]
+    ) -> Tuple[Dict[int, int], int, bool]:
+        """Settle the policy's placement to a partitioned equilibrium.
+
+        The log's sequence number keys the settle-layer cache and the
+        worker blob publications, so a shard whose tables have not moved
+        since the last epoch is neither re-sliced nor re-pickled.
+        """
+        assert self._shard_log is not None
+        result = partitioned_best_response(
+            market,
+            placement,
+            partition=self._partition,
+            boundary_rounds=self.boundary_rounds,
+            executor=self._shard_executor,
+            blob_seq=self._shard_log.seq,
+            cache=self._shard_cache,
+        )
+        return dict(result.profile), result.moves, result.certified
 
     def run(self, epochs: int) -> SimulationSummary:
         """Run ``epochs`` epochs and return the billing summary."""
@@ -621,6 +755,18 @@ class DynamicMarketSimulation:
             epochs=records,
             recovery_epochs=tuple(self._recovery_times),
         )
+
+    def close(self) -> None:
+        """Release the shard worker pool (no-op when settling serially)."""
+        if self._shard_executor is not None:
+            self._shard_executor.close()
+            self._shard_executor = None
+
+    def __enter__(self) -> "DynamicMarketSimulation":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 __all__ = ["EpochRecord", "SimulationSummary", "DynamicMarketSimulation"]

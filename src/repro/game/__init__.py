@@ -15,6 +15,13 @@ from repro.game.equilibrium import best_deviation, is_nash_equilibrium
 from repro.game.stackelberg import StackelbergOutcome, play_stackelberg
 from repro.game.poa import empirical_poa, enumerate_equilibria, worst_equilibrium_cost
 from repro.game.dynamics_variants import improvement_dynamics
+from repro.game.partitioned import (
+    BOUNDARY_TOLERANCE,
+    PartitionedResult,
+    certify_equilibrium,
+    game_from_compiled,
+    partitioned_best_response,
+)
 
 __all__ = [
     "Profile",
@@ -31,4 +38,9 @@ __all__ = [
     "enumerate_equilibria",
     "worst_equilibrium_cost",
     "improvement_dynamics",
+    "BOUNDARY_TOLERANCE",
+    "PartitionedResult",
+    "certify_equilibrium",
+    "game_from_compiled",
+    "partitioned_best_response",
 ]

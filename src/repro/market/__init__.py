@@ -18,6 +18,16 @@ from repro.market.costs import (
 from repro.market.market import ServiceMarket
 from repro.market.delta import MarketDelta
 from repro.market.compiled import REPRESENTATIONS, CompiledMarket, resolve_compiled
+from repro.market.shard import (
+    MarketPartition,
+    ShardClassification,
+    ShardDelta,
+    ShardLog,
+    classify_providers,
+    partition_market,
+    route_delta,
+    shard_view,
+)
 from repro.market.workload import WorkloadParams, generate_providers, generate_market
 
 __all__ = [
@@ -34,6 +44,14 @@ __all__ = [
     "CompiledMarket",
     "REPRESENTATIONS",
     "resolve_compiled",
+    "MarketPartition",
+    "ShardClassification",
+    "ShardDelta",
+    "ShardLog",
+    "classify_providers",
+    "partition_market",
+    "route_delta",
+    "shard_view",
     "WorkloadParams",
     "generate_providers",
     "generate_market",

@@ -69,7 +69,10 @@ def transit_stub_graph(
     * ``extra_edge_fraction * n_nodes`` additional random stub-stub /
       transit-stub edges for path diversity.
 
-    Node attribute ``level`` is ``"transit"`` or ``"stub"``.
+    Node attribute ``level`` is ``"transit"`` or ``"stub"``; ``region`` is
+    the id of the transit node the node's domain is homed to (a transit
+    node is its own region) — the stable partition key the sharded market
+    layer reads through :func:`region_map`.
     """
     check_int_at_least(n_nodes, 4, "n_nodes")
     rng = as_rng(rng)
@@ -84,7 +87,7 @@ def transit_stub_graph(
     core = _connected_gnp(n_transit, p_core, rng)
     g = nx.Graph()
     for u in core.nodes:
-        g.add_node(u, level="transit")
+        g.add_node(u, level="transit", region=u)
     g.add_edges_from(core.edges)
 
     # Stub domains.
@@ -106,6 +109,11 @@ def transit_stub_graph(
         home = int(rng.integers(0, n_transit))
         gateway = members[int(rng.integers(0, size))]
         g.add_edge(home, gateway)
+        # Region attributes are assigned after the home/gateway draws so
+        # the RNG consumption order is exactly the pre-region sequence —
+        # every seeded topology stays bit-identical.
+        for u in members:
+            g.nodes[u]["region"] = home
 
     # Extra cross edges for redundancy (each node keeps >= 2 disjoint routes
     # on average, matching the testbed's "at least two other switches" rule).
@@ -237,6 +245,12 @@ def mec_network_from_graph(
     net = MECNetwork(name=name)
     for u in sorted(g.nodes):
         net.add_switch(u)
+        # Carry the generator's topology-role attributes onto the dressed
+        # network so region/level survive into every downstream consumer
+        # (the sharded market partitions by them).
+        for key in ("level", "region"):
+            if key in g.nodes[u]:
+                net.graph.nodes[u][key] = g.nodes[u][key]
     for u, v in g.edges:
         net.add_link(
             u, v,
@@ -294,6 +308,70 @@ def random_mec_network(
     return mec_network_from_graph(g, rng, name=f"{model}-{n_nodes}", **kwargs)
 
 
+def _spread_regions(g: nx.Graph, assigned: dict) -> dict:
+    """Complete a partial node -> region assignment by layered BFS.
+
+    Seeds are the already-assigned nodes (or, when none carry a ``region``
+    attribute, the transit nodes as their own regions; or the minimum node
+    id as a single region). Each BFS layer assigns every still-unassigned
+    node the *minimum* region among its assigned neighbours — a pure
+    function of the graph, so the partition is stable across runs.
+    """
+    regions = dict(assigned)
+    if not regions:
+        transit = [u for u, d in g.nodes(data=True) if d.get("level") == "transit"]
+        seeds = transit if transit else [min(g.nodes)]
+        for u in seeds:
+            regions[u] = u
+    frontier = sorted(u for u in g.nodes if u not in regions)
+    while frontier:
+        layer = {}
+        for u in frontier:
+            neighbour_regions = [
+                regions[v] for v in g.neighbors(u) if v in regions
+            ]
+            if neighbour_regions:
+                layer[u] = min(neighbour_regions)
+        if not layer:
+            # Disconnected remainder (cannot happen for the generators
+            # here, which all patch into connectivity): own regions.
+            for u in frontier:
+                regions[u] = u
+            break
+        regions.update(layer)
+        frontier = [u for u in frontier if u not in regions]
+    return regions
+
+
+def region_map(network) -> dict:
+    """``node -> region id`` for every node of a network or graph.
+
+    Accepts an :class:`~repro.network.topology.MECNetwork` or a bare
+    :class:`networkx.Graph`. Nodes generated by :func:`transit_stub_graph`
+    carry an explicit ``region`` attribute (the transit node their stub
+    domain is homed to); any nodes without one are filled in by
+    :func:`_spread_regions` — deterministically, from the transit level
+    when present, else as one flat region. The result is the partition key
+    of the region-sharded market (:mod:`repro.market.shard`).
+    """
+    g = network if isinstance(network, nx.Graph) else network.graph
+    assigned = {
+        u: d["region"] for u, d in g.nodes(data=True) if "region" in d
+    }
+    if len(assigned) < g.number_of_nodes():
+        assigned = _spread_regions(g, assigned)
+    return assigned
+
+
+def region_of(network, node: int) -> int:
+    """The region id of one node (see :func:`region_map`)."""
+    regions = region_map(network)
+    try:
+        return regions[node]
+    except KeyError:
+        raise TopologyError(f"node {node} is not part of the network") from None
+
+
 __all__ = [
     "VM_COMPUTE_UNIT",
     "transit_stub_graph",
@@ -301,4 +379,6 @@ __all__ = [
     "scale_free_graph",
     "mec_network_from_graph",
     "random_mec_network",
+    "region_map",
+    "region_of",
 ]

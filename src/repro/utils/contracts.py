@@ -207,6 +207,36 @@ def check_no_conflicting_commits(
                     )
 
 
+def check_shard_ownership(
+    partition: Any, classification: Any, placement: Mapping[int, int]
+) -> None:
+    """Shard-ownership invariant for a partitioned equilibrium.
+
+    Every placed cloudlet must belong to the partition, and every
+    *interior* provider must sit on a cloudlet of its single feasible
+    shard — an interior provider caching across a shard boundary means
+    either the classification or the per-shard settling leaked. Boundary
+    and unclassified (e.g. newly arrived) providers may sit anywhere.
+    Duck-typed like the capacity checkers: ``partition`` exposes
+    ``shard_of_cloudlet``, ``classification`` exposes ``interior_shard``.
+    """
+    shard_of_cloudlet = partition.shard_of_cloudlet
+    interior_shard = classification.interior_shard
+    for pid, node in placement.items():
+        if node not in shard_of_cloudlet:
+            raise InvariantViolation(
+                f"shard ownership violated: provider {pid} placed on node "
+                f"{node}, which belongs to no shard of the partition"
+            )
+        home = interior_shard.get(pid)
+        if home is not None and shard_of_cloudlet[node] != home:
+            raise InvariantViolation(
+                f"shard ownership violated: interior provider {pid} of "
+                f"shard {home} is cached on node {node} of shard "
+                f"{shard_of_cloudlet[node]}"
+            )
+
+
 def check_potential_accumulator(game: Any, profile: Mapping[Any, Any], phi: float) -> None:
     """The engine's delta-maintained potential matches a full recomputation."""
     recomputed = game.potential(profile)
@@ -272,6 +302,41 @@ def invariant_capacity_feasible(
 
 def _second_arg(args: tuple, kwargs: dict, result: Any) -> Any:
     return args[1] if len(args) > 1 else None
+
+
+def _third_arg(args: tuple, kwargs: dict, result: Any) -> Any:
+    return args[2] if len(args) > 2 else None
+
+
+def invariant_shard_ownership(
+    get_partition: Extractor = _second_arg,
+    get_classification: Extractor = _third_arg,
+    get_profile: Extractor = _profile_of,
+) -> Callable[[F], F]:
+    """Post-condition: the returned placement respects shard ownership
+    (see :func:`check_shard_ownership`).
+
+    ``get_partition``/``get_classification`` extract the
+    ``MarketPartition`` and ``ShardClassification`` (default: second and
+    third positional arguments); ``get_profile`` extracts the placement
+    from the return value.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = fn(*args, **kwargs)
+            if invariants_active():
+                check_shard_ownership(
+                    get_partition(args, kwargs, result),
+                    get_classification(args, kwargs, result),
+                    get_profile(args, kwargs, result),
+                )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
 
 
 def _commit_rounds_of(args: tuple, kwargs: dict, result: Any) -> Any:
@@ -347,9 +412,11 @@ __all__ = [
     "check_potential_accumulator",
     "check_potential_descends",
     "check_profile_capacity",
+    "check_shard_ownership",
     "invariant_capacity_feasible",
     "invariant_no_conflicting_commits",
     "invariant_potential_descends",
+    "invariant_shard_ownership",
     "invariants_active",
     "sanitize_active",
 ]
