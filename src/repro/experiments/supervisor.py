@@ -1,436 +1,55 @@
-"""Fault-tolerant execution of sweep grids: the supervising executor.
+"""Deprecated: the supervising executor moved to :mod:`repro.runtime`.
 
-``pool.map`` turns one worker crash into a dead multi-hour grid: a
-``BrokenProcessPool`` aborts every cell, nothing is retried, and nothing
-can be resumed.  :func:`supervised_map` replaces it with a supervisor that
-treats each cell as an independently retriable unit of work:
+This module is a thin compatibility shim.  The supervision policy now
+lives in :mod:`repro.runtime.supervisor`, the checkpoint journal in
+:mod:`repro.runtime.journal`, and the publish-once blob machinery in
+:mod:`repro.runtime.transport`; the public entry point is the
+:class:`repro.runtime.Runtime` facade.  Every old name keeps working
+from here (with a :class:`DeprecationWarning` at import), including
+``ShardExecutor`` — now a small adapter over :class:`Runtime` whose
+``run`` keeps the old ordered, unsupervised contract.
 
-* **Per-task timeout.**  ``RetryPolicy.timeout_s`` arms a ``SIGALRM``
-  timer inside the worker around the task body, so a wedged cell raises
-  :class:`~repro.exceptions.TaskTimeout` instead of stalling the grid.
-* **Bounded retry, deterministic backoff.**  Each failed attempt requeues
-  the cell until ``RetryPolicy.max_attempts`` is spent.  The backoff
-  delay is a pure function of the attempt number —
-  ``base_delay_s * backoff**(attempt-1)`` — never of the wall clock, so
-  scheduling decisions replay identically (the actual sleeping is an
-  injectable side effect).
-* **Worker-crash isolation.**  A SIGKILLed worker breaks the whole
-  ``ProcessPoolExecutor``, and the supervisor cannot tell which of the
-  (at most ``workers``) in-flight cells killed it.  It refunds their
-  attempts, rebuilds the pool, and re-runs the suspects one at a time —
-  only a cell that breaks the pool while running *alone* is charged the
-  crash.  Only a cell that keeps dying exhausts its budget and surfaces
-  as a structured :class:`TaskFailure` in the result list — innocent
-  bystanders are never charged and the rest of the grid completes.
-* **Checkpoint journaling.**  With a :class:`CheckpointJournal`, every
-  completed cell is appended to a JSONL file (flushed and fsynced) the
-  moment it finishes.  A re-run that loads the journal replays completed
-  cells from disk — JSON round-trips Python floats exactly
-  (shortest-repr), so a resumed sweep is bit-identical to an
-  uninterrupted one — and executes only the missing cells.
-* **Published blobs.**  Pickling a multi-megabyte ``CompiledMarket``
-  into every task payload is what drove ``parallel_sweep.speedup`` to
-  0.70x.  :class:`ShardExecutor` instead *publishes* each heavy blob
-  once per ``(shard id, delta sequence number)`` key — pickled to a
-  spill file, re-read and memoized inside each persistent worker by
-  :func:`fetch_blob` — so tasks carry only a token string and the
-  per-task cost stays flat across epochs of an unchanged shard.
+Migration map::
 
-The executor is generic over the task type; the sweep integration lives
-in :mod:`repro.experiments.parallel`.
+    supervised_map(...)            -> Runtime(workers=n).run(...)
+    CheckpointJournal              -> repro.runtime.CheckpointJournal
+    RetryPolicy / TaskFailure      -> repro.runtime.{RetryPolicy,TaskFailure}
+    fetch_blob(token)              -> repro.runtime.fetch_blob (refs or tokens)
+    ShardExecutor(workers=n)       -> Runtime(workers=n)
+    ShardExecutor.run(fn, tasks)   -> Runtime.map(fn, tasks)
+    ShardExecutor.publish(key, o)  -> Runtime.publish(key, o)  (BlobRef)
 """
 
 from __future__ import annotations
 
-import json
 import os
-import pickle
-import shutil
-import tempfile
-import time
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import (
-    Callable,
-    Dict,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-    TypeVar,
-    Union,
-)
+import warnings
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
-from repro.exceptions import ConfigurationError, TaskTimeout
+from repro.runtime.executor import Runtime
+from repro.runtime.journal import CheckpointJournal, TaskKey
+from repro.runtime.supervisor import RetryPolicy, TaskFailure, supervised_map
+from repro.runtime.transport import fetch_blob
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: JSON-serialisable journal key for one cell (e.g. ``(x_index, rep)``).
-TaskKey = Tuple[object, ...]
+warnings.warn(
+    "repro.experiments.supervisor is deprecated: the execution substrate "
+    "moved to repro.runtime (Runtime facade, transports, supervisor, "
+    "journal); update imports to repro.runtime",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 
-@dataclass(frozen=True)
-class RetryPolicy:
-    """How the supervisor retries a failing cell.
+class ShardExecutor(Runtime):
+    """Deprecated alias of :class:`repro.runtime.Runtime`.
 
-    ``delay(attempt)`` is deliberately a pure function of the attempt
-    number — retry *scheduling* never consults the wall clock, which the
-    property tests pin.
-    """
-
-    max_attempts: int = 3
-    base_delay_s: float = 0.05
-    backoff: float = 2.0
-    #: Per-attempt time budget, enforced by a SIGALRM timer inside the
-    #: worker; ``None`` disables enforcement.
-    timeout_s: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ConfigurationError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
-        if self.base_delay_s < 0:
-            raise ConfigurationError(
-                f"base_delay_s must be >= 0, got {self.base_delay_s}"
-            )
-        if self.backoff < 1:
-            raise ConfigurationError(f"backoff must be >= 1, got {self.backoff}")
-        if self.timeout_s is not None and self.timeout_s <= 0:
-            raise ConfigurationError(
-                f"timeout_s must be positive, got {self.timeout_s}"
-            )
-
-    def delay(self, attempt: int) -> float:
-        """Backoff before re-running an attempt that just failed.
-
-        ``attempt`` is 1-based (the attempt that failed); the delay grows
-        exponentially: ``base_delay_s * backoff**(attempt-1)``.
-        """
-        if attempt < 1:
-            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
-        return self.base_delay_s * self.backoff ** (attempt - 1)
-
-
-@dataclass(frozen=True)
-class TaskFailure:
-    """A cell that exhausted its retry budget — the structured tombstone
-    that takes the place of its result instead of aborting the sweep."""
-
-    key: TaskKey
-    attempts: int
-    #: ``"exception"``, ``"timeout"`` or ``"worker-crash"``.
-    kind: str
-    error_type: str
-    message: str
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"TaskFailure(key={self.key}, kind={self.kind}, "
-            f"attempts={self.attempts}, {self.error_type}: {self.message})"
-        )
-
-
-class CheckpointJournal:
-    """An append-only JSONL journal of completed cells.
-
-    Each line is ``{"key": [...], "value": <payload>}``; records are
-    flushed and fsynced as they complete, so a SIGKILL loses at most the
-    line being written (a truncated trailing line is ignored on load).
-    """
-
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
-        self.path = os.fspath(path)
-
-    def load(self) -> Dict[TaskKey, object]:
-        """All intact records, ``key -> payload``; missing file -> empty."""
-        records: Dict[TaskKey, object] = {}
-        if not os.path.exists(self.path):
-            return records
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    # A crash mid-append leaves one truncated line at the
-                    # tail; the cell simply re-runs.
-                    continue
-                records[_as_key(entry["key"])] = entry["value"]
-        return records
-
-    def record(self, key: TaskKey, value: object) -> None:
-        """Durably append one completed cell."""
-        line = json.dumps({"key": list(key), "value": value}, sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-
-    def clear(self) -> None:
-        """Start a fresh journal (truncate any existing file)."""
-        with open(self.path, "w", encoding="utf-8"):
-            pass
-
-
-def _as_key(raw: object) -> TaskKey:
-    if isinstance(raw, (list, tuple)):
-        return tuple(raw)
-    return (raw,)
-
-
-def _invoke(fn: Callable[[T], R], task: T, timeout_s: Optional[float]) -> R:
-    """Run one attempt, optionally under a SIGALRM deadline.
-
-    Runs in the worker's main thread (both the pool workers and the
-    serial path), where ``signal`` is allowed to install handlers; the
-    timer is disarmed and the previous handler restored on every exit.
-    """
-    if not timeout_s:
-        return fn(task)
-    import signal
-
-    def _expired(signum, frame):
-        raise TaskTimeout(f"task exceeded its {timeout_s}s budget")
-
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
-    try:
-        return fn(task)
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _failure(key: TaskKey, attempts: int, exc: BaseException) -> TaskFailure:
-    if isinstance(exc, TaskTimeout):
-        kind = "timeout"
-    elif isinstance(exc, BrokenProcessPool):
-        kind = "worker-crash"
-    else:
-        kind = "exception"
-    return TaskFailure(
-        key=key,
-        attempts=attempts,
-        kind=kind,
-        error_type=type(exc).__name__,
-        message=str(exc),
-    )
-
-
-def supervised_map(
-    fn: Callable[[T], R],
-    tasks: Sequence[T],
-    keys: Optional[Sequence[TaskKey]] = None,
-    workers: Optional[int] = None,
-    retry: Optional[RetryPolicy] = None,
-    journal: Optional[CheckpointJournal] = None,
-    encode: Optional[Callable[[R], object]] = None,
-    decode: Optional[Callable[[object], R]] = None,
-    sleep: Callable[[float], None] = time.sleep,
-    fail_fast: bool = False,
-) -> List[Union[R, TaskFailure]]:
-    """Apply ``fn`` to every task under supervision.
-
-    Returns one entry per task, in task order: the result, or a
-    :class:`TaskFailure` for cells that exhausted their retry budget.
-
-    Parameters
-    ----------
-    keys:
-        One JSON-serialisable key per task (defaults to ``(index,)``);
-        identifies cells in the journal and in failures.
-    retry:
-        The :class:`RetryPolicy`; defaults to three attempts with 50 ms
-        doubling backoff and no timeout.
-    journal:
-        Optional :class:`CheckpointJournal`. Cells already present in it
-        are returned from disk without running; completed cells are
-        appended as they finish. Pass ``encode``/``decode`` to map
-        results to/from their JSON payloads (identity by default).
-    sleep:
-        The side-effect used to realise backoff delays. Injectable so
-        tests (and the purity property) can run without waiting.
-    fail_fast:
-        Re-raise the original exception when a cell exhausts its retry
-        budget, instead of recording a :class:`TaskFailure` — the
-        ``pool.map``-compatible contract :func:`repro.experiments.
-        parallel.map_tasks` keeps.
-    """
-    retry = retry if retry is not None else RetryPolicy()
-    encode = encode if encode is not None else (lambda r: r)
-    decode = decode if decode is not None else (lambda p: p)
-    if keys is None:
-        keys = [(i,) for i in range(len(tasks))]
-    if len(keys) != len(tasks):
-        raise ConfigurationError(
-            f"got {len(keys)} keys for {len(tasks)} tasks"
-        )
-    if len(set(keys)) != len(keys):
-        raise ConfigurationError("task keys must be unique")
-
-    from repro.experiments.parallel import resolve_workers
-
-    results: List[Union[R, TaskFailure, None]] = [None] * len(tasks)
-    remaining = deque(range(len(tasks)))
-
-    if journal is not None:
-        completed = journal.load()
-        remaining = deque(
-            i for i in remaining if keys[i] not in completed
-        )
-        for i, key in enumerate(keys):
-            if key in completed:
-                results[i] = decode(completed[key])
-
-    def _finish(i: int, value: R) -> None:
-        results[i] = value
-        if journal is not None:
-            journal.record(keys[i], encode(value))
-
-    attempts = [0] * len(tasks)
-    n_workers = resolve_workers(workers)
-
-    if n_workers <= 1 or len(remaining) <= 1:
-        while remaining:
-            i = remaining.popleft()
-            attempts[i] += 1
-            try:
-                _finish(i, _invoke(fn, tasks[i], retry.timeout_s))
-            except Exception as exc:
-                if attempts[i] < retry.max_attempts:
-                    sleep(retry.delay(attempts[i]))
-                    remaining.append(i)
-                elif fail_fast:
-                    raise
-                else:
-                    results[i] = _failure(keys[i], attempts[i], exc)
-        return results  # type: ignore[return-value]
-
-    n_workers = min(n_workers, len(remaining))
-    pool = ProcessPoolExecutor(max_workers=n_workers)
-    inflight: Dict[object, int] = {}
-    # Cells that were in flight when the pool broke. The supervisor
-    # cannot tell which of them killed the worker, so their attempts are
-    # refunded and they re-run one at a time — only a cell that breaks
-    # the pool while running alone is charged the crash.
-    quarantine: deque = deque()
-
-    def _handle_error(i: int, error: BaseException, requeue: deque) -> None:
-        if attempts[i] < retry.max_attempts:
-            sleep(retry.delay(attempts[i]))
-            requeue.append(i)
-        elif fail_fast:
-            raise error
-        else:
-            results[i] = _failure(keys[i], attempts[i], error)
-
-    try:
-        while remaining or inflight or quarantine:
-            while quarantine:
-                i = quarantine.popleft()
-                attempts[i] += 1
-                fut = pool.submit(_invoke, fn, tasks[i], retry.timeout_s)
-                try:
-                    _finish(i, fut.result())
-                except BrokenProcessPool as exc:
-                    # Proven killer: it broke the pool running alone.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=n_workers)
-                    _handle_error(i, exc, quarantine)
-                except Exception as exc:
-                    _handle_error(i, exc, remaining)
-            while remaining and len(inflight) < n_workers:
-                i = remaining.popleft()
-                attempts[i] += 1
-                fut = pool.submit(_invoke, fn, tasks[i], retry.timeout_s)
-                inflight[fut] = i
-            if not inflight:
-                continue
-            done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
-            pool_broken = False
-            for fut in done:
-                i = inflight.pop(fut)
-                try:
-                    _finish(i, fut.result())
-                except BrokenProcessPool:
-                    pool_broken = True
-                    attempts[i] -= 1
-                    quarantine.append(i)
-                except Exception as exc:
-                    _handle_error(i, exc, remaining)
-            if pool_broken:
-                # Every other in-flight future of a broken pool fails
-                # with it too; refund and quarantine them all, then start
-                # a fresh pool for the isolation re-runs.
-                for fut, i in list(inflight.items()):
-                    exc: Optional[BaseException] = None
-                    try:
-                        exc = fut.exception(timeout=60.0)
-                        if exc is None:
-                            # Raced to completion before the pool died.
-                            _finish(i, fut.result())
-                            continue
-                    except Exception as wait_exc:
-                        exc = wait_exc
-                    if isinstance(exc, BrokenProcessPool):
-                        attempts[i] -= 1
-                        quarantine.append(i)
-                    else:
-                        _handle_error(i, exc, remaining)
-                inflight.clear()
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = ProcessPoolExecutor(max_workers=n_workers)
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
-    return results  # type: ignore[return-value]
-
-
-# --------------------------------------------------------------------- #
-# Published blobs: ship heavy payloads to persistent workers once
-# --------------------------------------------------------------------- #
-#: Worker-side memo of published blobs, keyed by spill-file token. Each
-#: pool worker deserialises a given blob at most once per publication;
-#: FIFO-bounded so long runs cannot accumulate stale shard views.
-_BLOB_CACHE: Dict[str, object] = {}
-_BLOB_CACHE_ORDER: List[str] = []
-_BLOB_CACHE_LIMIT = 8
-
-
-def fetch_blob(token: str) -> object:
-    """Load a published blob by its token, memoized per process.
-
-    Called from inside worker tasks: the first fetch of a token unpickles
-    the spill file; later fetches in the same worker are dictionary hits.
-    """
-    if token in _BLOB_CACHE:
-        return _BLOB_CACHE[token]
-    with open(token, "rb") as fh:
-        blob = pickle.load(fh)
-    _BLOB_CACHE[token] = blob
-    _BLOB_CACHE_ORDER.append(token)
-    while len(_BLOB_CACHE_ORDER) > _BLOB_CACHE_LIMIT:
-        _BLOB_CACHE.pop(_BLOB_CACHE_ORDER.pop(0), None)
-    return blob
-
-
-class ShardExecutor:
-    """A persistent worker pool with publish-once blob shipping.
-
-    Built for the sharded market loop: each shard's compiled sub-view is
-    published under a ``(shard id, delta sequence number)`` key and
-    pickled to a spill file exactly once; tasks reference it by token and
-    each persistent worker unpickles it at most once (see
-    :func:`fetch_blob`). ``run`` preserves task order, and with one
-    worker (or one task) executes in-process — bit-identical results by
-    construction, which the equivalence tests pin. A worker crash
-    (``BrokenProcessPool``) tears the pool down and deterministically
-    falls back to the in-process path for the whole batch.
+    Keeps the pre-runtime surface: ``run(fn, tasks)`` is the ordered,
+    unsupervised batch (now :meth:`Runtime.map`), ``publish`` returns a
+    :class:`~repro.runtime.transport.BlobRef` that :func:`fetch_blob`
+    resolves exactly like the old string tokens.
     """
 
     def __init__(
@@ -438,79 +57,14 @@ class ShardExecutor:
         workers: Optional[int] = None,
         spill_dir: Optional[Union[str, os.PathLike]] = None,
     ) -> None:
-        from repro.experiments.parallel import resolve_workers
+        super().__init__(workers=workers, spill_dir=spill_dir)
 
-        self.workers = resolve_workers(workers)
-        self._spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
-        self._owns_spill_dir = spill_dir is None
-        self._published: Dict[object, str] = {}
-        self._n_published = 0
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._closed = False
-
-    def _ensure_spill_dir(self) -> str:
-        if self._spill_dir is None:
-            self._spill_dir = tempfile.mkdtemp(prefix="repro-shard-")
-        return self._spill_dir
-
-    def publish(self, key: object, obj: object) -> str:
-        """Publish ``obj`` under ``key``; returns its token.
-
-        Re-publishing an already-published key is a no-op returning the
-        existing token — the caller can publish unconditionally per epoch
-        and still pickle each ``(shard, seq)`` view once.
-        """
-        if self._closed:
-            raise ConfigurationError("ShardExecutor is closed")
-        token = self._published.get(key)
-        if token is not None:
-            return token
-        path = os.path.join(
-            self._ensure_spill_dir(), f"blob-{self._n_published}.pkl"
-        )
-        self._n_published += 1
-        with open(path, "wb") as fh:
-            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        self._published[key] = path
-        return path
-
-    def run(
+    def run(  # type: ignore[override]
         self, fn: Callable[[T], R], tasks: Sequence[T]
     ) -> List[R]:
-        """Apply ``fn`` to every task, preserving task order."""
-        if self._closed:
-            raise ConfigurationError("ShardExecutor is closed")
-        tasks = list(tasks)
-        if self.workers <= 1 or len(tasks) <= 1:
-            return [fn(task) for task in tasks]
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        futures = [self._pool.submit(fn, task) for task in tasks]
-        try:
-            return [fut.result() for fut in futures]
-        except BrokenProcessPool:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-            # Deterministic fallback: the whole batch re-runs in-process.
-            return [fn(task) for task in tasks]
-
-    def close(self) -> None:
-        """Shut the pool down and remove an owned spill directory."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-        if self._owns_spill_dir and self._spill_dir is not None:
-            shutil.rmtree(self._spill_dir, ignore_errors=True)
-            self._spill_dir = None
-
-    def __enter__(self) -> "ShardExecutor":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        """Apply ``fn`` to every task, preserving task order (the old
+        unsupervised contract; supervised grids use ``Runtime.run``)."""
+        return self.map(fn, tasks)
 
 
 __all__ = [

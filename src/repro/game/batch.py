@@ -237,7 +237,7 @@ def _batch_rounds(
         round_commits: List[Commit] = []
 
         def on_commit(t: int, cur: int, j: int, best: float, cur_cost: float) -> None:
-            nonlocal phi, moves
+            nonlocal phi, moves  # reprolint: ok[R8] per-call accumulators of this invocation's own locals; nothing outlives the call or is shared across workers
             p = move_order[t]
             profile[p] = state.c.resources[j]
             delta = float(best - cur_cost)

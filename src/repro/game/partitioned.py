@@ -10,8 +10,8 @@ runs the paper's best-response dynamics as a two-level fixed point:
    *exact* — the only coupling across shards is boundary providers
    wanting to move between them. Shards are independent and run either
    serially (deterministic reference) or concurrently on a
-   :class:`~repro.experiments.supervisor.ShardExecutor` — blob-published
-   sub-views, persistent workers, bit-identical merge.
+   :class:`~repro.runtime.Runtime` — blob-published sub-views,
+   persistent workers, bit-identical merge.
 2. **Boundary phase** — one batch best-response pass over the *global*
    tables with only the boundary providers movable, re-pricing their
    cross-shard options against the frozen interiors.
@@ -64,6 +64,7 @@ from repro.market.shard import (
     partition_market,
     shard_view,
 )
+from repro.runtime.transport import BlobRef, fetch_blob
 from repro.utils.contracts import (
     _second_arg,
     _third_arg,
@@ -72,8 +73,8 @@ from repro.utils.contracts import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
-    from repro.experiments.supervisor import ShardExecutor
     from repro.market.market import ServiceMarket
+    from repro.runtime import Runtime
 
 #: Documented relative tolerance between the sharded and the global
 #: equilibrium's social cost on multi-shard topologies. Both are
@@ -223,21 +224,18 @@ def _settle_shard(
 
 
 def _shard_task(
-    task: Tuple[str, int, Tuple[Tuple[int, int], ...], Tuple[int, ...], int],
+    task: Tuple[BlobRef, int, Tuple[Tuple[int, int], ...], Tuple[int, ...], int],
 ) -> Tuple[int, Tuple[Tuple[int, int], ...], int]:
     """Worker body for one shard's interior settle.
 
-    ``task`` is ``(blob token, shard id, profile items, movable ids,
-    max_rounds)`` — the heavy sub-view travels by token (fetched and
-    memoized per worker by :func:`repro.experiments.supervisor.
-    fetch_blob`), the task payload is a few tuples. Pure: reads the blob,
-    returns the settled items; no module state is written besides the
-    fetch memo.
+    ``task`` is ``(blob ref, shard id, profile items, movable ids,
+    max_rounds)`` — the heavy sub-view travels by reference (fetched and
+    memoized per worker by :func:`repro.runtime.fetch_blob`), the task
+    payload is a few tuples. Pure: reads the blob, returns the settled
+    items; no module state is written besides the fetch memo.
     """
-    from repro.experiments.supervisor import fetch_blob
-
-    token, shard_id, items, movable, max_rounds = task
-    sub_cm = fetch_blob(token)
+    ref, shard_id, items, movable, max_rounds = task
+    sub_cm = fetch_blob(ref)
     profile, moves = _settle_shard(sub_cm, dict(items), list(movable), max_rounds)
     return shard_id, tuple(sorted(profile.items())), moves
 
@@ -281,7 +279,7 @@ def _reconcile(
     movable_set: set,
     max_rounds: int,
     boundary_rounds: int,
-    executor: Optional["ShardExecutor"],
+    runtime: Optional["Runtime"],
     blob_seq: int,
     cache: Optional[Dict[object, object]],
 ) -> PartitionedResult:
@@ -361,10 +359,10 @@ def _reconcile(
                 continue
             tasks.append((s, sub_profile, mv))
 
-        if executor is not None and executor.workers > 1 and len(tasks) > 1:
+        if runtime is not None and runtime.workers > 1 and len(tasks) > 1:
             payloads = [
                 (
-                    executor.publish(("shard", s, blob_seq), view_of(s)),
+                    runtime.publish(("shard", s, blob_seq), view_of(s)),
                     s,
                     tuple(sorted(sub_profile.items())),
                     tuple(mv),
@@ -372,7 +370,7 @@ def _reconcile(
                 )
                 for s, sub_profile, mv in tasks
             ]
-            for _s, items, moves in executor.run(_shard_task, payloads):
+            for _s, items, moves in runtime.map(_shard_task, payloads):
                 profile.update(dict(items))
                 interior_moves += moves
                 it_moves += moves
@@ -438,7 +436,8 @@ def partitioned_best_response(
     movable: Optional[Iterable[int]] = None,
     max_rounds: int = 1000,
     boundary_rounds: int = 8,
-    executor: Optional["ShardExecutor"] = None,
+    runtime: Optional["Runtime"] = None,
+    executor: Optional["Runtime"] = None,
     compiled: Optional[CompiledMarket] = None,
     blob_seq: int = 0,
     cache: Optional[Dict[object, object]] = None,
@@ -457,10 +456,15 @@ def partitioned_best_response(
     boundary_rounds:
         Cap on interior/boundary iterations. The loop usually exits
         earlier — at the first iteration committing zero moves.
+    runtime:
+        Optional :class:`~repro.runtime.Runtime` for concurrent
+        interiors (sub-views published once per ``blob_seq``, shards
+        settled via :meth:`~repro.runtime.Runtime.map`); ``None`` (or
+        one worker) settles serially with bit-identical results.
     executor:
-        Optional :class:`~repro.experiments.supervisor.ShardExecutor`
-        for concurrent interiors; ``None`` (or one worker) settles
-        serially with bit-identical results.
+        Deprecated alias of ``runtime`` (the pre-``repro.runtime``
+        parameter, which took a ``ShardExecutor``; any ``Runtime`` —
+        including that shim — works).
     classification:
         A precomputed :class:`ShardClassification` for ``compiled`` at
         its current table state (recompute after every applied delta).
@@ -482,6 +486,8 @@ def partitioned_best_response(
         raise ConfigurationError(
             f"boundary_rounds must be >= 1, got {boundary_rounds}"
         )
+    if runtime is None:
+        runtime = executor
     cm = compiled if compiled is not None else market.compile()
     if partition is None:
         partition = partition_market(market, n_shards)
@@ -499,7 +505,7 @@ def partitioned_best_response(
         movable_set,
         max_rounds,
         boundary_rounds,
-        executor,
+        runtime,
         blob_seq,
         cache,
     )

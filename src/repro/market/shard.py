@@ -29,7 +29,7 @@ This module turns that locality into an explicit sharded architecture:
   so *any* interleaving that respects per-shard sequence order replays to
   the same gathered tables as the original global stream —
   ``tests/market/test_shard.py`` pins this property, and an optional
-  :class:`~repro.experiments.supervisor.CheckpointJournal` makes the log
+  :class:`~repro.runtime.CheckpointJournal` makes the log
   crash-consistent (fsynced before the shard equilibria run).
 
 The partitioned equilibrium driver that consumes all of this lives in
@@ -50,8 +50,8 @@ from repro.market.service import Service, ServiceProvider
 from repro.network.generators import region_map
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
-    from repro.experiments.supervisor import CheckpointJournal
     from repro.market.market import ServiceMarket
+    from repro.runtime import CheckpointJournal
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,65 @@
+"""repro.runtime — the unified supervised execution substrate.
+
+One coherent dispatch layer for everything that fans work out of the
+main process: figure-sweep grids, shard interior settles, and epoch
+replans.  Four pieces, composed rather than welded:
+
+* :mod:`repro.runtime.transport` — *where* work executes.
+  :class:`SerialTransport` (deterministic in-process reference),
+  :class:`PoolTransport` (persistent local workers with the
+  publish-once blob store), and the :class:`RemoteTransport` seam where
+  multi-machine sharding lands.
+* :mod:`repro.runtime.supervisor` — *what* runs: per-task timeouts,
+  :class:`RetryPolicy` backoff, crash quarantine with bystander refunds,
+  structured :class:`TaskFailure` tombstones — over any transport.
+* :mod:`repro.runtime.journal` — :class:`CheckpointJournal` durability
+  (unchanged on-disk JSONL format; old journals replay bit-identically).
+* :mod:`repro.runtime.executor` — the single public :class:`Runtime`
+  facade consumers hold.
+
+``repro.experiments.supervisor`` re-exports the old names with a
+``DeprecationWarning``; new code imports from here.  See
+``docs/runtime.md`` for the architecture and the transport seam.
+"""
+
+from repro.runtime.executor import BlobMap, Runtime
+from repro.runtime.journal import CheckpointJournal, TaskKey
+from repro.runtime.supervisor import (
+    RetryPolicy,
+    TaskFailure,
+    supervise,
+    supervised_map,
+)
+from repro.runtime.transport import (
+    DEFAULT_SPILL_THRESHOLD,
+    BlobRef,
+    PoolTransport,
+    RemoteTransport,
+    SerialTransport,
+    Transport,
+    WorkerCrash,
+    check_picklable,
+    fetch_blob,
+    resolve_workers,
+)
+
+__all__ = [
+    "BlobMap",
+    "BlobRef",
+    "CheckpointJournal",
+    "DEFAULT_SPILL_THRESHOLD",
+    "PoolTransport",
+    "RemoteTransport",
+    "RetryPolicy",
+    "Runtime",
+    "SerialTransport",
+    "TaskFailure",
+    "TaskKey",
+    "Transport",
+    "WorkerCrash",
+    "check_picklable",
+    "fetch_blob",
+    "resolve_workers",
+    "supervise",
+    "supervised_map",
+]

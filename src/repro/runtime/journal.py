@@ -1,0 +1,73 @@
+"""Durable checkpoint journaling for supervised task grids.
+
+:class:`CheckpointJournal` moved here from
+``repro.experiments.supervisor`` unchanged: the on-disk format is an
+append-only JSONL file, one ``{"key": [...], "value": <payload>}`` line
+per completed cell, flushed and fsynced as it is written. Journals
+written before the move replay bit-identically through this module —
+the format is a compatibility contract, not an implementation detail
+(``tests/runtime`` pins it, and :class:`~repro.market.shard.ShardLog`
+rides the same file format for its replication log).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Tuple, Union
+
+#: JSON-serialisable journal key for one cell (e.g. ``(x_index, rep)``).
+TaskKey = Tuple[object, ...]
+
+
+class CheckpointJournal:
+    """An append-only JSONL journal of completed cells.
+
+    Each line is ``{"key": [...], "value": <payload>}``; records are
+    flushed and fsynced as they complete, so a SIGKILL loses at most the
+    line being written (a truncated trailing line is ignored on load).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+
+    def load(self) -> Dict[TaskKey, object]:
+        """All intact records, ``key -> payload``; missing file -> empty."""
+        records: Dict[TaskKey, object] = {}
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves one truncated line at the
+                    # tail; the cell simply re-runs.
+                    continue
+                records[_as_key(entry["key"])] = entry["value"]
+        return records
+
+    def record(self, key: TaskKey, value: object) -> None:
+        """Durably append one completed cell."""
+        line = json.dumps({"key": list(key), "value": value}, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def clear(self) -> None:
+        """Start a fresh journal (truncate any existing file)."""
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+
+def _as_key(raw: object) -> TaskKey:
+    if isinstance(raw, (list, tuple)):
+        return tuple(raw)
+    return (raw,)
+
+
+__all__ = ["CheckpointJournal", "TaskKey"]

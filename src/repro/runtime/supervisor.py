@@ -1,0 +1,416 @@
+"""The supervision policy: retry, timeout, quarantine — over any transport.
+
+``pool.map`` turns one worker crash into a dead multi-hour grid: a
+broken pool aborts every cell, nothing is retried, and nothing can be
+resumed.  :func:`supervise` replaces it with a supervisor that treats
+each cell as an independently retriable unit of work, *composed over* a
+:class:`~repro.runtime.transport.Transport` instead of welded to one
+pool implementation:
+
+* **Per-task timeout.**  ``RetryPolicy.timeout_s`` arms a ``SIGALRM``
+  timer inside the worker around the task body, so a wedged cell raises
+  :class:`~repro.exceptions.TaskTimeout` instead of stalling the grid.
+  Off the main thread (where ``signal`` refuses handlers) the timer
+  degrades gracefully to untimed execution with a one-time warning.
+* **Bounded retry, deterministic backoff.**  Each failed attempt requeues
+  the cell until ``RetryPolicy.max_attempts`` is spent.  The backoff
+  delay is a pure function of the attempt number —
+  ``base_delay_s * backoff**(attempt-1)`` — never of the wall clock, so
+  scheduling decisions replay identically (the actual sleeping is an
+  injectable side effect).
+* **Worker-crash isolation.**  A SIGKILLed worker surfaces as
+  :data:`~repro.runtime.transport.WorkerCrash` on every in-flight
+  future, and the supervisor cannot tell which of the (at most
+  ``workers``) in-flight cells killed it.  It refunds their attempts,
+  recycles the transport's workers, and re-runs the suspects one at a
+  time — only a cell that crashes the workers while running *alone* is
+  charged.  Only a cell that keeps dying exhausts its budget and
+  surfaces as a structured :class:`TaskFailure` in the result list;
+  innocent bystanders are never charged and the rest of the grid
+  completes.
+* **Checkpoint journaling.**  With a
+  :class:`~repro.runtime.journal.CheckpointJournal`, every completed
+  cell is appended to a JSONL file (flushed and fsynced) the moment it
+  finishes.  A re-run that loads the journal replays completed cells
+  from disk — JSON round-trips Python floats exactly (shortest-repr),
+  so a resumed grid is bit-identical to an uninterrupted one — and
+  executes only the missing cells.
+
+:func:`supervised_map` keeps the pre-:mod:`repro.runtime` signature
+(``workers=`` instead of ``transport=``) for existing callers; new code
+goes through the :class:`~repro.runtime.executor.Runtime` facade.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
+
+from repro.exceptions import ConfigurationError, TaskTimeout
+from repro.runtime.journal import CheckpointJournal, TaskKey
+from repro.runtime.transport import (
+    PoolTransport,
+    SerialTransport,
+    Transport,
+    WorkerCrash,
+    resolve_workers,
+)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor retries a failing cell.
+
+    ``delay(attempt)`` is deliberately a pure function of the attempt
+    number — retry *scheduling* never consults the wall clock, which the
+    property tests pin.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff: float = 2.0
+    #: Per-attempt time budget, enforced by a SIGALRM timer inside the
+    #: worker; ``None`` disables enforcement.
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0:
+            raise ConfigurationError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if self.backoff < 1:
+            raise ConfigurationError(f"backoff must be >= 1, got {self.backoff}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-running an attempt that just failed.
+
+        ``attempt`` is 1-based (the attempt that failed); the delay grows
+        exponentially: ``base_delay_s * backoff**(attempt-1)``.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        return self.base_delay_s * self.backoff ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A cell that exhausted its retry budget — the structured tombstone
+    that takes the place of its result instead of aborting the grid."""
+
+    key: TaskKey
+    attempts: int
+    #: ``"exception"``, ``"timeout"`` or ``"worker-crash"``.
+    kind: str
+    error_type: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskFailure(key={self.key}, kind={self.kind}, "
+            f"attempts={self.attempts}, {self.error_type}: {self.message})"
+        )
+
+
+def _invoke(fn: Callable[[T], R], task: T, timeout_s: Optional[float]) -> R:
+    """Run one attempt, optionally under a SIGALRM deadline.
+
+    Normally runs in the worker's main thread (both the pool workers and
+    the serial path), where ``signal`` is allowed to install handlers;
+    the timer is disarmed and the previous handler restored on every
+    exit.  Called off the main thread — where ``signal.signal`` raises
+    ``ValueError`` — the deadline degrades gracefully: the task runs
+    untimed and a warning is emitted (once per call site under the
+    default warning filters) instead of the attempt dying on the
+    ``signal`` internals.
+    """
+    if not timeout_s:
+        return fn(task)
+    import signal
+
+    def _expired(signum: int, frame: object) -> None:
+        raise TaskTimeout(f"task exceeded its {timeout_s}s budget")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _expired)
+    except ValueError:
+        # signal.signal only works on the main thread of the main
+        # interpreter; a supervisor driven from a helper thread still
+        # makes progress, just without timeout enforcement.
+        warnings.warn(
+            f"task timeout ({timeout_s}s) cannot be enforced off the main "
+            f"thread (signal.signal refused the SIGALRM handler); running "
+            f"the task untimed",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return fn(task)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn(task)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _failure(key: TaskKey, attempts: int, exc: BaseException) -> TaskFailure:
+    if isinstance(exc, TaskTimeout):
+        kind = "timeout"
+    elif isinstance(exc, WorkerCrash):
+        kind = "worker-crash"
+    else:
+        kind = "exception"
+    return TaskFailure(
+        key=key,
+        attempts=attempts,
+        kind=kind,
+        error_type=type(exc).__name__,
+        message=str(exc),
+    )
+
+
+def supervise(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    *,
+    transport: Transport,
+    keys: Optional[Sequence[TaskKey]] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[CheckpointJournal] = None,
+    encode: Optional[Callable[[R], object]] = None,
+    decode: Optional[Callable[[object], R]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    fail_fast: bool = False,
+) -> List[Union[R, TaskFailure]]:
+    """Apply ``fn`` to every task under supervision, on ``transport``.
+
+    Returns one entry per task, in task order: the result, or a
+    :class:`TaskFailure` for cells that exhausted their retry budget.
+
+    Parameters
+    ----------
+    transport:
+        Where attempts execute.  A :class:`~repro.runtime.transport.
+        SerialTransport` (or a single-task grid) takes the in-process
+        path; anything wider drives the transport's ``submit`` futures.
+    keys:
+        One JSON-serialisable key per task (defaults to ``(index,)``);
+        identifies cells in the journal and in failures.
+    retry:
+        The :class:`RetryPolicy`; defaults to three attempts with 50 ms
+        doubling backoff and no timeout.
+    journal:
+        Optional :class:`~repro.runtime.journal.CheckpointJournal`.
+        Cells already present in it are returned from disk without
+        running; completed cells are appended as they finish.  Pass
+        ``encode``/``decode`` to map results to/from their JSON payloads
+        (identity by default).
+    sleep:
+        The side-effect used to realise backoff delays.  Injectable so
+        tests (and the purity property) can run without waiting.
+    fail_fast:
+        Re-raise the original exception when a cell exhausts its retry
+        budget, instead of recording a :class:`TaskFailure` — the
+        ``pool.map``-compatible contract
+        :func:`repro.experiments.parallel.map_tasks` keeps.
+    """
+    retry = retry if retry is not None else RetryPolicy()
+    encode = encode if encode is not None else (lambda r: r)
+    decode = decode if decode is not None else (lambda p: p)
+    if keys is None:
+        keys = [(i,) for i in range(len(tasks))]
+    if len(keys) != len(tasks):
+        raise ConfigurationError(f"got {len(keys)} keys for {len(tasks)} tasks")
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError("task keys must be unique")
+
+    results: List[Union[R, TaskFailure, None]] = [None] * len(tasks)
+    remaining = deque(range(len(tasks)))
+
+    if journal is not None:
+        completed = journal.load()
+        remaining = deque(i for i in remaining if keys[i] not in completed)
+        for i, key in enumerate(keys):
+            if key in completed:
+                results[i] = decode(completed[key])
+
+    def _finish(i: int, value: R) -> None:
+        results[i] = value
+        if journal is not None:
+            journal.record(keys[i], encode(value))
+
+    attempts = [0] * len(tasks)
+    n_workers = transport.workers
+
+    if n_workers <= 1 or len(remaining) <= 1:
+        while remaining:
+            i = remaining.popleft()
+            attempts[i] += 1
+            try:
+                _finish(i, _invoke(fn, tasks[i], retry.timeout_s))
+            except Exception as exc:
+                if attempts[i] < retry.max_attempts:
+                    sleep(retry.delay(attempts[i]))
+                    remaining.append(i)
+                elif fail_fast:
+                    raise
+                else:
+                    results[i] = _failure(keys[i], attempts[i], exc)
+        return results  # type: ignore[return-value]
+
+    n_workers = min(n_workers, len(remaining))
+    inflight: Dict["Future[R]", int] = {}
+    # Cells that were in flight when the workers died. The supervisor
+    # cannot tell which of them killed the worker, so their attempts are
+    # refunded and they re-run one at a time — only a cell that crashes
+    # the workers while running alone is charged.
+    quarantine: deque = deque()
+
+    def _handle_error(i: int, error: BaseException, requeue: deque) -> None:
+        if attempts[i] < retry.max_attempts:
+            sleep(retry.delay(attempts[i]))
+            requeue.append(i)
+        elif fail_fast:
+            raise error
+        else:
+            results[i] = _failure(keys[i], attempts[i], error)
+
+    while remaining or inflight or quarantine:
+        while quarantine:
+            i = quarantine.popleft()
+            attempts[i] += 1
+            try:
+                fut = transport.submit(_invoke, fn, tasks[i], retry.timeout_s)
+            except WorkerCrash:
+                # The crash surfaced at submit time (broken pool left
+                # over from a concurrent death): this cell never ran, so
+                # refund it, recycle, and try again on live workers.
+                attempts[i] -= 1
+                transport.recycle()
+                quarantine.appendleft(i)
+                continue
+            try:
+                _finish(i, fut.result())
+            except WorkerCrash as exc:
+                # Proven killer: it crashed the workers running alone.
+                transport.recycle()
+                _handle_error(i, exc, quarantine)
+            except Exception as exc:
+                _handle_error(i, exc, remaining)
+        while remaining and len(inflight) < n_workers:
+            i = remaining.popleft()
+            attempts[i] += 1
+            try:
+                fut = transport.submit(_invoke, fn, tasks[i], retry.timeout_s)
+            except WorkerCrash:
+                # A worker died between this cell's scheduling and its
+                # submit — the cell never ran, so it is refunded, not a
+                # suspect. In-flight futures surface the same crash and
+                # drive quarantine below; with nothing in flight the
+                # workers are recycled here.
+                attempts[i] -= 1
+                remaining.appendleft(i)
+                if not inflight:
+                    transport.recycle()
+                break
+            inflight[fut] = i
+        if not inflight:
+            continue
+        done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+        crashed = False
+        for fut in done:
+            i = inflight.pop(fut)
+            try:
+                _finish(i, fut.result())
+            except WorkerCrash:
+                crashed = True
+                attempts[i] -= 1
+                quarantine.append(i)
+            except Exception as exc:
+                _handle_error(i, exc, remaining)
+        if crashed:
+            # Every other in-flight future of dead workers fails with
+            # them; refund and quarantine them all, then recycle the
+            # transport for the isolation re-runs.
+            for fut, i in list(inflight.items()):
+                exc: Optional[BaseException] = None
+                try:
+                    exc = fut.exception(timeout=60.0)
+                    if exc is None:
+                        # Raced to completion before the workers died.
+                        _finish(i, fut.result())
+                        continue
+                except Exception as wait_exc:
+                    exc = wait_exc
+                if isinstance(exc, WorkerCrash):
+                    attempts[i] -= 1
+                    quarantine.append(i)
+                else:
+                    _handle_error(i, exc, remaining)
+            inflight.clear()
+            transport.recycle()
+    return results  # type: ignore[return-value]
+
+
+def supervised_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    keys: Optional[Sequence[TaskKey]] = None,
+    workers: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[CheckpointJournal] = None,
+    encode: Optional[Callable[[R], object]] = None,
+    decode: Optional[Callable[[object], R]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    fail_fast: bool = False,
+) -> List[Union[R, TaskFailure]]:
+    """:func:`supervise` with a worker *count* instead of a transport.
+
+    The pre-:mod:`repro.runtime` signature, kept for existing callers:
+    builds a throwaway :class:`~repro.runtime.transport.SerialTransport`
+    or :class:`~repro.runtime.transport.PoolTransport` for the call and
+    closes it on exit.  Callers that dispatch repeatedly should hold a
+    :class:`~repro.runtime.executor.Runtime` instead, so workers and
+    published blobs persist across batches.
+    """
+    n_workers = resolve_workers(workers)
+    transport: Transport = (
+        SerialTransport() if n_workers <= 1 else PoolTransport(workers=n_workers)
+    )
+    try:
+        return supervise(
+            fn,
+            tasks,
+            transport=transport,
+            keys=keys,
+            retry=retry,
+            journal=journal,
+            encode=encode,
+            decode=decode,
+            sleep=sleep,
+            fail_fast=fail_fast,
+        )
+    finally:
+        transport.close()
+
+
+__all__ = [
+    "RetryPolicy",
+    "TaskFailure",
+    "supervise",
+    "supervised_map",
+]

@@ -7,7 +7,7 @@ import pytest
 from repro.dynamics.population import PopulationProcess
 from repro.dynamics.simulation import DynamicMarketSimulation
 from repro.exceptions import ConfigurationError
-from repro.experiments.supervisor import CheckpointJournal
+from repro.runtime import CheckpointJournal
 from repro.market.shard import ShardLog
 from repro.network.generators import random_mec_network
 

@@ -172,7 +172,7 @@ class TestCertification:
 
 class TestExecutorEquivalence:
     def test_parallel_interiors_bit_identical_to_serial(self):
-        from repro.experiments.supervisor import ShardExecutor
+        from repro.runtime import Runtime
 
         market, cm, start = make_instance(n_nodes=100, n_providers=60)
         partition = partition_market(market, n_shards=3)
@@ -180,10 +180,10 @@ class TestExecutorEquivalence:
         serial = partitioned_best_response(
             market, start, partition=partition, classification=classification,
         )
-        with ShardExecutor(workers=2) as executor:
+        with Runtime(workers=2) as runtime:
             parallel = partitioned_best_response(
                 market, start, partition=partition,
-                classification=classification, executor=executor,
+                classification=classification, runtime=runtime,
             )
         assert parallel.profile == serial.profile
         assert parallel.social_cost == serial.social_cost

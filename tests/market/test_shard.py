@@ -367,7 +367,7 @@ def test_sharded_replay_rebuilds_global_tables(interleaving_seed):
 def test_replayed_journal_stream_matches_live_routing(tmp_path):
     """Crash consistency: the journal's replay stream is exactly the live
     routed stream, payload for payload."""
-    from repro.experiments.supervisor import CheckpointJournal
+    from repro.runtime import CheckpointJournal
 
     market = make_market(29, n_providers=30)
     partition, deltas = churn_trace(market, None)

@@ -1,0 +1,190 @@
+"""Chaos suite over the runtime, parametrized across transports.
+
+The pre-runtime supervisor's failure-mode guarantees must survive the
+refactor **per transport**: a SIGKILLed worker only costs the cells it
+was running, a persistent crasher is quarantined and charged alone, a
+wedged cell times out, and a truncated journal resumes bit-identically.
+``SerialTransport`` takes the in-process scheduling path and
+``PoolTransport`` the future-driven one — same results either way.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import (
+    CheckpointJournal,
+    PoolTransport,
+    RetryPolicy,
+    Runtime,
+    SerialTransport,
+    TaskFailure,
+)
+
+
+# --------------------------------------------------------------------- #
+# Picklable task bodies (pool workers import this module)
+# --------------------------------------------------------------------- #
+def _square(x):
+    return x * x
+
+
+def _flaky(args):
+    """Fail until two attempt-markers exist, then succeed."""
+    x, scratch = args
+    marks = sorted(Path(scratch).glob(f"attempt-{x}-*"))
+    if len(marks) < 2:
+        (Path(scratch) / f"attempt-{x}-{len(marks)}").write_text("x")
+        raise RuntimeError(f"flaky cell {x}, attempt {len(marks) + 1}")
+    return 100 + x
+
+
+def _sigkill_once(args):
+    """SIGKILL the worker on the first visit to cell 2, succeed after."""
+    x, scratch = args
+    if x == 2:
+        marker = Path(scratch) / "crashed"
+        if not marker.exists():
+            marker.write_text("x")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return 10 * x
+
+
+def _exit_always(x):
+    if x == 2:
+        os._exit(9)
+    return 10 * x
+
+
+def _wedge_on_one(x):
+    if x == 1:
+        time.sleep(30.0)
+    return x
+
+
+def _runtime_of(transport_kind):
+    if transport_kind == "serial":
+        return Runtime(transport=SerialTransport())
+    return Runtime(transport=PoolTransport(workers=2))
+
+
+TRANSPORTS = ["serial", "pool"]
+#: Crash chaos needs real worker processes to kill.
+POOL_ONLY = ["pool"]
+
+
+# --------------------------------------------------------------------- #
+# Retry and timeout semantics, on both transports
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("transport_kind", TRANSPORTS)
+class TestSupervisionPerTransport:
+    def test_flaky_cell_retries_to_success(self, transport_kind, tmp_path):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        with _runtime_of(transport_kind) as rt:
+            results = rt.run(_flaky, [(7, str(tmp_path))], retry=policy)
+        assert results == [107]
+        assert len(list(tmp_path.glob("attempt-7-*"))) == 2
+
+    def test_backoff_schedule_is_the_policy_closed_form(
+        self, transport_kind, tmp_path
+    ):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.05, backoff=3.0)
+        delays = []
+        with _runtime_of(transport_kind) as rt:
+            results = rt.run(
+                _flaky,
+                [(9, str(tmp_path))],
+                retry=policy,
+                sleep=delays.append,
+            )
+        assert results == [109]
+        assert delays == [policy.delay(1), policy.delay(2)]
+
+    def test_wedged_cell_times_out_others_complete(self, transport_kind):
+        with _runtime_of(transport_kind) as rt:
+            results = rt.run(
+                _wedge_on_one,
+                [0, 1, 2],
+                retry=RetryPolicy(max_attempts=1, timeout_s=0.3),
+            )
+        assert results[0] == 0 and results[2] == 2
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "timeout"
+        assert failure.error_type == "TaskTimeout"
+
+    def test_truncated_journal_resumes_bit_identically(
+        self, transport_kind, tmp_path
+    ):
+        path = tmp_path / "grid.jsonl"
+        tasks = list(range(4))
+        with _runtime_of(transport_kind) as rt:
+            first = rt.run(_square, tasks, journal=path)
+        assert first == [0, 1, 4, 9]
+
+        # Drop the journal's tail: only the dropped cell may re-run.
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4
+        path.write_text("\n".join(lines[:3]) + "\n")
+        with _runtime_of(transport_kind) as rt:
+            resumed = rt.run(_square, tasks, journal=path, resume=True)
+        assert resumed == first
+        assert len(path.read_text().strip().splitlines()) == 4
+
+
+# --------------------------------------------------------------------- #
+# Worker-crash chaos (needs a real pool to kill)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("transport_kind", POOL_ONLY)
+class TestCrashChaos:
+    def test_sigkilled_worker_grid_still_completes(self, transport_kind, tmp_path):
+        tasks = [(x, str(tmp_path)) for x in range(5)]
+        with _runtime_of(transport_kind) as rt:
+            results = rt.run(
+                _sigkill_once,
+                tasks,
+                retry=RetryPolicy(max_attempts=3, base_delay_s=0.0),
+            )
+        assert results == [0, 10, 20, 30, 40]
+        assert (tmp_path / "crashed").exists()
+
+    def test_persistent_crasher_charged_alone(self, transport_kind):
+        with _runtime_of(transport_kind) as rt:
+            results = rt.run(
+                _exit_always,
+                [0, 1, 2, 3],
+                retry=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+            )
+        assert results[0] == 0 and results[1] == 10 and results[3] == 30
+        failure = results[2]
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "worker-crash"
+        assert failure.attempts == 2
+
+    def test_crash_then_journal_resume(self, transport_kind, tmp_path):
+        """A run interrupted by a crashing cell journals its completed
+        bystanders; the resume replays them and re-runs only the rest."""
+        path = tmp_path / "grid.jsonl"
+        with _runtime_of(transport_kind) as rt:
+            first = rt.run(
+                _exit_always,
+                [0, 1, 2, 3],
+                journal=path,
+                retry=RetryPolicy(max_attempts=1, base_delay_s=0.0),
+            )
+        assert isinstance(first[2], TaskFailure)
+        journaled = CheckpointJournal(path).load()
+        assert set(journaled) == {(0,), (1,), (3,)}  # failure not journaled
+        with _runtime_of(transport_kind) as rt:
+            resumed = rt.run(
+                _square,  # would give different answers if cells re-ran
+                [0, 1, 2, 3],
+                journal=path,
+                resume=True,
+            )
+        assert resumed == [0, 10, 4, 30]

@@ -1,0 +1,105 @@
+"""The ``repro.experiments.supervisor`` deprecation shim.
+
+Every pre-runtime import path must keep working — and must say so: a
+fresh import of the module emits a :class:`DeprecationWarning` naming
+the new home, ``ShardExecutor`` still publishes and runs batches, and
+the shim's classes *are* the runtime's (no parallel implementations).
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+
+def _fresh_import():
+    sys.modules.pop("repro.experiments.supervisor", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module("repro.experiments.supervisor")
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    return module, deprecations
+
+
+def _triple(x):
+    return 3 * x
+
+
+def test_fresh_import_warns_and_points_at_the_new_home():
+    module, deprecations = _fresh_import()
+    assert deprecations, "shim import must emit a DeprecationWarning"
+    assert "repro.runtime" in str(deprecations[0].message)
+    assert module.__all__ == [
+        "CheckpointJournal",
+        "RetryPolicy",
+        "ShardExecutor",
+        "TaskFailure",
+        "TaskKey",
+        "fetch_blob",
+        "supervised_map",
+    ]
+
+
+def test_shim_names_are_the_runtime_objects():
+    module, _ = _fresh_import()
+    import repro.runtime as runtime
+
+    assert module.CheckpointJournal is runtime.CheckpointJournal
+    assert module.RetryPolicy is runtime.RetryPolicy
+    assert module.TaskFailure is runtime.TaskFailure
+    assert module.supervised_map is runtime.supervised_map
+    assert module.fetch_blob is runtime.fetch_blob
+    assert issubclass(module.ShardExecutor, runtime.Runtime)
+
+
+def test_shard_executor_publish_and_run_round_trip():
+    module, _ = _fresh_import()
+    with module.ShardExecutor(workers=2) as executor:
+        ref = executor.publish("payload", {"v": 42})
+        assert module.fetch_blob(ref) == {"v": 42}
+        assert executor.run(_triple, [1, 2, 3]) == [3, 6, 9]
+
+
+def test_shard_executor_still_drives_partitioned_settles():
+    """The old ``executor=`` call site of ``partitioned_best_response``
+    keeps working with the shimmed class."""
+    module, _ = _fresh_import()
+    from repro.game.partitioned import partitioned_best_response
+    from repro.market.shard import classify_providers, partition_market
+    from repro.market.workload import generate_market
+    from repro.network.generators import random_mec_network
+
+    network = random_mec_network(60, rng=3)
+    market = generate_market(network, 12, rng=4)
+    cm = market.compile()
+    partition = partition_market(market, n_shards=2)
+    classification = classify_providers(cm, partition)
+    start = {
+        pid: cm.cloudlet_nodes[i % len(cm.cloudlet_nodes)]
+        for i, pid in enumerate(cm.provider_ids)
+    }
+    serial = partitioned_best_response(
+        market, start, partition=partition, classification=classification,
+    )
+    with module.ShardExecutor(workers=2) as executor:
+        sharded = partitioned_best_response(
+            market, start, partition=partition,
+            classification=classification, executor=executor,
+        )
+    assert sharded.profile == serial.profile
+    assert sharded.social_cost == serial.social_cost
+
+
+def test_runtime_package_imports_stay_warning_free():
+    """Importing the new package (or repro.experiments) must NOT warn —
+    only the legacy module path does."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        importlib.import_module("repro.runtime")
+        importlib.import_module("repro.experiments")
+        importlib.import_module("repro.experiments.parallel")

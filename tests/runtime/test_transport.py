@@ -1,0 +1,176 @@
+"""Transports and the publish-once blob store.
+
+Pins the contracts every consumer of :mod:`repro.runtime` leans on: a
+publication pickles exactly once per key, small payloads ride inline
+while large ones spill to disk, workers memoize fetches per process, and
+legacy string tokens (the pre-runtime ``ShardExecutor.publish`` return
+value) still resolve.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime import (
+    DEFAULT_SPILL_THRESHOLD,
+    BlobRef,
+    PoolTransport,
+    RemoteTransport,
+    SerialTransport,
+    check_picklable,
+    fetch_blob,
+    resolve_workers,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _boom(x):
+    raise RuntimeError("boom")
+
+
+# --------------------------------------------------------------------- #
+# resolve_workers / check_picklable (satellite: single shared home)
+# --------------------------------------------------------------------- #
+class TestHelpers:
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+
+    def test_resolve_workers_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-2)
+
+    def test_check_picklable_names_the_offender(self):
+        with pytest.raises(ConfigurationError, match="task function"):
+            check_picklable(lambda x: x, "task function")
+        check_picklable(_double, "task function")  # no raise
+
+    def test_old_import_paths_still_work(self):
+        from repro.experiments.parallel import _check_picklable
+        from repro.experiments.parallel import resolve_workers as legacy
+
+        assert legacy is resolve_workers
+        assert _check_picklable is check_picklable
+
+
+# --------------------------------------------------------------------- #
+# Publish-once blob store
+# --------------------------------------------------------------------- #
+class TestBlobStore:
+    def test_small_payload_rides_inline(self):
+        with SerialTransport() as transport:
+            ref = transport.publish("k", {"a": 1})
+            assert isinstance(ref, BlobRef)
+            assert ref.data is not None and ref.path is None
+            assert ref.size == len(pickle.dumps({"a": 1}, protocol=pickle.HIGHEST_PROTOCOL))
+            assert fetch_blob(ref) == {"a": 1}
+
+    def test_large_payload_spills_to_disk(self, tmp_path):
+        big = list(range(DEFAULT_SPILL_THRESHOLD))
+        with SerialTransport(spill_dir=tmp_path) as transport:
+            ref = transport.publish("big", big)
+            assert ref.path is not None and ref.data is None
+            assert ref.token == ref.path  # interchangeable with legacy tokens
+            assert fetch_blob(ref) == big
+            # Legacy string-token fetch resolves the same payload.
+            assert fetch_blob(ref.path) == big
+
+    def test_spill_threshold_is_configurable(self, tmp_path):
+        with SerialTransport(spill_dir=tmp_path, spill_threshold=0) as transport:
+            ref = transport.publish("k", 1)
+            assert ref.path is not None
+
+    def test_republish_is_a_noop(self):
+        with SerialTransport() as transport:
+            first = transport.publish("k", [1, 2, 3])
+            second = transport.publish("k", [4, 5, 6])  # ignored: same key
+            assert second is first
+
+    def test_fetch_is_memoized_per_token(self):
+        with SerialTransport() as transport:
+            ref = transport.publish("memo-key", {"payload": 7})
+            assert fetch_blob(ref) is fetch_blob(ref)
+
+    def test_owned_spill_dir_removed_on_close(self):
+        transport = SerialTransport(spill_threshold=0)
+        ref = transport.publish("k", list(range(100)))
+        spill_dir = transport._spill_dir
+        assert spill_dir is not None
+        transport.close()
+        import os
+
+        assert not os.path.exists(spill_dir)
+        _ = ref  # the ref outlives the store only for memoized fetchers
+
+    def test_borrowed_spill_dir_left_alone(self, tmp_path):
+        with SerialTransport(spill_dir=tmp_path, spill_threshold=0) as transport:
+            transport.publish("k", 1)
+        assert tmp_path.exists()
+
+    def test_publish_after_close_rejected(self):
+        transport = SerialTransport()
+        transport.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            transport.publish("k", 1)
+
+
+# --------------------------------------------------------------------- #
+# SerialTransport
+# --------------------------------------------------------------------- #
+class TestSerialTransport:
+    def test_submit_resolves_immediately(self):
+        with SerialTransport() as transport:
+            assert transport.submit(_double, 4).result() == 8
+
+    def test_submit_captures_exceptions(self):
+        with SerialTransport() as transport:
+            fut = transport.submit(_boom, 1)
+            with pytest.raises(RuntimeError, match="boom"):
+                fut.result()
+
+    def test_map_preserves_order(self):
+        with SerialTransport() as transport:
+            assert transport.map(_double, [3, 1, 2]) == [6, 2, 4]
+
+
+# --------------------------------------------------------------------- #
+# PoolTransport
+# --------------------------------------------------------------------- #
+class TestPoolTransport:
+    def test_map_matches_serial(self):
+        tasks = list(range(6))
+        with PoolTransport(workers=2) as transport:
+            assert transport.map(_double, tasks) == [2 * x for x in tasks]
+
+    def test_single_task_short_circuits_in_process(self):
+        with PoolTransport(workers=2) as transport:
+            assert transport.map(_double, [5]) == [10]
+            assert transport._pool is None  # never spun up
+
+    def test_recycle_then_dispatch(self):
+        with PoolTransport(workers=2) as transport:
+            assert transport.map(_double, [1, 2]) == [2, 4]
+            transport.recycle()
+            assert transport.map(_double, [3, 4]) == [6, 8]
+
+    def test_submit_after_close_rejected(self):
+        transport = PoolTransport(workers=2)
+        transport.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            transport.submit(_double, 1)
+
+
+# --------------------------------------------------------------------- #
+# RemoteTransport: the seam stays a seam
+# --------------------------------------------------------------------- #
+def test_remote_transport_is_an_explicit_stub():
+    with pytest.raises(NotImplementedError, match="docs/runtime.md"):
+        RemoteTransport()

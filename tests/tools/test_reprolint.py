@@ -773,6 +773,75 @@ class TestWorkerPurity:
         """
         assert lint(code, rules=["R8"]) == []
 
+    def test_runtime_run_roots_the_graph(self):
+        code = """
+            _SEEN = {}
+
+            def task(point):
+                global _SEEN
+                _SEEN = dict(point)
+                return point
+
+            def drive(runtime, points):
+                return runtime.run(task, points)
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert "global" in diags[0].message
+
+    def test_runtime_map_roots_the_graph(self):
+        code = """
+            import numpy as np
+
+            def task(point):
+                return np.random.uniform()
+
+            def drive(runtime, points):
+                return runtime.map(task, points)
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert "np.random" in diags[0].message
+
+    def test_supervise_call_roots_the_graph(self):
+        code = """
+            _TALLY = 0
+
+            def task(point):
+                global _TALLY
+                _TALLY = point
+                return point
+
+            def drive(transport, points):
+                return supervise(task, points, transport=transport)
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+
+    def test_clean_runtime_run_dispatch(self):
+        code = """
+            def task(point):
+                return point * 2
+
+            def drive(runtime, points):
+                return runtime.run(task, points)
+        """
+        assert lint(code, rules=["R8"]) == []
+
+    def test_run_on_non_pool_receiver_is_not_dispatch(self):
+        code = """
+            _STATE = {}
+
+            def task(point):
+                global _STATE
+                _STATE = dict(point)
+                return point
+
+            def drive(simulation, points):
+                return simulation.run(task, points)
+        """
+        assert lint(code, rules=["R8"]) == []
+
 
 # --------------------------------------------------------------------- #
 # R9 — array-mutation escape

@@ -13,9 +13,12 @@ R3 (sweep-pickle) checks the *argument* at the dispatch site.  R8 is its
 flow-aware big sibling: it roots a call-graph walk (see
 :mod:`reprolint.project`) at every worker-dispatch site —
 
-* ``map_tasks(fn, ...)`` / ``supervised_map(fn, ...)``,
+* ``map_tasks(fn, ...)`` / ``supervised_map(fn, ...)`` /
+  ``supervise(fn, ...)``,
 * ``pool.map`` / ``imap`` / ``imap_unordered`` / ``starmap`` /
-  ``submit`` / ``apply_async`` on pool/executor-named receivers,
+  ``submit`` / ``apply_async`` / ``run`` on pool/executor/runtime-named
+  receivers (``runtime.run(fn, tasks)`` and ``runtime.map(fn, tasks)``
+  are the :class:`repro.runtime.Runtime` dispatch surface),
 * builder keywords (``make_market=``, ``make_algorithms=``,
   ``seed_fn=``, ``task_fn=``, ``builder=``) on any call —
 
@@ -49,15 +52,19 @@ if TYPE_CHECKING:  # imported lazily at runtime: rules/__init__ loads before pro
     from reprolint.project import FunctionRef, ModuleInfo, ProjectContext
 
 #: Direct callee names that dispatch their first argument to workers.
-_DISPATCH_FUNCS: Set[str] = {"map_tasks", "supervised_map", "run_sweep", "submit_sweep"}
+_DISPATCH_FUNCS: Set[str] = {
+    "map_tasks", "supervise", "supervised_map", "run_sweep", "submit_sweep",
+}
 
-#: Pool/executor methods whose first argument crosses the pool boundary.
+#: Pool/executor methods whose first argument crosses the pool boundary
+#: (``run`` covers ``Runtime.run``; a same-named method on a non-pool
+#: receiver is filtered by the receiver-name check below).
 _POOL_METHODS: Set[str] = {
-    "map", "imap", "imap_unordered", "starmap", "apply_async", "submit",
+    "map", "imap", "imap_unordered", "starmap", "apply_async", "submit", "run",
 }
 
 #: Receiver-name fragments that mark a call as pool dispatch.
-_POOL_RECEIVERS = ("pool", "executor", "runner", "sweep")
+_POOL_RECEIVERS = ("pool", "executor", "runner", "sweep", "runtime", "transport")
 
 #: Module-level receiver names treated as RNG streams when drawn from.
 _RNG_NAME_FRAGMENTS = ("rng", "random", "gen")
