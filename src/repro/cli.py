@@ -192,11 +192,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="interior/boundary reconciliation cap (default 8)")
     shard.add_argument("--workers", type=int, default=1,
                        help="shard worker processes (default 1 = serial)")
+    shard.add_argument("--spool", metavar="DIR", default=None,
+                       help="shared spool directory: settle shard interiors "
+                       "on the `repro host` agents serving DIR instead of a "
+                       "local pool (mutually exclusive with --workers)")
     shard.add_argument("--latency-budget", type=float, default=3.0,
                        metavar="MS",
                        help="per-provider latency budget in ms — what makes "
                        "most providers interior to one region (default 3.0)")
     shard.add_argument("--seed", type=int, default=3)
+
+    host = sub.add_parser(
+        "host",
+        help="serve a shared spool directory as a RemoteTransport host agent",
+    )
+    host.add_argument("spool", metavar="DIR",
+                      help="the shared spool directory to serve (created if "
+                      "missing); every agent and the dispatching transport "
+                      "must use the same path")
+    host.add_argument("--host-id", default=None, metavar="ID",
+                      help="stable agent identity (default: "
+                      "h<nodename>-<pid>); restarting with the same id "
+                      "requeues the previous incarnation's claimed tasks")
+    host.add_argument("--lease-s", type=float, default=5.0, metavar="S",
+                      help="heartbeat lease duration in seconds (default 5); "
+                      "must exceed the longest legitimate task")
+    host.add_argument("--poll-interval-s", type=float, default=0.05,
+                      metavar="S",
+                      help="spool scan cadence in seconds (default 0.05)")
+    host.add_argument("--idle-exit-s", type=float, default=None, metavar="S",
+                      help="exit after S seconds without work "
+                      "(default: serve forever)")
+    host.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                      help="exit after executing N tasks (default: unlimited)")
+    host.add_argument("--slots", type=int, default=1, metavar="N",
+                      help="advertised parallelism of this agent (default 1)")
 
     lint = sub.add_parser(
         "lint",
@@ -347,11 +377,17 @@ def _run_shard(args) -> int:
         mean_lifetime=8.0, rng=args.seed + 2,
         initial_population=args.providers,
     )
+    dispatch = (
+        {"shard_spool": args.spool}
+        if args.spool is not None
+        else {"shard_workers": args.workers}
+    )
     with DynamicMarketSimulation(
         network, population, policy="incremental",
         sharding="region", n_shards=args.shards,
         boundary_rounds=args.boundary_rounds,
-        shard_workers=args.workers,
+        latency_budget_ms=args.latency_budget,
+        **dispatch,
     ) as sim:
         summary = sim.run(args.epochs)
     certified = sum(
@@ -361,6 +397,30 @@ def _run_shard(args) -> int:
           f"{summary.total_settle_moves} settle moves, "
           f"{certified}/{len(summary.epochs)} epochs certified")
     print(f"total cost:            {summary.total_cost:.1f}")
+    return 0
+
+
+def _run_host(args) -> int:
+    from repro.runtime import run_host_agent
+
+    try:
+        stats = run_host_agent(
+            args.spool,
+            host_id=args.host_id,
+            lease_s=args.lease_s,
+            poll_interval_s=args.poll_interval_s,
+            idle_exit_s=args.idle_exit_s,
+            max_tasks=args.max_tasks,
+            slots=args.slots,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"host {stats.host_id}: executed {stats.executed} task(s) "
+        f"({stats.failed} failed), requeued {stats.requeued_on_start} on "
+        f"start, exit: {stats.exit_reason or 'stopped'}"
+    )
     return 0
 
 
@@ -387,6 +447,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+
+    if args.command == "host":
+        return _run_host(args)
 
     if args.command == "lint":
         return _run_lint(args)

@@ -264,6 +264,16 @@ class DynamicMarketSimulation:
         to settle on (mutually exclusive with ``shard_workers``); the
         simulation borrows it — its workers and blob store persist after
         :meth:`close`.
+    shard_spool:
+        Alternatively again (mutually exclusive with both), a shared
+        spool directory: interiors settle on an owned
+        :class:`~repro.runtime.remote.RemoteTransport` against the
+        ``repro host`` agents serving that spool, shipping shard
+        sub-views once per ``(shard, seq)`` into the content-addressed
+        store.  Host loss surfaces through the runtime's quarantine
+        machinery; when the live-host set drops below the transport's
+        floor the settle degrades to a local pool and records a
+        :class:`~repro.runtime.remote.DegradationEvent`.
     shard_journal:
         Optional :class:`~repro.runtime.CheckpointJournal`
         handed to the :class:`~repro.market.shard.ShardLog`: every routed
@@ -282,6 +292,7 @@ class DynamicMarketSimulation:
         xi: float = 0.7,
         pricing: Optional[Pricing] = None,
         congestion: Optional[CongestionFunction] = None,
+        latency_budget_ms: Optional[float] = None,
         migration_setup_cost: float = 0.1,
         trace: Optional[Callable[[int], float]] = None,
         representation: str = "compiled",
@@ -296,6 +307,7 @@ class DynamicMarketSimulation:
         boundary_rounds: int = 8,
         shard_workers: Optional[int] = None,
         shard_runtime: Optional["Runtime"] = None,
+        shard_spool: Optional[str] = None,
         shard_journal: Optional["CheckpointJournal"] = None,
     ) -> None:
         if policy not in _POLICIES:
@@ -331,9 +343,12 @@ class DynamicMarketSimulation:
             raise ConfigurationError(
                 f"engine must be one of {ENGINES}, got {engine!r}"
             )
-        if shard_runtime is not None and shard_workers is not None:
+        if sum(
+            arg is not None for arg in (shard_workers, shard_runtime, shard_spool)
+        ) > 1:
             raise ConfigurationError(
-                "pass either shard_workers= or shard_runtime=, not both"
+                "pass at most one of shard_workers=, shard_runtime= or "
+                "shard_spool="
             )
         check_fraction(xi, "xi")
         self.network = network
@@ -342,6 +357,11 @@ class DynamicMarketSimulation:
         self.xi = xi
         self.pricing = pricing if pricing is not None else Pricing()
         self.congestion = congestion
+        #: Optional per-request latency budget for every epoch's market;
+        #: a tight budget shrinks feasible cloudlet sets, which is what
+        #: gives region sharding non-trivial shard *interiors* (providers
+        #: whose settle can dispatch to shard workers or host agents).
+        self.latency_budget_ms = latency_budget_ms
         self.migration_setup_cost = migration_setup_cost
         #: Optional ``epoch -> arrival rate`` profile (e.g.
         #: :class:`repro.dynamics.traces.DiurnalTrace`); when given, the
@@ -370,6 +390,7 @@ class DynamicMarketSimulation:
         self.n_shards = n_shards
         self.boundary_rounds = boundary_rounds
         self.shard_workers = shard_workers
+        self.shard_spool = shard_spool
         self.shard_journal = shard_journal
         #: Borrowed caller-owned runtime (left open by :meth:`close`), as
         #: opposed to one built from ``shard_workers`` (owned, closed).
@@ -389,7 +410,11 @@ class DynamicMarketSimulation:
     # ------------------------------------------------------------------ #
     def _market(self, providers: List[ServiceProvider]) -> ServiceMarket:
         return ServiceMarket(
-            self.network, providers, pricing=self.pricing, congestion=self.congestion
+            self.network,
+            providers,
+            pricing=self.pricing,
+            congestion=self.congestion,
+            latency_budget_ms=self.latency_budget_ms,
         )
 
     def migration_cost(self, provider: ServiceProvider, old: int, new: int) -> float:
@@ -453,7 +478,11 @@ class DynamicMarketSimulation:
             providers=market.providers,
             journal=self.shard_journal,
         )
-        if (
+        if self._shard_runtime is None and self.shard_spool is not None:
+            from repro.runtime import Runtime
+
+            self._shard_runtime = Runtime(spool=self.shard_spool)
+        elif (
             self._shard_runtime is None
             and self.shard_workers is not None
             and self.shard_workers > 1

@@ -187,11 +187,17 @@ class ParallelSweepRunner:
     """Runs sweep grids serially or on a supervised runtime pool.
 
     ``workers=None``/``1`` → serial in-process execution; ``workers=0`` →
-    one process per CPU; ``workers=N`` → ``N`` processes. Identical
-    metrics either way.
+    one process per CPU; ``workers=N`` → ``N`` processes. ``spool=``
+    instead dispatches cells to the ``repro host`` agents serving that
+    shared spool directory (a
+    :class:`~repro.runtime.remote.RemoteTransport`). Identical metrics
+    every way.
     """
 
     workers: Optional[int] = None
+    #: Shared spool directory for multi-host dispatch (mutually
+    #: exclusive with ``workers``).
+    spool: Optional[str] = None
 
     def run(
         self,
@@ -250,9 +256,18 @@ class ParallelSweepRunner:
 
         owned = runtime is None
         if runtime is None:
-            runtime = Runtime(workers=self.workers)
+            if self.spool is not None and self.workers is not None:
+                raise ConfigurationError(
+                    "pass either workers= or spool=, not both"
+                )
+            if self.spool is not None:
+                runtime = Runtime(spool=self.spool)
+            else:
+                runtime = Runtime(workers=self.workers)
         try:
-            parallel = runtime.workers > 1 and len(tasks) > 1
+            parallel = (
+                runtime.workers > 1 or not runtime.transport.colocated
+            ) and len(tasks) > 1
             if precompile:
                 prebuilt = []
                 for task in tasks:

@@ -359,7 +359,10 @@ def _reconcile(
                 continue
             tasks.append((s, sub_profile, mv))
 
-        if runtime is not None and runtime.workers > 1 and len(tasks) > 1:
+        dispatch = runtime is not None and (
+            runtime.workers > 1 or not runtime.transport.colocated
+        )
+        if dispatch and runtime is not None and len(tasks) > 1:
             payloads = [
                 (
                     runtime.publish(("shard", s, blob_seq), view_of(s)),

@@ -7,8 +7,10 @@ replans.  Four pieces, composed rather than welded:
 * :mod:`repro.runtime.transport` — *where* work executes.
   :class:`SerialTransport` (deterministic in-process reference),
   :class:`PoolTransport` (persistent local workers with the
-  publish-once blob store), and the :class:`RemoteTransport` seam where
-  multi-machine sharding lands.
+  publish-once blob store), and :class:`RemoteTransport`
+  (:mod:`repro.runtime.remote`): multi-host dispatch over a
+  shared-filesystem spool served by ``repro host`` agents, with
+  lease-based failure detection and a structured degradation path.
 * :mod:`repro.runtime.supervisor` — *what* runs: per-task timeouts,
   :class:`RetryPolicy` backoff, crash quarantine with bystander refunds,
   structured :class:`TaskFailure` tombstones — over any transport.
@@ -24,6 +26,12 @@ replans.  Four pieces, composed rather than welded:
 
 from repro.runtime.executor import BlobMap, Runtime
 from repro.runtime.journal import CheckpointJournal, TaskKey
+from repro.runtime.remote import (
+    DegradationEvent,
+    HostAgentStats,
+    RemoteTransport,
+    run_host_agent,
+)
 from repro.runtime.supervisor import (
     RetryPolicy,
     TaskFailure,
@@ -33,14 +41,16 @@ from repro.runtime.supervisor import (
 from repro.runtime.transport import (
     DEFAULT_SPILL_THRESHOLD,
     BlobRef,
+    HostLost,
+    PoolCrash,
     PoolTransport,
-    RemoteTransport,
     SerialTransport,
     Transport,
     WorkerCrash,
     check_picklable,
     fetch_blob,
     resolve_workers,
+    translate_crash,
 )
 
 __all__ = [
@@ -48,6 +58,10 @@ __all__ = [
     "BlobRef",
     "CheckpointJournal",
     "DEFAULT_SPILL_THRESHOLD",
+    "DegradationEvent",
+    "HostAgentStats",
+    "HostLost",
+    "PoolCrash",
     "PoolTransport",
     "RemoteTransport",
     "RetryPolicy",
@@ -60,6 +74,8 @@ __all__ = [
     "check_picklable",
     "fetch_blob",
     "resolve_workers",
+    "run_host_agent",
     "supervise",
     "supervised_map",
+    "translate_crash",
 ]

@@ -104,8 +104,14 @@ class Runtime:
         :class:`~repro.runtime.transport.PoolTransport` of ``N`` workers.
     transport:
         An explicit transport instead of ``workers`` (mutually
-        exclusive).  This is how multi-machine dispatch lands later —
-        hand the facade a remote transport, change nothing else.
+        exclusive) — e.g. a caller-configured
+        :class:`~repro.runtime.remote.RemoteTransport`.
+    spool:
+        A shared spool directory (mutually exclusive with ``workers``
+        and ``transport``): builds an owned
+        :class:`~repro.runtime.remote.RemoteTransport` on it, so
+        ``Runtime(spool=...)`` is the one-argument path to multi-host
+        dispatch against already-running ``repro host`` agents.
     spill_dir / spill_threshold:
         Blob-store knobs forwarded to the constructed transport: where
         oversized publications spill, and the inline-vs-spill cutoff in
@@ -120,15 +126,22 @@ class Runtime:
         workers: Optional[int] = None,
         *,
         transport: Optional[Transport] = None,
+        spool: Optional[Union[str, os.PathLike]] = None,
         spill_dir: Optional[Union[str, os.PathLike]] = None,
         spill_threshold: Optional[int] = None,
     ) -> None:
-        if transport is not None and workers is not None:
+        if sum(arg is not None for arg in (workers, transport, spool)) > 1:
             raise ConfigurationError(
-                "pass either workers= or transport=, not both"
+                "pass at most one of workers=, transport= or spool="
             )
         self._owns_transport = transport is None
-        if transport is None:
+        if spool is not None:
+            from repro.runtime.remote import RemoteTransport
+
+            transport = RemoteTransport(
+                spool, spill_threshold=spill_threshold
+            )
+        elif transport is None:
             n_workers = resolve_workers(workers)
             if n_workers <= 1:
                 transport = SerialTransport(
@@ -173,7 +186,10 @@ class Runtime:
         if self._closed:
             raise ConfigurationError("Runtime is closed")
         tasks = list(tasks)
-        if self.workers <= 1 or len(tasks) <= 1:
+        # Local transports shortcut in-process when parallelism cannot
+        # help; a non-colocated transport (RemoteTransport) always
+        # dispatches — the work belongs on the hosts, not here.
+        if self.transport.colocated and (self.workers <= 1 or len(tasks) <= 1):
             return [fn(task) for task in tasks]
         return self.transport.map(fn, tasks)
 

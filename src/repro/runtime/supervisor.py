@@ -10,8 +10,12 @@ pool implementation:
 * **Per-task timeout.**  ``RetryPolicy.timeout_s`` arms a ``SIGALRM``
   timer inside the worker around the task body, so a wedged cell raises
   :class:`~repro.exceptions.TaskTimeout` instead of stalling the grid.
-  Off the main thread (where ``signal`` refuses handlers) the timer
-  degrades gracefully to untimed execution with a one-time warning.
+  Off the main thread (where ``signal`` refuses handlers) the deadline
+  is still enforced, by a portable wall clock: in-process attempts run
+  on an abandonable helper thread, and dispatched attempts get a
+  caller-side ``future.result(timeout=)`` budget with
+  ``transport.recycle()`` evicting the wedged worker — timeouts hold on
+  every transport, from any thread.
 * **Bounded retry, deterministic backoff.**  Each failed attempt requeues
   the cell until ``RetryPolicy.max_attempts`` is spent.  The backoff
   delay is a pure function of the attempt number —
@@ -44,9 +48,10 @@ goes through the :class:`~repro.runtime.executor.Runtime` facade.
 from __future__ import annotations
 
 import time
-import warnings
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
@@ -126,17 +131,29 @@ class TaskFailure:
         )
 
 
+def _wall_budget(timeout_s: float) -> float:
+    """The caller-side wall-clock allowance for one attempt.
+
+    Deliberately looser than the in-worker SIGALRM deadline so the
+    precise mechanism wins whenever it can fire; the wall clock only
+    catches attempts wedged *past* the alarm (signal blocked, worker
+    stuck before the task body, remote task never claimed).
+    """
+    return timeout_s + max(1.0, 0.5 * timeout_s)
+
+
 def _invoke(fn: Callable[[T], R], task: T, timeout_s: Optional[float]) -> R:
     """Run one attempt, optionally under a SIGALRM deadline.
 
-    Normally runs in the worker's main thread (both the pool workers and
-    the serial path), where ``signal`` is allowed to install handlers;
-    the timer is disarmed and the previous handler restored on every
-    exit.  Called off the main thread — where ``signal.signal`` raises
-    ``ValueError`` — the deadline degrades gracefully: the task runs
-    untimed and a warning is emitted (once per call site under the
-    default warning filters) instead of the attempt dying on the
-    ``signal`` internals.
+    Normally runs in the worker's main thread (the pool workers, remote
+    host agents, and the serial path), where ``signal`` is allowed to
+    install handlers; the timer is disarmed and the previous handler
+    restored on every exit.  Called off the main thread — where
+    ``signal.signal`` raises ``ValueError`` — the deadline falls back to
+    a portable wall clock: the attempt runs on a daemon helper thread
+    and is abandoned (the thread leaks until it returns, the result is
+    discarded) when the budget expires, raising
+    :class:`~repro.exceptions.TaskTimeout` exactly like the alarm path.
     """
     if not timeout_s:
         return fn(task)
@@ -148,23 +165,44 @@ def _invoke(fn: Callable[[T], R], task: T, timeout_s: Optional[float]) -> R:
     try:
         previous = signal.signal(signal.SIGALRM, _expired)
     except ValueError:
-        # signal.signal only works on the main thread of the main
-        # interpreter; a supervisor driven from a helper thread still
-        # makes progress, just without timeout enforcement.
-        warnings.warn(
-            f"task timeout ({timeout_s}s) cannot be enforced off the main "
-            f"thread (signal.signal refused the SIGALRM handler); running "
-            f"the task untimed",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return fn(task)
+        return _invoke_walltimed(fn, task, timeout_s)
     signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
         return fn(task)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def _invoke_walltimed(fn: Callable[[T], R], task: T, timeout_s: float) -> R:
+    """Wall-clock deadline enforcement for threads that cannot arm
+    SIGALRM: run the attempt on a daemon thread, join with the budget."""
+    import threading
+
+    outcome: List[object] = []
+
+    def _run() -> None:
+        try:
+            outcome.append(("ok", fn(task)))
+        except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            outcome.append(("err", exc))
+
+    worker = threading.Thread(
+        target=_run, name="repro-walltimed-attempt", daemon=True
+    )
+    worker.start()
+    worker.join(timeout_s)
+    if not outcome:
+        # The attempt is abandoned: the daemon thread keeps running
+        # until fn returns, but its outcome is discarded.
+        raise TaskTimeout(
+            f"task exceeded its {timeout_s}s budget (wall-clock fallback "
+            f"off the main thread)"
+        )
+    status, value = outcome[0]  # type: ignore[misc]
+    if status == "err":
+        raise value  # type: ignore[misc]
+    return value  # type: ignore[return-value]
 
 
 def _failure(key: TaskKey, attempts: int, exc: BaseException) -> TaskFailure:
@@ -256,7 +294,10 @@ def supervise(
     attempts = [0] * len(tasks)
     n_workers = transport.workers
 
-    if n_workers <= 1 or len(remaining) <= 1:
+    # Local transports shortcut to the in-process path when parallelism
+    # cannot help; a non-colocated transport (RemoteTransport) always
+    # dispatches, because running the work *there* is the point.
+    if transport.colocated and (n_workers <= 1 or len(remaining) <= 1):
         while remaining:
             i = remaining.popleft()
             attempts[i] += 1
@@ -272,8 +313,12 @@ def supervise(
                     results[i] = _failure(keys[i], attempts[i], exc)
         return results  # type: ignore[return-value]
 
-    n_workers = min(n_workers, len(remaining))
+    n_workers = min(n_workers, len(remaining)) if remaining else 1
     inflight: Dict["Future[R]", int] = {}
+    #: Caller-side wall-clock deadline per in-flight future (only when a
+    #: timeout is configured): the portable fallback for workers that
+    #: cannot arm SIGALRM or wedged before reaching the task body.
+    deadlines: Dict["Future[R]", float] = {}
     # Cells that were in flight when the workers died. The supervisor
     # cannot tell which of them killed the worker, so their attempts are
     # refunded and they re-run one at a time — only a cell that crashes
@@ -304,7 +349,21 @@ def supervise(
                 quarantine.appendleft(i)
                 continue
             try:
-                _finish(i, fut.result())
+                if retry.timeout_s is not None:
+                    # Portable wall-clock fallback: even if the worker
+                    # cannot arm SIGALRM (or wedged before the task
+                    # body), the solo re-run cannot stall the grid.
+                    try:
+                        value = fut.result(timeout=_wall_budget(retry.timeout_s))
+                    except FutureTimeoutError:
+                        transport.recycle()
+                        raise TaskTimeout(
+                            f"task exceeded its {retry.timeout_s}s budget "
+                            f"(wall-clock fallback; workers recycled)"
+                        ) from None
+                else:
+                    value = fut.result()
+                _finish(i, value)
             except WorkerCrash as exc:
                 # Proven killer: it crashed the workers running alone.
                 transport.recycle()
@@ -328,12 +387,43 @@ def supervise(
                     transport.recycle()
                 break
             inflight[fut] = i
+            if retry.timeout_s is not None:
+                deadlines[fut] = time.monotonic() + _wall_budget(retry.timeout_s)
         if not inflight:
             continue
-        done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+        if retry.timeout_s is None:
+            done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+        else:
+            wait_s = max(
+                0.0, min(deadlines[f] for f in inflight) - time.monotonic()
+            )
+            done, _ = wait(
+                set(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Nothing finished inside the tightest wall budget:
+                # every overdue attempt times out and the workers are
+                # recycled so a wedged one cannot hold its slot.
+                now = time.monotonic()
+                overdue = [f for f in inflight if now >= deadlines[f]]
+                if overdue:
+                    transport.recycle()
+                for f in overdue:
+                    i = inflight.pop(f)
+                    deadlines.pop(f, None)
+                    _handle_error(
+                        i,
+                        TaskTimeout(
+                            f"task exceeded its {retry.timeout_s}s budget "
+                            f"(wall-clock fallback; workers recycled)"
+                        ),
+                        remaining,
+                    )
+                continue
         crashed = False
         for fut in done:
             i = inflight.pop(fut)
+            deadlines.pop(fut, None)
             try:
                 _finish(i, fut.result())
             except WorkerCrash:
@@ -362,6 +452,7 @@ def supervise(
                 else:
                     _handle_error(i, exc, remaining)
             inflight.clear()
+            deadlines.clear()
             transport.recycle()
     return results  # type: ignore[return-value]
 

@@ -4,9 +4,9 @@ The supervision policy (:mod:`repro.runtime.supervisor`) decides *what*
 runs — retries, timeouts, quarantine, journaling.  A :class:`Transport`
 decides *where*: in-process (:class:`SerialTransport`, the deterministic
 reference), on a persistent local process pool (:class:`PoolTransport`),
-or — the documented seam for ROADMAP's multi-machine sharding — on
-remote workers (:class:`RemoteTransport`, a stub until a wire protocol
-lands).  Every transport carries the same publish-once blob store, so a
+or on host agents over a shared-filesystem spool
+(:class:`~repro.runtime.remote.RemoteTransport`, re-exported here).
+Every transport carries the same publish-once blob store, so a
 consumer written against the :class:`~repro.runtime.executor.Runtime`
 facade is transport-agnostic by construction.
 
@@ -22,14 +22,25 @@ file and travel by path.  Workers resolve refs with :func:`fetch_blob`,
 which memoizes per process — a given publication is deserialised at most
 once per worker, however many tasks reference it.
 
-The crash signal
-----------------
-Worker death surfaces as :data:`WorkerCrash` (an alias of
-``concurrent.futures.process.BrokenProcessPool``) from pending futures.
-The supervisor catches exactly this type to trigger quarantine and
-:meth:`Transport.recycle`; a future transport must translate its own
-failure detection (socket loss, lease expiry) into the same signal to
-inherit the supervision semantics unchanged.
+The crash hierarchy
+-------------------
+Worker death surfaces as :class:`WorkerCrash` — a proper exception
+hierarchy, not the bare ``BrokenProcessPool`` alias it used to be:
+
+* :class:`WorkerCrash` — the transport-agnostic base: "a worker died
+  under us" (as opposed to the task raising).  The supervisor's
+  quarantine protocol is keyed on exactly this type.
+* :class:`PoolCrash` — a local process-pool worker died.  It subclasses
+  *both* :class:`WorkerCrash` and the stdlib ``BrokenProcessPool``, so
+  legacy callers that still catch ``BrokenProcessPool`` keep catching
+  local pool breakage; :class:`PoolTransport` translates every raw
+  ``BrokenProcessPool`` the pool raises into it at the boundary.
+* :class:`HostLost` — a remote host agent died, wedged past its lease,
+  or corrupted its reply channel (see :mod:`repro.runtime.remote`).
+
+``except BrokenProcessPool`` therefore *narrows*: it misses
+:class:`HostLost`.  Code that means "any worker died" must catch
+:class:`WorkerCrash` — reprolint R7 flags the narrowing.
 """
 
 from __future__ import annotations
@@ -41,17 +52,70 @@ import tempfile
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
+from hashlib import sha256
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 from repro.exceptions import ConfigurationError
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: The exception type that means "a worker died under us" (as opposed to
-#: the task raising).  Transports must surface worker loss as this type;
-#: the supervisor's quarantine protocol is keyed on it.
-WorkerCrash = BrokenProcessPool
+
+class WorkerCrash(RuntimeError):
+    """A worker died under us (as opposed to the task raising).
+
+    The transport-agnostic crash signal: every transport translates its
+    own failure detection — pool breakage, socket loss, lease expiry —
+    into a member of this hierarchy, so the supervisor's
+    quarantine/refund/re-run-solo protocol and :class:`~repro.runtime.
+    supervisor.RetryPolicy` backoff apply unchanged whatever the
+    substrate.
+    """
+
+
+class PoolCrash(WorkerCrash, BrokenProcessPool):
+    """A local process-pool worker died (SIGKILL, ``os._exit``, OOM).
+
+    The translated form of the stdlib ``BrokenProcessPool``: it keeps
+    that type as a base so legacy ``except BrokenProcessPool`` handlers
+    still catch local pool breakage, while ``except WorkerCrash``
+    catches it alongside :class:`HostLost`.
+    """
+
+
+class HostLost(WorkerCrash):
+    """A remote host agent died, wedged past its lease, or returned a
+    corrupt reply (see :class:`repro.runtime.remote.RemoteTransport`)."""
+
+
+def translate_crash(exc: BaseException) -> BaseException:
+    """Normalise a raw ``BrokenProcessPool`` into :class:`PoolCrash`.
+
+    Exceptions already inside the :class:`WorkerCrash` hierarchy (and
+    everything that is not pool breakage) pass through untouched.
+    """
+    if isinstance(exc, WorkerCrash) or not isinstance(exc, BrokenProcessPool):
+        return exc
+    crash = PoolCrash(str(exc) or "a process pool worker died abruptly")
+    crash.__cause__ = exc
+    return crash
+
+
+def _translating_future(inner: "Future[R]") -> "Future[R]":
+    """Mirror ``inner``, rewriting ``BrokenProcessPool`` results into
+    :class:`PoolCrash` so the crash hierarchy holds on every future a
+    transport hands out."""
+    outer: "Future[R]" = Future()
+
+    def _done(fut: "Future[R]") -> None:
+        exc = fut.exception()
+        if exc is not None:
+            outer.set_exception(translate_crash(exc))
+        else:
+            outer.set_result(fut.result())
+
+    inner.add_done_callback(_done)
+    return outer
 
 #: Published payloads at most this many bytes ride inline in the
 #: :class:`BlobRef`; larger ones spill to a file and travel by path.
@@ -98,6 +162,12 @@ class BlobRef:
     data: Optional[bytes] = field(default=None, repr=False)
     #: Pickled payload size in bytes (spilled or inline).
     size: int = 0
+    #: Hex SHA-256 of the pickled payload.  ``None`` for refs published
+    #: before checksums existed (and legacy string tokens); set, it is
+    #: verified by :func:`fetch_blob` before unpickling, so a torn or
+    #: bit-rotted blob on a shared filesystem fails loudly instead of
+    #: deserialising garbage.
+    checksum: Optional[str] = None
 
 
 #: Worker-side memo of published blobs, keyed by token. Each process
@@ -120,13 +190,22 @@ def fetch_blob(ref: Union[str, BlobRef]) -> object:
     if token in _BLOB_CACHE:
         return _BLOB_CACHE[token]
     if isinstance(ref, BlobRef) and ref.data is not None:
-        blob = pickle.loads(ref.data)
+        payload = ref.data
     else:
         path = ref if isinstance(ref, str) else ref.path
         if path is None:  # pragma: no cover - BlobRef invariant
             raise ConfigurationError(f"blob {token!r} has neither data nor path")
         with open(path, "rb") as fh:
-            blob = pickle.load(fh)
+            payload = fh.read()
+    if isinstance(ref, BlobRef) and ref.checksum is not None:
+        digest = sha256(payload).hexdigest()
+        if digest != ref.checksum:
+            raise ConfigurationError(
+                f"blob {token!r} failed its checksum (expected "
+                f"{ref.checksum[:12]}…, read {digest[:12]}…): the shared "
+                f"store copy is torn or corrupt"
+            )
+    blob = pickle.loads(payload)
     _BLOB_CACHE[token] = blob
     _BLOB_CACHE_ORDER.append(token)
     while len(_BLOB_CACHE_ORDER) > _BLOB_CACHE_LIMIT:
@@ -147,6 +226,14 @@ class Transport:
 
     #: Degree of parallelism this transport offers (1 = in-process).
     workers: int = 1
+
+    #: Whether work may legitimately run in the caller's process when
+    #: parallelism cannot help (single worker, single task).  True for
+    #: the local transports; :class:`~repro.runtime.remote.
+    #: RemoteTransport` sets it False so dispatch always goes through
+    #: the spool — execution locality is the point of that transport,
+    #: and a local shortcut would silently run remote work here.
+    colocated: bool = True
 
     def __init__(
         self,
@@ -183,6 +270,7 @@ class Transport:
         if ref is not None:
             return ref
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = sha256(payload).hexdigest()
         serial = self._n_published
         self._n_published += 1
         if len(payload) <= self.spill_threshold:  # reprolint: ok[R2] exact byte count against an integer threshold, not a cost/capacity value
@@ -190,14 +278,23 @@ class Transport:
                 token=f"inline:{id(self):x}:{serial}",
                 data=payload,
                 size=len(payload),
+                checksum=digest,
             )
         else:
-            path = os.path.join(self._ensure_spill_dir(), f"blob-{serial}.pkl")
-            with open(path, "wb") as fh:
-                fh.write(payload)
-            ref = BlobRef(token=path, path=path, size=len(payload))
+            path = self._spill_blob(serial, digest, payload)
+            ref = BlobRef(
+                token=path, path=path, size=len(payload), checksum=digest
+            )
         self._published[key] = ref
         return ref
+
+    def _spill_blob(self, serial: int, digest: str, payload: bytes) -> str:
+        """Write one spilled payload; returns its path.  Overridden by
+        the remote transport to content-address into the shared store."""
+        path = os.path.join(self._ensure_spill_dir(), f"blob-{serial}.pkl")
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        return path
 
     # ------------------------------------------------------------------ #
     # Dispatch surface (subclass responsibility)
@@ -284,15 +381,18 @@ class PoolTransport(Transport):
         return self._pool
 
     def submit(self, fn: Callable[..., R], *args: object) -> "Future[R]":
-        return self._live_pool().submit(fn, *args)
+        try:
+            inner = self._live_pool().submit(fn, *args)
+        except BrokenProcessPool as exc:  # reprolint: ok[R7] boundary translation into the WorkerCrash hierarchy, re-raised as PoolCrash
+            raise translate_crash(exc) from exc
+        return _translating_future(inner)
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
         tasks = list(tasks)
         if self.workers <= 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
-        pool = self._live_pool()
         try:
-            futures = [pool.submit(fn, task) for task in tasks]
+            futures = [self.submit(fn, task) for task in tasks]
             return [fut.result() for fut in futures]
         except WorkerCrash:
             self.recycle()
@@ -311,34 +411,22 @@ class PoolTransport(Transport):
         super().close()
 
 
-class RemoteTransport(Transport):
-    """The multi-machine seam — not implemented yet, deliberately present.
+def __getattr__(name: str) -> Any:
+    # RemoteTransport lives in repro.runtime.remote (which imports this
+    # module); the historical import path `repro.runtime.transport.
+    # RemoteTransport` keeps working through this lazy re-export.
+    if name == "RemoteTransport":
+        from repro.runtime.remote import RemoteTransport
 
-    ROADMAP's distributed sharding lands *here*, as a transport, not as
-    another dispatch rewrite: the replication log
-    (:class:`~repro.market.shard.ShardLog` over a fsynced
-    :class:`~repro.runtime.journal.CheckpointJournal`) is already the
-    shippable source of truth and shard sub-views pickle cleanly, so a
-    remote transport only has to (1) move published blobs to worker
-    machines (a shared filesystem or a content-addressed push), (2) carry
-    ``submit`` calls over a socket, and (3) translate lost connections or
-    expired leases into :data:`WorkerCrash` so the supervisor's
-    quarantine/refund protocol applies unchanged.  See
-    ``docs/runtime.md`` for the full design sketch.
-    """
-
-    def __init__(self, *args: object, **kwargs: object) -> None:
-        raise NotImplementedError(
-            "RemoteTransport is the documented interface seam for "
-            "multi-machine dispatch; see docs/runtime.md for what an "
-            "implementation must provide (blob shipping, remote submit, "
-            "crash translation to WorkerCrash)."
-        )
+        return RemoteTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "BlobRef",
     "DEFAULT_SPILL_THRESHOLD",
+    "HostLost",
+    "PoolCrash",
     "PoolTransport",
     "RemoteTransport",
     "SerialTransport",
@@ -347,4 +435,5 @@ __all__ = [
     "check_picklable",
     "fetch_blob",
     "resolve_workers",
+    "translate_crash",
 ]

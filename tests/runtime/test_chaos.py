@@ -4,14 +4,20 @@ The pre-runtime supervisor's failure-mode guarantees must survive the
 refactor **per transport**: a SIGKILLed worker only costs the cells it
 was running, a persistent crasher is quarantined and charged alone, a
 wedged cell times out, and a truncated journal resumes bit-identically.
-``SerialTransport`` takes the in-process scheduling path and
-``PoolTransport`` the future-driven one — same results either way.
+``SerialTransport`` takes the in-process scheduling path,
+``PoolTransport`` the future-driven one, and ``RemoteTransport`` the
+same future path across real ``repro host`` agent processes serving a
+spool directory — same results every way.
 """
 
 from __future__ import annotations
 
+import contextlib
+import multiprocessing
 import os
+import shutil
 import signal
+import tempfile
 import time
 from pathlib import Path
 
@@ -20,11 +26,15 @@ import pytest
 from repro.runtime import (
     CheckpointJournal,
     PoolTransport,
+    RemoteTransport,
     RetryPolicy,
     Runtime,
     SerialTransport,
     TaskFailure,
+    run_host_agent,
 )
+
+_FORK = multiprocessing.get_context("fork")
 
 
 # --------------------------------------------------------------------- #
@@ -67,15 +77,54 @@ def _wedge_on_one(x):
     return x
 
 
+@contextlib.contextmanager
 def _runtime_of(transport_kind):
     if transport_kind == "serial":
-        return Runtime(transport=SerialTransport())
-    return Runtime(transport=PoolTransport(workers=2))
+        with Runtime(transport=SerialTransport()) as rt:
+            yield rt
+        return
+    if transport_kind == "pool":
+        with Runtime(transport=PoolTransport(workers=2)) as rt:
+            yield rt
+        return
+    # "remote": a throwaway spool served by two real host agents.  The
+    # lease is generous (SIGKILL is caught by the same-node pid probe,
+    # not lease expiry) so slow CI boxes cannot fake a wedge.
+    spool = tempfile.mkdtemp(prefix="repro-chaos-spool-")
+    agents = [
+        _FORK.Process(
+            target=run_host_agent,
+            args=(spool,),
+            kwargs={
+                "host_id": f"chaos-{i}",
+                "lease_s": 10.0,
+                "poll_interval_s": 0.01,
+            },
+            daemon=True,
+        )
+        for i in range(2)
+    ]
+    for agent in agents:
+        agent.start()
+    transport = RemoteTransport(
+        spool, lease_s=10.0, poll_interval_s=0.02, claim_timeout_s=120.0
+    )
+    try:
+        transport.wait_for_hosts(2, timeout_s=30.0)
+        with Runtime(transport=transport) as rt:
+            yield rt
+    finally:
+        transport.close()
+        for agent in agents:
+            if agent.is_alive():
+                agent.kill()
+            agent.join(timeout=10.0)
+        shutil.rmtree(spool, ignore_errors=True)
 
 
-TRANSPORTS = ["serial", "pool"]
+TRANSPORTS = ["serial", "pool", "remote"]
 #: Crash chaos needs real worker processes to kill.
-POOL_ONLY = ["pool"]
+CRASHY = ["pool", "remote"]
 
 
 # --------------------------------------------------------------------- #
@@ -140,7 +189,7 @@ class TestSupervisionPerTransport:
 # --------------------------------------------------------------------- #
 # Worker-crash chaos (needs a real pool to kill)
 # --------------------------------------------------------------------- #
-@pytest.mark.parametrize("transport_kind", POOL_ONLY)
+@pytest.mark.parametrize("transport_kind", CRASHY)
 class TestCrashChaos:
     def test_sigkilled_worker_grid_still_completes(self, transport_kind, tmp_path):
         tasks = [(x, str(tmp_path)) for x in range(5)]

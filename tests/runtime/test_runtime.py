@@ -8,7 +8,6 @@ borrowed transports) and the off-main-thread timeout degradation.
 from __future__ import annotations
 
 import threading
-import warnings
 
 import pytest
 
@@ -47,8 +46,13 @@ def _fail_on_three(x):
 class TestConstruction:
     def test_workers_and_transport_are_mutually_exclusive(self):
         with SerialTransport() as transport:
-            with pytest.raises(ConfigurationError, match="not both"):
+            with pytest.raises(ConfigurationError, match="at most one"):
                 Runtime(workers=2, transport=transport)
+
+    def test_spool_is_mutually_exclusive_too(self, tmp_path):
+        with SerialTransport() as transport:
+            with pytest.raises(ConfigurationError, match="at most one"):
+                Runtime(transport=transport, spool=tmp_path / "spool")
 
     def test_default_is_serial(self):
         with Runtime() as rt:
@@ -153,23 +157,42 @@ class TestMap:
 
 
 class TestOffMainThreadTimeout:
-    def test_degrades_to_untimed_with_warning(self):
-        """satellite: a supervisor driven from a helper thread (where
-        ``signal.signal`` raises ValueError) runs the task untimed and
-        warns instead of dying on the signal internals."""
+    """satellite: per-task timeouts are *enforced* off the main thread.
+
+    Where ``signal.signal`` raises ValueError (any non-main thread), the
+    supervisor no longer degrades to an untimed run with a warning — it
+    falls back to a portable wall clock, so a quick task completes
+    normally and a wedged one still raises through the timeout path.
+    """
+
+    def test_quick_task_completes_off_main_thread(self):
         outcome = {}
 
         def drive():
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                with Runtime() as rt:
-                    outcome["results"] = rt.run(_square, [4], timeout=5.0)
-                outcome["warnings"] = [w for w in caught if w.category is RuntimeWarning]
+            with Runtime() as rt:
+                outcome["results"] = rt.run(_square, [4], timeout=5.0)
 
         worker = threading.Thread(target=drive)
         worker.start()
         worker.join()
         assert outcome["results"] == [16]
-        assert any(
-            "off the main thread" in str(w.message) for w in outcome["warnings"]
-        )
+
+    def test_wedged_task_times_out_off_main_thread(self):
+        outcome = {}
+
+        def drive():
+            with Runtime() as rt:
+                outcome["results"] = rt.run(
+                    _sleepy,
+                    [7],
+                    retry=RetryPolicy(max_attempts=1, timeout_s=0.2),
+                )
+
+        worker = threading.Thread(target=drive)
+        worker.start()
+        worker.join(timeout=20.0)
+        assert not worker.is_alive()
+        (failure,) = outcome["results"]
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "timeout"
+        assert "wall-clock" in failure.message

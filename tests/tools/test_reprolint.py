@@ -529,6 +529,87 @@ class TestSwallowedError:
         assert lint(code, rules=["R7"]) == []
 
 
+class TestCrashHierarchyNarrowing:
+    """R7 also guards the WorkerCrash hierarchy: ``except
+    BrokenProcessPool`` catches local pool crashes but lets a remote
+    ``HostLost`` escape, even when the body handles what it caught."""
+
+    def test_flags_broken_process_pool_even_when_reraised(self):
+        code = """
+            from concurrent.futures.process import BrokenProcessPool
+
+            def drain(fut):
+                try:
+                    return fut.result()
+                except BrokenProcessPool as exc:
+                    raise RuntimeError("pool died") from exc
+        """
+        diags = lint(code, rules=["R7"])
+        assert rule_ids(diags) == ["R7"]
+        assert "HostLost" in diags[0].message
+
+    def test_flags_broken_process_pool_in_tuple(self):
+        code = """
+            from concurrent.futures.process import BrokenProcessPool
+
+            def drain(fut):
+                try:
+                    return fut.result()
+                except (OSError, BrokenProcessPool):
+                    return None
+        """
+        assert rule_ids(lint(code, rules=["R7"])) == ["R7"]
+
+    def test_catching_worker_crash_passes(self):
+        code = """
+            from repro.runtime import WorkerCrash
+
+            def drain(fut):
+                try:
+                    return fut.result()
+                except WorkerCrash as exc:
+                    raise RuntimeError("worker lost") from exc
+        """
+        assert lint(code, rules=["R7"]) == []
+
+    def test_spelled_out_union_passes(self):
+        code = """
+            from concurrent.futures.process import BrokenProcessPool
+            from repro.runtime import HostLost
+
+            def drain(fut):
+                try:
+                    return fut.result()
+                except (BrokenProcessPool, HostLost) as exc:
+                    raise RuntimeError("worker lost") from exc
+        """
+        assert lint(code, rules=["R7"]) == []
+
+    def test_boundary_translation_escape_hatch(self):
+        code = """
+            from concurrent.futures.process import BrokenProcessPool
+
+            def translate(fut):
+                try:
+                    return fut.result()
+                except BrokenProcessPool as exc:  # reprolint: ok[R7] boundary translation
+                    raise RuntimeError("translated") from exc
+        """
+        assert lint(code, rules=["R7"]) == []
+
+    def test_test_files_exempt(self):
+        code = """
+            from concurrent.futures.process import BrokenProcessPool
+
+            def drain(fut):
+                try:
+                    return fut.result()
+                except BrokenProcessPool:
+                    return None
+        """
+        assert lint(code, path="tests/test_x.py", rules=["R7"]) == []
+
+
 # --------------------------------------------------------------------- #
 # Suppressions (escape hatch + R0 hygiene)
 # --------------------------------------------------------------------- #
@@ -841,6 +922,65 @@ class TestWorkerPurity:
                 return simulation.run(task, points)
         """
         assert lint(code, rules=["R8"]) == []
+
+
+class TestAgentEntryPointRoots:
+    """R8 roots the purity walk at ``repro host`` agent entry points:
+    ``run_host_agent`` is worker execution reached by the CLI, not by any
+    statically visible dispatch call."""
+
+    def test_agent_body_is_rooted_without_a_dispatch_site(self):
+        code = """
+            _EXECUTED = 0
+
+            def _bump():
+                global _EXECUTED
+                _EXECUTED += 1
+
+            def run_host_agent(spool):
+                _bump()
+                return _EXECUTED
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert "repro host agent" in diags[0].message
+        assert "_EXECUTED" in diags[0].message
+
+    def test_module_level_rng_in_agent_closure_flagged(self):
+        code = """
+            import numpy as np
+
+            _jitter_rng = np.random.default_rng(0)
+
+            def _backoff():
+                return _jitter_rng.uniform(0.0, 0.1)
+
+            def run_host_agent(spool):
+                return _backoff()
+        """
+        diags = lint(code, rules=["R8"])
+        assert rule_ids(diags) == ["R8"]
+        assert "module-level RNG" in diags[0].message
+
+    def test_pure_agent_passes(self):
+        code = """
+            def _claim(spool):
+                return sorted(spool)
+
+            def run_host_agent(spool):
+                return _claim(spool)
+        """
+        assert lint(code, rules=["R8"]) == []
+
+    def test_agent_defined_in_test_file_is_not_rooted(self):
+        code = """
+            _EXECUTED = 0
+
+            def run_host_agent(spool):
+                global _EXECUTED
+                _EXECUTED += 1
+        """
+        assert lint(code, path="tests/test_agent.py", rules=["R8"]) == []
 
 
 # --------------------------------------------------------------------- #

@@ -20,7 +20,12 @@ flow-aware big sibling: it roots a call-graph walk (see
   receivers (``runtime.run(fn, tasks)`` and ``runtime.map(fn, tasks)``
   are the :class:`repro.runtime.Runtime` dispatch surface),
 * builder keywords (``make_market=``, ``make_algorithms=``,
-  ``seed_fn=``, ``task_fn=``, ``builder=``) on any call —
+  ``seed_fn=``, ``task_fn=``, ``builder=``) on any call,
+* and — with no call site at all — every module-level definition of a
+  ``repro host`` agent entry point (``run_host_agent``): the agent body
+  *is* worker execution on a remote machine, reached by the ``repro
+  host`` CLI rather than by any statically visible dispatch call, so its
+  whole closure gets the same purity walk —
 
 and flags, anywhere in the reachable closure:
 
@@ -86,6 +91,11 @@ _UNPICKLABLE_FACTORIES: Set[str] = {
     "socket",
     "create_connection",
 }
+
+#: Module-level function names that are worker execution in their own
+#: right: a ``repro host`` agent's body runs on the remote machine, so it
+#: roots the purity walk with no dispatch call site required.
+_AGENT_ENTRY_POINTS: Set[str] = {"run_host_agent"}
 
 #: Call-graph breadth bound (paranoia cap; real closures are tiny).
 _MAX_CLOSURE = 500
@@ -250,6 +260,14 @@ class WorkerPurityRule:
             scanner.visit(module.tree)
             for site in scanner.sites:
                 self._check_site(site, roots)
+            # Agent entry points root the walk without a dispatch site:
+            # the ``repro host`` CLI reaches them, not a visible call.
+            for name, fn in module.functions.items():
+                if name in _AGENT_ENTRY_POINTS:
+                    roots.setdefault(
+                        (module.path, fn.lineno),
+                        ((module, fn), f"{name} (repro host agent)"),
+                    )
 
         closure = self._closure(list(roots.values()))
         for (mod, fn), root_name in closure:
